@@ -1,0 +1,86 @@
+"""Ablation A3 -- accuracy and cost of the pricing methods themselves.
+
+The paper characterises the per-product computation costs ("the pricing of
+plain vanilla options is almost instantaneous; the Monte-Carlo and PDE
+approaches ... roughly demand the same amount of computations; the evaluation
+of American products is much longer than any other").  This benchmark times
+the actual Python implementations of each method on the canonical ATM call /
+American put and records their accuracy against the closed-form / binomial
+references, writing the result to ``benchmarks/results/pricing_methods.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.pricing import (
+    AmericanPut,
+    BinomialTree,
+    BlackScholesModel,
+    ClosedFormCall,
+    EuropeanCall,
+    FourierCOS,
+    LongstaffSchwartz,
+    MonteCarloEuropean,
+    PDEAmerican,
+    PDEEuropean,
+    TrinomialTree,
+)
+
+MODEL = BlackScholesModel(spot=100.0, rate=0.05, volatility=0.2)
+CALL = EuropeanCall(strike=100.0, maturity=1.0)
+AM_PUT = AmericanPut(strike=100.0, maturity=1.0)
+
+EUROPEAN_METHODS = {
+    "CF_Call": ClosedFormCall(),
+    "FFT_COS": FourierCOS(n_terms=256),
+    "TR_CoxRossRubinstein": BinomialTree(n_steps=500),
+    "TR_Trinomial": TrinomialTree(n_steps=300),
+    "FD_European": PDEEuropean(n_space=400, n_time=200),
+    "MC_European": MonteCarloEuropean(n_paths=100_000, seed=0),
+}
+
+AMERICAN_METHODS = {
+    "FD_American": PDEAmerican(n_space=400, n_time=200),
+    "TR_CoxRossRubinstein": BinomialTree(n_steps=1000),
+    "MC_AM_LongstaffSchwartz": LongstaffSchwartz(n_paths=50_000, n_steps=50, seed=0),
+}
+
+_accuracy_records: list[str] = []
+
+
+@pytest.mark.parametrize("name,method", list(EUROPEAN_METHODS.items()))
+def test_european_call_methods(benchmark, name, method):
+    """Time every European pricer on the ATM call and check its accuracy."""
+    reference = ClosedFormCall().price(MODEL, CALL).price
+    result = benchmark(lambda: method.price(MODEL, CALL))
+    error = abs(result.price - reference)
+    _accuracy_records.append(
+        f"european  {name:24s} price {result.price:9.4f}  |err| {error:8.5f}"
+    )
+    tolerance = 0.1 if name == "MC_European" else 0.05
+    assert error < tolerance
+
+
+@pytest.mark.parametrize("name,method", list(AMERICAN_METHODS.items()))
+def test_american_put_methods(benchmark, name, method):
+    """Time every American pricer on the ATM put and check its accuracy."""
+    reference = 6.0896  # binomial reference value for this parameter set
+    result = benchmark(lambda: method.price(MODEL, AM_PUT))
+    error = abs(result.price - reference)
+    _accuracy_records.append(
+        f"american  {name:24s} price {result.price:9.4f}  |err| {error:8.5f}"
+    )
+    assert error < 0.1
+
+
+def test_write_accuracy_report(benchmark):
+    """Collect the per-method accuracy lines into the results file."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_result(
+        "pricing_methods.txt",
+        "Pricing-method accuracy (references: closed form / binomial)\n"
+        + "\n".join(sorted(_accuracy_records)),
+    )
+    assert _accuracy_records

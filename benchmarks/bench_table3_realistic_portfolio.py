@@ -1,0 +1,100 @@
+"""Benchmark T3 -- Table III of the paper.
+
+"A realistic portfolio valuation": the 7,931-claim equity portfolio of
+Section 4.3 (vanilla, barrier PDE, 40-d basket Monte-Carlo, local-volatility
+Monte-Carlo, American PDE, 7-d American basket Longstaff-Schwartz), valued
+with the Robin-Hood scheduler for 2 to 512 CPUs under the three transmission
+strategies.
+
+The benchmark regenerates the full table on the simulated cluster, checks the
+qualitative claims of Section 4.3 (all strategies within a few percent of
+each other, speedup ratio still above ~0.8 at 256 CPUs, marked degradation at
+320-512 CPUs) and writes the rows to
+``benchmarks/results/table3_realistic_portfolio.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.cluster.costmodel import paper_cost_model
+from repro.core import (
+    build_realistic_portfolio,
+    compare_strategies,
+    format_comparison_table,
+)
+
+#: the CPU counts of Table III
+TABLE3_CPUS = [2, 4, 6, 8, 10, 16, 32, 64, 96, 128, 160, 192, 224, 256, 320, 384, 512]
+
+#: published Table III serialized-load column (seconds)
+PAPER_TABLE3_SERIALIZED = {
+    2: 5776.33, 4: 1925.29, 8: 840.403, 16: 386.745, 32: 189.354, 64: 94.7316,
+    128: 47.6968, 256: 27.8228, 512: 20.1779,
+}
+
+
+@pytest.fixture(scope="module")
+def realistic_jobs():
+    portfolio = build_realistic_portfolio(profile="paper")
+    return portfolio.build_jobs(cost_model=paper_cost_model())
+
+
+def test_table3_realistic_portfolio(benchmark, realistic_jobs):
+    """Regenerate the full three-strategy Table III."""
+
+    def regenerate():
+        return compare_strategies(realistic_jobs, TABLE3_CPUS)
+
+    tables = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    lines = [format_comparison_table(tables.values()), "",
+             "Paper reference (serialized load column):"]
+    for n_cpus, paper_time in PAPER_TABLE3_SERIALIZED.items():
+        row = tables["serialized_load"].row_for(n_cpus)
+        lines.append(
+            f"  {n_cpus:>4} CPUs  paper {paper_time:9.2f}s   measured {row.time:9.2f}s "
+            f"(ratio {row.ratio:6.4f})"
+        )
+    write_result("table3_realistic_portfolio.txt", "\n".join(lines))
+
+    sload = tables["serialized_load"]
+
+    # total single-worker work matches the scale of the paper's run
+    assert sload.row_for(2).time == pytest.approx(PAPER_TABLE3_SERIALIZED[2], rel=0.25)
+
+    # the three strategies stay within a few percent of each other: the
+    # compute cost dominates the communications for this portfolio
+    for n_cpus in (2, 16, 128, 256):
+        times = [tables[s].row_for(n_cpus).time for s in tables]
+        assert max(times) / min(times) < 1.10
+
+    # near-linear speedup deep into the sweep ("with 256 nodes, the speedup
+    # ratio is still better than 0.8")
+    for n_cpus in (16, 64, 128):
+        assert sload.row_for(n_cpus).ratio > 0.9
+    assert sload.row_for(256).ratio > 0.75
+
+    # degradation beyond 256 CPUs, as in the last rows of the table
+    assert sload.row_for(512).ratio < sload.row_for(256).ratio
+    assert sload.row_for(512).ratio < 0.8
+
+    # absolute times stay within a factor ~2 of the published column
+    for n_cpus, paper_time in PAPER_TABLE3_SERIALIZED.items():
+        assert 0.4 * paper_time < sload.row_for(n_cpus).time < 2.5 * paper_time
+
+
+def test_table3_portfolio_composition_cost_split(benchmark):
+    """Micro-benchmark: building the portfolio and its per-slice cost summary."""
+
+    def build_and_summarise():
+        portfolio = build_realistic_portfolio(profile="paper")
+        return portfolio.summary(paper_cost_model())
+
+    summary = benchmark.pedantic(build_and_summarise, rounds=1, iterations=1)
+    assert summary["vanilla_cf"]["count"] == 1952
+    assert summary["american_basket_ls"]["count"] == 525
+    # American products dominate the total cost, vanilla options are negligible
+    assert summary["american_basket_ls"]["estimated_cost"] > summary["basket_mc"]["estimated_cost"]
+    assert summary["vanilla_cf"]["estimated_cost"] < 0.01 * summary["american_pde"]["estimated_cost"]

@@ -1,0 +1,34 @@
+"""Shared helpers of the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables (or an ablation) on the
+simulated cluster, times the regeneration with ``pytest-benchmark`` and writes
+the regenerated table to ``benchmarks/results/`` so the rows can be compared
+with the published numbers (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(name: str, content: str) -> Path:
+    """Write a regenerated table to the results directory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n")
+    return path

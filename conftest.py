@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the package importable straight from the source tree so that the test
+suite and the benchmarks run even on machines where ``pip install -e .`` is
+not possible (the fully offline case documented in the README).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The paper's Fig. 4/5 master/slave script, ported to the MPI-like facade.
+
+The original Nsp script spawns slaves, sends each of them serialized
+``PremiaModel`` objects, probes for answers from any source, and keeps
+feeding the fastest slaves until the portfolio is exhausted (the "Robin Hood"
+loop).  This example is a line-for-line port to
+:mod:`repro.cluster.mpi`: ``send_obj`` / ``recv_obj`` / ``probe`` play the
+roles of ``MPI_Send_Obj`` / ``MPI_Recv_Obj`` / ``MPI_Probe``, and problems
+travel as serialized buffers exactly as in the paper.
+
+Run with:  python examples/master_worker_mpi.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.cluster import mpi
+from repro.core import build_toy_portfolio
+from repro.serial import Serial, sload
+
+TAG_NAME = 1
+TAG_PROBLEM = 2
+TAG_RESULT = 3
+
+
+def slave(comm: mpi.Communicator) -> None:
+    """Slave part of Fig. 4: receive problems until the empty name arrives."""
+    while True:
+        name = comm.recv_obj(source=0, tag=TAG_NAME)
+        if name == "":
+            break
+        packed = comm.recv(source=0, tag=TAG_PROBLEM)      # MPI_Recv of the packed object
+        problem = mpi.unpack(packed)                        # MPI_Unpack + unserialize
+        result = problem.compute()
+        comm.send_obj({"name": name, "price": result.price}, dest=0, tag=TAG_RESULT)
+
+
+def send_problem(comm: mpi.Communicator, path: Path, dest: int) -> None:
+    """Fig. 5's send_premia_pb: load, serialize, pack, send name then object."""
+    serial: Serial = sload(path)                            # serialized load (sload)
+    comm.send_obj(str(path), dest=dest, tag=TAG_NAME)       # send the name
+    comm.send(mpi.pack(serial), dest=dest, tag=TAG_PROBLEM)  # send the packed object
+
+
+def main(n_slaves: int = 3, n_problems: int = 24) -> None:
+    portfolio = build_toy_portfolio(n_options=n_problems)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = portfolio.to_store(Path(tmp) / "problems")
+        paths = store.paths()
+        results: list[dict] = []
+
+        with mpi.spawn(n_slaves, slave) as comm:
+            queue = list(paths)
+            # first send one job to each slave
+            for rank in range(1, min(n_slaves, len(queue)) + 1):
+                send_problem(comm, queue.pop(0), dest=rank)
+            in_flight = min(n_slaves, n_problems)
+
+            # Robin Hood: whoever answers gets the next job
+            while queue:
+                status = comm.probe(source=mpi.ANY_SOURCE, tag=TAG_RESULT)
+                results.append(comm.recv_obj(source=status.source, tag=TAG_RESULT))
+                send_problem(comm, queue.pop(0), dest=status.source)
+
+            # drain the remaining answers
+            for _ in range(in_flight):
+                results.append(comm.recv_obj(source=mpi.ANY_SOURCE, tag=TAG_RESULT))
+
+            # tell all slaves to stop working
+            for rank in range(1, n_slaves + 1):
+                comm.send_obj("", dest=rank, tag=TAG_NAME)
+
+        print(f"priced {len(results)} problems with {n_slaves} slaves")
+        total = sum(entry["price"] for entry in results)
+        print(f"sum of prices: {total:.4f}")
+        for entry in results[:5]:
+            print(f"  {Path(entry['name']).name}: {entry['price']:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e . --no-build-isolation --no-use-pep517`` works
+on fully offline machines that have setuptools but no ``wheel`` package (the
+PEP 660 editable path needs ``wheel`` with older setuptools releases).  All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro -- a risk-management benchmark for testing parallel architectures.
+
+This package is a from-scratch Python reproduction of the system described in
+*"Using Premia and Nsp for Constructing a Risk Management Benchmark for
+Testing Parallel Architecture"* (Chancelier, Lapeyre, Lelong).  It provides:
+
+``repro.pricing``
+    A self-contained option pricing library (the *Premia* substitute):
+    models, products and numerical methods (closed form, PDE, trees,
+    Monte-Carlo, Longstaff-Schwartz, Fourier/COS), plus the
+    :class:`~repro.pricing.engine.PricingProblem` abstraction mirroring
+    Premia's ``PremiaModel`` objects.
+
+``repro.serial``
+    Architecture-independent serialization of pricing problems (the *Nsp*
+    ``Serial``/XDR substitute) including ``save``/``load``/``sload`` and
+    compressed serial buffers.
+
+``repro.cluster``
+    An MPI-like message passing API with several execution backends: a
+    sequential backend, a real ``multiprocessing`` backend, and a
+    discrete-event *simulated cluster* (nodes, Gigabit-Ethernet-like network,
+    NFS server with cache) used to reproduce the paper's speedup tables at
+    laptop scale.
+
+``repro.core``
+    The paper's contribution: portfolio construction, the three
+    problem-transmission strategies (*full load*, *NFS*, *serialized load*),
+    the Robin-Hood master/worker scheduler and its extensions, the speedup
+    harness, the non-regression workload and portfolio risk aggregation.
+
+Quickstart
+----------
+
+>>> from repro.pricing import PricingProblem
+>>> p = PricingProblem()
+>>> p.set_asset("equity")
+>>> p.set_model("BlackScholes1D", spot=100.0, rate=0.05, volatility=0.2)
+>>> p.set_option("CallEuro", strike=100.0, maturity=1.0)
+>>> p.set_method("CF_Call")
+>>> p.compute()
+>>> round(p.get_method_results().price, 4)
+10.4506
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

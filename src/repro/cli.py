@@ -1,0 +1,178 @@
+"""Command-line interface of the benchmark.
+
+``repro-bench`` exposes the main workflows without writing Python:
+
+* ``repro-bench list`` -- registered models, options and methods;
+* ``repro-bench price`` -- price one option from the command line;
+* ``repro-bench table1|table2|table3`` -- regenerate the paper's tables on
+  the simulated cluster;
+* ``repro-bench run`` -- actually value a (scaled-down) portfolio on the
+  local machine with multiprocessing workers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Risk-management benchmark for parallel architectures "
+        "(Premia/Nsp/MPI reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered models, options and methods")
+
+    price = sub.add_parser("price", help="price a single option")
+    price.add_argument("--model", default="BlackScholes1D")
+    price.add_argument("--option", default="CallEuro")
+    price.add_argument("--method", default="CF_Call")
+    price.add_argument("--spot", type=float, default=100.0)
+    price.add_argument("--strike", type=float, default=100.0)
+    price.add_argument("--maturity", type=float, default=1.0)
+    price.add_argument("--rate", type=float, default=0.05)
+    price.add_argument("--volatility", type=float, default=0.2)
+
+    for table, help_text in (
+        ("table1", "regenerate Table I (non-regression tests speedup)"),
+        ("table2", "regenerate Table II (toy portfolio, strategy comparison)"),
+        ("table3", "regenerate Table III (realistic portfolio, strategy comparison)"),
+    ):
+        cmd = sub.add_parser(table, help=help_text)
+        cmd.add_argument(
+            "--cpus",
+            type=int,
+            nargs="+",
+            default=None,
+            help="CPU counts to simulate (default: the paper's counts)",
+        )
+        cmd.add_argument("--strategy", default=None, help="restrict to one strategy")
+
+    run = sub.add_parser("run", help="value a scaled-down portfolio locally")
+    run.add_argument("--portfolio", choices=("toy", "realistic", "regression"), default="toy")
+    run.add_argument("--positions", type=int, default=64, help="number of positions")
+    run.add_argument("--workers", type=int, default=2, help="worker processes")
+    run.add_argument("--strategy", default="serialized_load")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.pricing import list_methods, list_models, list_products
+
+    print("Models:")
+    for name in list_models():
+        print(f"  {name}")
+    print("Options:")
+    for name in list_products():
+        print(f"  {name}")
+    print("Methods (including aliases):")
+    for name in list_methods():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_price(args: argparse.Namespace) -> int:
+    from repro.pricing import PricingProblem
+
+    problem = PricingProblem()
+    problem.set_asset("equity")
+    problem.set_model(
+        args.model, spot=args.spot, rate=args.rate, volatility=args.volatility
+    )
+    problem.set_option(args.option, strike=args.strike, maturity=args.maturity)
+    problem.set_method(args.method)
+    result = problem.compute()
+    print(f"price  = {result.price:.6f}")
+    if result.delta is not None:
+        print(f"delta  = {result.delta:.6f}")
+    if result.std_error is not None:
+        print(f"stderr = {result.std_error:.6f}")
+    return 0
+
+
+def _cmd_table(table: str, args: argparse.Namespace) -> int:
+    from repro.cluster import paper_cost_model
+    from repro.core import (
+        build_realistic_portfolio,
+        build_regression_portfolio,
+        build_toy_portfolio,
+        compare_strategies,
+        format_comparison_table,
+        sweep_cpu_counts,
+    )
+
+    cost_model = paper_cost_model()
+    if table == "table1":
+        cpus = args.cpus or [2, 4, 6, 8, 10, 16, 32, 64, 96, 128, 160, 192, 224, 256]
+        portfolio = build_regression_portfolio(profile="paper")
+        jobs = portfolio.build_jobs(cost_model=cost_model)
+        result = sweep_cpu_counts(jobs, cpus, strategy=args.strategy or "serialized_load")
+        print(result.format())
+        return 0
+
+    if table == "table2":
+        cpus = args.cpus or [2, 4, 8, 10, 12, 14, 16, 18, 20, 24, 28, 32, 36, 40, 45, 50]
+        portfolio = build_toy_portfolio(n_options=10_000)
+    else:
+        cpus = args.cpus or [2, 4, 6, 8, 10, 16, 32, 64, 96, 128, 160, 192, 224, 256, 320, 384, 512]
+        portfolio = build_realistic_portfolio(profile="paper")
+    jobs = portfolio.build_jobs(cost_model=cost_model)
+    strategies = [args.strategy] if args.strategy else ["full_load", "nfs", "serialized_load"]
+    tables = compare_strategies(jobs, cpus, strategies=strategies)
+    print(format_comparison_table(tables.values()))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.cluster import MultiprocessingBackend
+    from repro.core import (
+        PORTFOLIO_BUILDERS,
+        portfolio_value,
+        run_portfolio,
+    )
+
+    if args.portfolio == "toy":
+        portfolio = PORTFOLIO_BUILDERS["toy"](n_options=args.positions)
+    elif args.portfolio == "realistic":
+        portfolio = PORTFOLIO_BUILDERS["realistic"](
+            profile="fast", scale=max(args.positions / 7931.0, 1e-3)
+        )
+    else:
+        portfolio = PORTFOLIO_BUILDERS["regression"](profile="fast")
+    backend = MultiprocessingBackend(n_workers=args.workers)
+    report = run_portfolio(portfolio, backend, strategy=args.strategy)
+    print(
+        f"valued {report.n_jobs} positions on {report.n_workers} workers "
+        f"in {report.total_time:.2f}s ({len(report.errors)} errors)"
+    )
+    print(f"portfolio value = {portfolio_value(portfolio, report.prices()):.2f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-bench`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "price":
+        return _cmd_price(args)
+    if args.command in ("table1", "table2", "table3"):
+        return _cmd_table(args.command, args)
+    if args.command == "run":
+        return _cmd_run(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""``repro.cluster`` -- message passing and execution backends (MPI substitute).
+
+Three layers:
+
+* :mod:`repro.cluster.mpi` -- an MPI-2-like API (spawn, send/recv of
+  serialized objects, pack/unpack, probe) reproducing the programming model
+  of the paper's Nsp listings on top of threads;
+* :mod:`repro.cluster.backends` -- the master/worker execution backends used
+  by the benchmark runner (sequential, real ``multiprocessing``, simulated);
+* :mod:`repro.cluster.simcluster` -- the discrete-event cluster model
+  (workers, Gigabit-Ethernet network, NFS server with cache, communication
+  cost model) that reproduces the paper's speedup tables at laptop scale.
+"""
+
+from repro.cluster import mpi
+from repro.cluster.backends import (
+    BackendStats,
+    CompletedJob,
+    Job,
+    MultiprocessingBackend,
+    PreparedMessage,
+    SequentialBackend,
+    WorkerBackend,
+)
+from repro.cluster.costmodel import CostModel, estimate_work_units, measured_cost, paper_cost_model
+from repro.cluster.simcluster import (
+    STRATEGY_NAMES,
+    ClusterSpec,
+    CommunicationModel,
+    NetworkModel,
+    NFSModel,
+    NodeSpec,
+    SimulatedClusterBackend,
+    gigabit_ethernet,
+)
+
+__all__ = [
+    "mpi",
+    "Job",
+    "PreparedMessage",
+    "CompletedJob",
+    "BackendStats",
+    "WorkerBackend",
+    "SequentialBackend",
+    "MultiprocessingBackend",
+    "SimulatedClusterBackend",
+    "ClusterSpec",
+    "NodeSpec",
+    "NetworkModel",
+    "NFSModel",
+    "CommunicationModel",
+    "gigabit_ethernet",
+    "STRATEGY_NAMES",
+    "CostModel",
+    "paper_cost_model",
+    "estimate_work_units",
+    "measured_cost",
+]

@@ -1,0 +1,30 @@
+"""Execution backends implementing the master/worker interface."""
+
+from repro.cluster.backends.base import (
+    PAYLOAD_PATH,
+    PAYLOAD_PROBLEM,
+    PAYLOAD_SERIAL,
+    BackendStats,
+    CompletedJob,
+    Job,
+    PreparedMessage,
+    WorkerBackend,
+)
+from repro.cluster.backends.execution import execute_payload, materialize_problem
+from repro.cluster.backends.local import SequentialBackend
+from repro.cluster.backends.multiproc import MultiprocessingBackend
+
+__all__ = [
+    "Job",
+    "PreparedMessage",
+    "CompletedJob",
+    "BackendStats",
+    "WorkerBackend",
+    "SequentialBackend",
+    "MultiprocessingBackend",
+    "execute_payload",
+    "materialize_problem",
+    "PAYLOAD_SERIAL",
+    "PAYLOAD_PATH",
+    "PAYLOAD_PROBLEM",
+]

@@ -1,0 +1,174 @@
+"""Backend interface shared by the real and simulated execution engines.
+
+A *backend* plays the role of the MPI slave pool in the paper's scripts: the
+master (the scheduler in :mod:`repro.core.scheduler`) dispatches one job at a
+time to a chosen worker and collects results as they come back
+(``MPI_Probe`` on any source followed by ``MPI_Recv_Obj`` in Fig. 4/5).
+
+Three backends implement the interface:
+
+* :class:`repro.cluster.backends.local.SequentialBackend` -- runs jobs in the
+  master process (debugging, exact-result tests);
+* :class:`repro.cluster.backends.multiproc.MultiprocessingBackend` -- real
+  worker processes on the local machine, really pricing the problems;
+* :class:`repro.cluster.simcluster.simulator.SimulatedClusterBackend` -- a
+  discrete-event model of the paper's 256-node cluster advancing *virtual*
+  time from a cost model, used to reproduce Tables I-III at laptop scale.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ClusterError
+
+__all__ = [
+    "PAYLOAD_SERIAL",
+    "PAYLOAD_PATH",
+    "PAYLOAD_PROBLEM",
+    "Job",
+    "PreparedMessage",
+    "CompletedJob",
+    "WorkerBackend",
+]
+
+#: the master sends serialized problem bytes (full-load and serialized-load
+#: strategies)
+PAYLOAD_SERIAL = "serial"
+#: the master sends only a file name; the worker reads the shared file system
+#: (NFS strategy)
+PAYLOAD_PATH = "path"
+#: the master hands over an in-memory problem object (sequential backend,
+#: tests)
+PAYLOAD_PROBLEM = "problem"
+
+_VALID_PAYLOAD_KINDS = (PAYLOAD_SERIAL, PAYLOAD_PATH, PAYLOAD_PROBLEM)
+
+
+@dataclass
+class Job:
+    """One unit of work: a pricing problem to value.
+
+    Attributes
+    ----------
+    job_id:
+        Unique integer identifier within a run.
+    path:
+        Problem file path (may be virtual when the run is simulation-only).
+    file_size:
+        Size in bytes of the serialized problem (drives message sizes and
+        NFS read sizes in the simulation).
+    compute_cost:
+        Estimated compute time in seconds on a reference node (from
+        :class:`repro.cluster.costmodel.CostModel`).
+    category:
+        Free-form tag ("vanilla", "barrier_pde", ...) used in reports.
+    problem:
+        Optional in-memory :class:`~repro.pricing.engine.PricingProblem`;
+        required by executing backends when no file was written.
+    """
+
+    job_id: int
+    path: str
+    file_size: int
+    compute_cost: float
+    category: str = "generic"
+    problem: Any | None = None
+
+
+@dataclass
+class PreparedMessage:
+    """What the master actually sends for a job under a given strategy."""
+
+    kind: str
+    payload: Any
+    nbytes: int
+    #: master-side preparation time actually spent (seconds, real backends)
+    prep_elapsed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_PAYLOAD_KINDS:
+            raise ClusterError(f"invalid payload kind {self.kind!r}")
+
+
+@dataclass
+class CompletedJob:
+    """A result collected by the master."""
+
+    job_id: int
+    worker_id: int
+    result: dict[str, Any] | None
+    #: time spent computing on the worker (real seconds or virtual seconds)
+    compute_time: float
+    #: master-clock time at which the result was collected (virtual time for
+    #: the simulated backend, wall-clock offset for real backends)
+    collected_at: float
+    error: str | None = None
+
+
+@dataclass
+class BackendStats:
+    """Aggregate statistics reported by a backend at the end of a run."""
+
+    total_time: float
+    n_jobs: int
+    n_workers: int
+    worker_busy: dict[int, float] = field(default_factory=dict)
+    master_busy: float = 0.0
+    bytes_sent: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class WorkerBackend(abc.ABC):
+    """Master-side view of a pool of workers."""
+
+    #: whether the scheduler must prepare a real payload before dispatching
+    #: (True for executing backends; the simulated backend models the
+    #: preparation cost instead and accepts ``message=None``)
+    requires_payload: bool = True
+
+    @property
+    @abc.abstractmethod
+    def n_workers(self) -> int:
+        """Number of slave workers available (the paper's ``mpi_size - 1``)."""
+
+    @abc.abstractmethod
+    def dispatch(self, worker_id: int, job: Job, message: PreparedMessage) -> None:
+        """Send ``job`` (already prepared as ``message``) to ``worker_id``.
+
+        The call returns as soon as the master is free again -- immediately
+        for real backends (the payload is handed to the OS), after the
+        simulated send completes for the simulated backend.
+        """
+
+    @abc.abstractmethod
+    def collect(self) -> CompletedJob:
+        """Block until any worker returns a result and return it.
+
+        Mirrors ``MPI_Probe(-1, -1, ...)`` followed by ``MPI_Recv_Obj``.
+        Raises :class:`ClusterError` if no job is in flight.
+        """
+
+    @abc.abstractmethod
+    def finalize(self) -> BackendStats:
+        """Stop all workers and return aggregate statistics."""
+
+    # -- optional hooks ---------------------------------------------------------
+    def on_run_start(self, n_jobs: int) -> None:
+        """Called by the scheduler before dispatching the first job."""
+
+    def send_stop(self, worker_id: int) -> None:
+        """Tell one worker there is no more work (the empty message of
+        Fig. 4).  Default: no-op; real backends stop their workers in
+        :meth:`finalize`, the simulated backend charges the message cost."""
+
+    def __enter__(self) -> "WorkerBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        try:
+            self.finalize()
+        except ClusterError:
+            pass

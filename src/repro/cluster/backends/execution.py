@@ -1,0 +1,66 @@
+"""Worker-side job execution shared by the real backends.
+
+Both the sequential backend and the multiprocessing workers run the same
+three code paths as the paper's slave script (Fig. 4):
+
+* receive serialized bytes, unpack/unserialize, rebuild the problem
+  (*full load* and *serialized load* strategies);
+* receive a file name and read the problem from the shared file system
+  (*NFS* strategy);
+* receive an in-memory problem object (sequential backend / tests).
+
+After rebuilding the problem the worker calls ``compute()`` and returns the
+result as a plain dictionary, which is what ``MPI_Send_Obj(L(1)(3), 0, ...)``
+ships back in the paper's script.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.cluster.backends.base import PAYLOAD_PATH, PAYLOAD_PROBLEM, PAYLOAD_SERIAL
+from repro.errors import ClusterError
+from repro.pricing.engine import PricingProblem
+from repro.serial import Serial
+from repro.serial import load as load_problem_file
+
+__all__ = ["materialize_problem", "execute_payload"]
+
+
+def materialize_problem(kind: str, payload: Any) -> PricingProblem:
+    """Rebuild a :class:`PricingProblem` from a transmitted payload."""
+    if kind == PAYLOAD_PROBLEM:
+        problem = payload
+    elif kind == PAYLOAD_SERIAL:
+        if isinstance(payload, Serial):
+            problem = payload.unserialize()
+        else:
+            problem = Serial.from_bytes(payload).unserialize()
+    elif kind == PAYLOAD_PATH:
+        problem = load_problem_file(payload)
+    else:
+        raise ClusterError(f"unknown payload kind {kind!r}")
+    if not isinstance(problem, PricingProblem):
+        raise ClusterError(
+            f"payload decoded to {type(problem).__name__}, expected a PricingProblem"
+        )
+    return problem
+
+
+def execute_payload(kind: str, payload: Any) -> tuple[dict[str, Any] | None, float, str | None]:
+    """Rebuild and compute a problem.
+
+    Returns ``(result_dict, compute_seconds, error_message)``; errors are
+    captured rather than raised so a single bad problem does not bring the
+    whole worker down (the master records the error in the run report).
+    """
+    start = time.perf_counter()
+    try:
+        problem = materialize_problem(kind, payload)
+        result = problem.compute()
+        elapsed = time.perf_counter() - start
+        return result.as_dict(), elapsed, None
+    except Exception as exc:  # noqa: BLE001 - worker must survive bad jobs
+        elapsed = time.perf_counter() - start
+        return None, elapsed, f"{type(exc).__name__}: {exc}"

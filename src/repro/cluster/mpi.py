@@ -1,0 +1,273 @@
+"""An MPI-like message-passing facade (the MPINSP toolbox substitute).
+
+The paper exposes MPI-2 primitives at the Nsp scripting level: spawning
+slaves (``MPI_Comm_spawn`` / ``NSP_spawn``), sending and receiving arbitrary
+objects through serialization (``MPI_Send_Obj`` / ``MPI_Recv_Obj``), packing
+(``MPI_Pack`` / ``MPI_Unpack``), and probing for messages from any source
+(``MPI_Probe`` + ``MPI_Get_count``).  The master/worker portfolio pricer of
+Fig. 4/5 is written entirely with those calls.
+
+This module reproduces the same call shapes on top of Python threads inside
+one process: :func:`spawn` starts ``n`` slave threads, each receiving a
+:class:`Communicator` whose rank is 1..n while the caller keeps rank 0, and
+objects sent with :meth:`Communicator.send_obj` are serialized with
+:mod:`repro.serial` exactly as Nsp serializes objects before an
+``MPI_Send_Obj``.  It is *not* a distributed MPI -- the real multi-process
+execution path of the benchmark is
+:class:`repro.cluster.backends.multiproc.MultiprocessingBackend` -- but it
+faithfully reproduces the programming model of the paper's listings, and the
+integration tests run the Fig. 4 script against it.
+
+Example
+-------
+>>> from repro.cluster import mpi
+>>> def slave(comm):
+...     value = comm.recv_obj(source=0, tag=1)
+...     comm.send_obj(value * 2, dest=0, tag=2)
+>>> with mpi.spawn(2, slave) as comm:
+...     comm.send_obj(21, dest=1, tag=1)
+...     comm.send_obj(100, dest=2, tag=1)
+...     sorted([comm.recv_obj(source=-1, tag=2) for _ in range(2)])
+[42, 200]
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import CommunicatorError
+from repro.serial import Serial, serialize
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Status", "Communicator", "spawn", "pack", "unpack"]
+
+#: wildcard source / tag, as in ``MPI_Probe(-1, -1, ...)``
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Status:
+    """Result of a probe: message source, tag and size in bytes."""
+
+    source: int
+    tag: int
+    count: int
+
+
+@dataclass
+class _Message:
+    source: int
+    tag: int
+    payload: Any
+    nbytes: int
+
+
+class _Mailbox:
+    """Per-rank mailbox supporting blocking probe/receive with wildcards."""
+
+    def __init__(self) -> None:
+        self._messages: list[_Message] = []
+        self._condition = threading.Condition()
+        self._closed = False
+
+    def put(self, message: _Message) -> None:
+        with self._condition:
+            if self._closed:
+                raise CommunicatorError("mailbox is closed")
+            self._messages.append(message)
+            self._condition.notify_all()
+
+    def _find(self, source: int, tag: int) -> int | None:
+        for index, message in enumerate(self._messages):
+            if source not in (ANY_SOURCE, message.source):
+                continue
+            if tag not in (ANY_TAG, message.tag):
+                continue
+            return index
+        return None
+
+    def probe(self, source: int, tag: int, timeout: float | None) -> _Message:
+        with self._condition:
+            deadline = None
+            while True:
+                index = self._find(source, tag)
+                if index is not None:
+                    return self._messages[index]
+                if self._closed:
+                    raise CommunicatorError("mailbox closed while probing")
+                if not self._condition.wait(timeout=timeout):
+                    raise CommunicatorError(
+                        f"probe timed out waiting for a message from {source} with tag {tag}"
+                    )
+                del deadline
+
+    def take(self, source: int, tag: int, timeout: float | None) -> _Message:
+        with self._condition:
+            while True:
+                index = self._find(source, tag)
+                if index is not None:
+                    return self._messages.pop(index)
+                if self._closed:
+                    raise CommunicatorError("mailbox closed while receiving")
+                if not self._condition.wait(timeout=timeout):
+                    raise CommunicatorError(
+                        f"receive timed out waiting for a message from {source} with tag {tag}"
+                    )
+
+    def close(self) -> None:
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+
+class _World:
+    """Shared state of a spawned communicator group."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+
+
+class Communicator:
+    """A rank's handle on the communicator group (``MPI_COMM_WORLD`` view)."""
+
+    def __init__(self, world: _World, rank: int, default_timeout: float | None = 120.0):
+        self._world = world
+        self.rank = rank
+        self.default_timeout = default_timeout
+
+    # -- topology ---------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ranks, master included (``MPI_Comm_size``)."""
+        return self._world.size
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(f"invalid rank {rank} (communicator size {self.size})")
+
+    # -- object passing (MPI_Send_Obj / MPI_Recv_Obj) -----------------------------
+    def send_obj(self, obj: Any, dest: int, tag: int = 0) -> int:
+        """Serialize ``obj`` and deliver it to ``dest``.  Returns the number
+        of bytes shipped."""
+        self._check_rank(dest)
+        serial = obj if isinstance(obj, Serial) else serialize(obj)
+        message = _Message(source=self.rank, tag=tag, payload=serial, nbytes=serial.nbytes)
+        self._world.mailboxes[dest].put(message)
+        return serial.nbytes
+
+    def recv_obj(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                 timeout: float | None = None) -> Any:
+        """Receive a serialized object and rebuild it (``MPI_Recv_Obj``)."""
+        message = self._world.mailboxes[self.rank].take(
+            source, tag, timeout if timeout is not None else self.default_timeout
+        )
+        payload = message.payload
+        return payload.unserialize() if isinstance(payload, Serial) else payload
+
+    # -- packed buffers (MPI_Pack / MPI_Send / MPI_Recv / MPI_Unpack) --------------
+    def send(self, packed: bytes | Serial, dest: int, tag: int = 0) -> int:
+        """Send an already packed buffer without re-serializing it."""
+        self._check_rank(dest)
+        nbytes = packed.nbytes if isinstance(packed, Serial) else len(packed)
+        message = _Message(source=self.rank, tag=tag, payload=packed, nbytes=nbytes)
+        self._world.mailboxes[dest].put(message)
+        return nbytes
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             timeout: float | None = None) -> bytes | Serial:
+        """Receive a packed buffer as-is (pair of :meth:`send`)."""
+        message = self._world.mailboxes[self.rank].take(
+            source, tag, timeout if timeout is not None else self.default_timeout
+        )
+        return message.payload
+
+    # -- probing -------------------------------------------------------------------
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              timeout: float | None = None) -> Status:
+        """Block until a matching message is available (``MPI_Probe``)."""
+        message = self._world.mailboxes[self.rank].probe(
+            source, tag, timeout if timeout is not None else self.default_timeout
+        )
+        return Status(source=message.source, tag=message.tag, count=message.nbytes)
+
+    # -- collectives -----------------------------------------------------------------
+    def barrier(self, timeout: float | None = None) -> None:
+        """Synchronise all ranks (``MPI_Barrier``)."""
+        self._world.barrier.wait(timeout if timeout is not None else self.default_timeout)
+
+    def close(self) -> None:
+        self._world.mailboxes[self.rank].close()
+
+
+def pack(obj: Any) -> Serial:
+    """Serialize an object into a transportable buffer (``MPI_Pack``)."""
+    return obj if isinstance(obj, Serial) else serialize(obj)
+
+
+def unpack(buffer: Serial | bytes) -> Any:
+    """Rebuild an object from a packed buffer (``MPI_Unpack``)."""
+    if isinstance(buffer, Serial):
+        return buffer.unserialize()
+    return Serial.from_bytes(buffer).unserialize()
+
+
+class SpawnedGroup:
+    """Handle on a spawned master + slaves group (``NSP_spawn`` result).
+
+    Entering the context returns the *master* communicator (rank 0); exiting
+    joins the slave threads and re-raises the first slave exception, if any.
+    """
+
+    def __init__(self, n_slaves: int, target: Callable[..., Any], args: tuple[Any, ...]):
+        if n_slaves < 1:
+            raise CommunicatorError("need at least one slave")
+        self._world = _World(size=n_slaves + 1)
+        self.master = Communicator(self._world, rank=0)
+        self._errors: list[BaseException] = []
+        self._threads = []
+        for rank in range(1, n_slaves + 1):
+            comm = Communicator(self._world, rank=rank)
+            thread = threading.Thread(
+                target=self._run_slave, args=(target, comm, args), daemon=True,
+                name=f"mpi-slave-{rank}",
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _run_slave(self, target: Callable[..., Any], comm: Communicator, args: tuple[Any, ...]) -> None:
+        try:
+            target(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - reported at join time
+            self._errors.append(exc)
+
+    def join(self, timeout: float | None = 120.0) -> None:
+        """Wait for every slave thread to finish and surface their errors."""
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        alive = [t.name for t in self._threads if t.is_alive()]
+        if alive:
+            raise CommunicatorError(f"slave threads still running: {alive}")
+        if self._errors:
+            raise CommunicatorError(f"slave raised: {self._errors[0]!r}") from self._errors[0]
+
+    def __enter__(self) -> Communicator:
+        return self.master
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        # only wait for slaves when the master body did not itself fail
+        if exc_type is None:
+            self.join()
+
+
+def spawn(n_slaves: int, target: Callable[..., Any], *args: Any) -> SpawnedGroup:
+    """Start ``n_slaves`` slave threads running ``target(comm, *args)``.
+
+    Mirrors the paper's ``NEWORLD = NSP_spawn(n)`` helper: the caller becomes
+    rank 0 of a communicator of size ``n_slaves + 1`` and each slave receives
+    its own :class:`Communicator` with rank 1..n.
+    """
+    return SpawnedGroup(n_slaves, target, args)

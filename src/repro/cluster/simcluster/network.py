@@ -1,0 +1,48 @@
+"""Interconnect model of the simulated cluster.
+
+"All the nodes are interconnected using a Gigabit Ethernet network."  The
+model is the classic latency + size/bandwidth (alpha-beta) point-to-point
+cost; broadcast-style collectives are not needed by the master/worker
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["NetworkModel", "gigabit_ethernet"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta (latency/bandwidth) network cost model.
+
+    Attributes
+    ----------
+    latency:
+        One-way message latency in seconds (includes the MPI software stack).
+    bandwidth:
+        Sustained point-to-point bandwidth in bytes per second.
+    """
+
+    latency: float = 50e-6
+    bandwidth: float = 117e6  # ~1 Gbit/s of useful payload
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise SimulationError("latency must be non-negative")
+        if self.bandwidth <= 0:
+            raise SimulationError("bandwidth must be strictly positive")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` between two nodes."""
+        if nbytes < 0:
+            raise SimulationError("message size must be non-negative")
+        return self.latency + nbytes / self.bandwidth
+
+
+def gigabit_ethernet() -> NetworkModel:
+    """The paper's interconnect: Gigabit Ethernet with MPI over TCP."""
+    return NetworkModel(latency=50e-6, bandwidth=117e6)

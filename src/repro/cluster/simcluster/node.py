@@ -1,0 +1,95 @@
+"""Compute-node model of the simulated cluster.
+
+The paper's test machine is "a 256-PC cluster of SUPELEC.  Each node is a
+dual core processor: INTEL Xeon-3075 2.66 GHz ... The two cores of each node
+share 4GB of RAM ... in our implementation a dual core processor is actually
+seen as two single core processors."  The simulator therefore models a pool
+of single-core *workers*; a worker's only performance attribute is a relative
+speed factor (1.0 = the reference node of the cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["NodeSpec", "ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One single-core worker.
+
+    Attributes
+    ----------
+    speed:
+        Relative speed; a job whose reference cost is ``c`` seconds takes
+        ``c / speed`` seconds on this node.
+    name:
+        Optional label used in reports.
+    """
+
+    speed: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise SimulationError("node speed must be strictly positive")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous or heterogeneous pool of workers.
+
+    ``n_workers`` corresponds to the paper's "number of CPUs" minus one (the
+    master occupies one CPU and only schedules).
+    """
+
+    n_workers: int
+    nodes: tuple[NodeSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise SimulationError("a cluster needs at least one worker")
+        if self.nodes and len(self.nodes) != self.n_workers:
+            raise SimulationError(
+                f"got {len(self.nodes)} node specs for {self.n_workers} workers"
+            )
+
+    @classmethod
+    def homogeneous(cls, n_workers: int, speed: float = 1.0) -> "ClusterSpec":
+        """All workers identical -- the paper's setting."""
+        return cls(
+            n_workers=n_workers,
+            nodes=tuple(NodeSpec(speed=speed, name=f"node{i:03d}") for i in range(n_workers)),
+        )
+
+    @classmethod
+    def heterogeneous(cls, speeds: list[float]) -> "ClusterSpec":
+        """Workers with individual speed factors (used by the scheduler
+        ablation benchmarks to stress the load balancers)."""
+        return cls(
+            n_workers=len(speeds),
+            nodes=tuple(
+                NodeSpec(speed=s, name=f"node{i:03d}") for i, s in enumerate(speeds)
+            ),
+        )
+
+    def speed_of(self, worker_id: int) -> float:
+        if not 0 <= worker_id < self.n_workers:
+            raise SimulationError(f"invalid worker id {worker_id}")
+        if not self.nodes:
+            return 1.0
+        return self.nodes[worker_id].speed
+
+    @classmethod
+    def from_cpu_count(cls, n_cpus: int, speed: float = 1.0) -> "ClusterSpec":
+        """Build a cluster from the paper's "number of CPUs" convention.
+
+        One CPU is the master, the remaining ``n_cpus - 1`` are workers, as
+        in the speedup-ratio definition of Tables I-III.
+        """
+        if n_cpus < 2:
+            raise SimulationError("need at least 2 CPUs (1 master + 1 worker)")
+        return cls.homogeneous(n_cpus - 1, speed=speed)

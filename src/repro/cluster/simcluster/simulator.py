@@ -1,0 +1,306 @@
+"""Discrete-event simulation of the master/worker cluster.
+
+:class:`SimulatedClusterBackend` implements the
+:class:`~repro.cluster.backends.base.WorkerBackend` interface in *virtual*
+time: the scheduler drives it exactly like a real backend (dispatch one job
+to a worker, collect results as they come back), but instead of running the
+pricing code, the backend advances clocks according to
+
+* the master-side preparation cost of the chosen transmission strategy;
+* the network transfer time of the message (master blocks while sending,
+  which is what makes the master the bottleneck for cheap jobs);
+* the worker-side preparation cost (including NFS reads for the NFS
+  strategy);
+* the job's compute cost divided by the worker's speed factor;
+* the return trip of the small result message.
+
+The master is modelled as a single resource (it prepares and sends one
+message at a time); workers are independent resources.  This is enough to
+reproduce the three regimes of the paper's tables: near-linear speedup when
+jobs are expensive (Table III), master-bound flattening when jobs are cheap
+(Table II), and plateauing at the longest single job when the portfolio is
+small compared to the worker count (Table I).
+
+Set ``execute=True`` to also run the pricing code for real while keeping the
+virtual-time accounting -- useful for end-to-end tests on small portfolios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.backends.base import (
+    BackendStats,
+    CompletedJob,
+    Job,
+    PreparedMessage,
+    WorkerBackend,
+)
+from repro.cluster.backends.execution import execute_payload
+from repro.cluster.simcluster.comm import CommunicationModel
+from repro.cluster.simcluster.events import EventQueue
+from repro.cluster.simcluster.node import ClusterSpec
+from repro.errors import ClusterError, SimulationError
+
+__all__ = ["SimulatedClusterBackend", "SimulationTrace"]
+
+
+@dataclass
+class SimulationTrace:
+    """Per-job timing record kept by the simulator (for tests and reports)."""
+
+    job_id: int
+    worker_id: int
+    dispatched_at: float
+    worker_start: float
+    worker_done: float
+    collected_at: float
+    compute_time: float
+    category: str = "generic"
+
+
+@dataclass
+class _InFlight:
+    job: Job
+    worker_id: int
+    dispatched_at: float
+    worker_start: float
+    worker_done: float
+    compute_time: float
+    result: dict[str, Any] | None = None
+    error: str | None = None
+
+
+class SimulatedClusterBackend(WorkerBackend):
+    """Virtual-time master/worker backend.
+
+    Parameters
+    ----------
+    cluster:
+        Worker pool specification (:class:`ClusterSpec`).
+    strategy:
+        Transmission strategy name (``"full_load"``, ``"nfs"`` or
+        ``"serialized_load"``); determines the per-job communication costs.
+    comm:
+        Communication cost model; the default reproduces the paper's
+        Gigabit-Ethernet + NFS cluster.  Reuse one instance across a CPU-count
+        sweep to let the NFS cache persist between runs (the paper's Table II
+        artefact); pass a fresh instance for independent runs.
+    execute:
+        When ``True`` the backend also runs the pricing code (needs jobs with
+        an in-memory problem or a real file).  Virtual time is still advanced
+        from the cost model, not from the measured time, so simulated results
+        stay machine-independent.
+    """
+
+    requires_payload = False
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        strategy: str = "serialized_load",
+        comm: CommunicationModel | None = None,
+        execute: bool = False,
+    ):
+        self.cluster = cluster
+        self.strategy = strategy
+        self.comm = comm if comm is not None else CommunicationModel()
+        self.comm._check_strategy(strategy)
+        self.execute = bool(execute)
+
+        self._master_time = 0.0
+        self._master_busy = 0.0
+        self._worker_free = [0.0] * cluster.n_workers
+        self._worker_busy = [0.0] * cluster.n_workers
+        self._events = EventQueue()
+        self._in_flight = 0
+        self._n_jobs = 0
+        self._bytes_sent = 0
+        self._traces: list[SimulationTrace] = []
+        self._finalized = False
+
+    # -- WorkerBackend interface ---------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return self.cluster.n_workers
+
+    @property
+    def virtual_time(self) -> float:
+        """Current master virtual clock (seconds)."""
+        return self._master_time
+
+    def dispatch(self, worker_id: int, job: Job, message: PreparedMessage | None = None) -> None:
+        if self._finalized:
+            raise ClusterError("backend already finalized")
+        if not 0 <= worker_id < self.n_workers:
+            raise ClusterError(f"invalid worker id {worker_id}")
+
+        prep = self.comm.master_prep_time(self.strategy, job)
+        send = self.comm.send_time(self.strategy, job)
+        nbytes = self.comm.message_nbytes(self.strategy, job)
+        dispatched_at = self._master_time
+        self._master_time += prep + send
+        self._master_busy += prep + send
+        self._bytes_sent += nbytes
+
+        arrival = self._master_time
+        start = max(arrival, self._worker_free[worker_id])
+        worker_prep = self.comm.worker_prep_time(self.strategy, job)
+        speed = self.cluster.speed_of(worker_id)
+        compute = job.compute_cost / speed
+        done = start + worker_prep + compute
+        self._worker_free[worker_id] = done
+        self._worker_busy[worker_id] += worker_prep + compute
+
+        result: dict[str, Any] | None = None
+        error: str | None = None
+        if self.execute:
+            result, _elapsed, error = self._execute_job(job, message)
+
+        record = _InFlight(
+            job=job,
+            worker_id=worker_id,
+            dispatched_at=dispatched_at,
+            worker_start=start,
+            worker_done=done,
+            compute_time=compute,
+            result=result,
+            error=error,
+        )
+        self._events.push(done + self.comm.result_return_time(), "result", record)
+        self._in_flight += 1
+        self._n_jobs += 1
+
+    def dispatch_batch(
+        self,
+        worker_id: int,
+        jobs: list[Job],
+        messages: list[PreparedMessage] | None = None,
+    ) -> None:
+        """Dispatch several jobs in a single message (chunked scheduling).
+
+        The master still pays the per-job preparation cost, but only one
+        network latency is charged for the whole chunk -- "it is always
+        advisable to send a single large message rather [than] several
+        smaller messages".
+        """
+        if self._finalized:
+            raise ClusterError("backend already finalized")
+        if not 0 <= worker_id < self.n_workers:
+            raise ClusterError(f"invalid worker id {worker_id}")
+        if not jobs:
+            return
+
+        prep = sum(self.comm.master_prep_time(self.strategy, job) for job in jobs)
+        nbytes = sum(self.comm.message_nbytes(self.strategy, job) for job in jobs)
+        send = self.comm.network.transfer_time(nbytes)
+        self._master_time += prep + send
+        self._master_busy += prep + send
+        self._bytes_sent += nbytes
+        arrival = self._master_time
+
+        start = max(arrival, self._worker_free[worker_id])
+        speed = self.cluster.speed_of(worker_id)
+        for index, job in enumerate(jobs):
+            message = messages[index] if messages else None
+            worker_prep = self.comm.worker_prep_time(self.strategy, job)
+            compute = job.compute_cost / speed
+            done = start + worker_prep + compute
+            self._worker_busy[worker_id] += worker_prep + compute
+            result: dict[str, Any] | None = None
+            error: str | None = None
+            if self.execute:
+                result, _elapsed, error = self._execute_job(job, message)
+            record = _InFlight(
+                job=job,
+                worker_id=worker_id,
+                dispatched_at=arrival,
+                worker_start=start,
+                worker_done=done,
+                compute_time=compute,
+                result=result,
+                error=error,
+            )
+            self._events.push(done + self.comm.result_return_time(), "result", record)
+            self._in_flight += 1
+            self._n_jobs += 1
+            start = done
+        self._worker_free[worker_id] = start
+
+    def collect(self) -> CompletedJob:
+        if self._in_flight == 0:
+            raise ClusterError("no job in flight")
+        event = self._events.pop()
+        record: _InFlight = event.payload
+        self._master_time = max(self._master_time, event.time)
+        self._master_time += self.comm.master_receive_overhead
+        self._master_busy += self.comm.master_receive_overhead
+        self._in_flight -= 1
+        self._traces.append(
+            SimulationTrace(
+                job_id=record.job.job_id,
+                worker_id=record.worker_id,
+                dispatched_at=record.dispatched_at,
+                worker_start=record.worker_start,
+                worker_done=record.worker_done,
+                collected_at=self._master_time,
+                compute_time=record.compute_time,
+                category=record.job.category,
+            )
+        )
+        return CompletedJob(
+            job_id=record.job.job_id,
+            worker_id=record.worker_id,
+            result=record.result,
+            compute_time=record.compute_time,
+            collected_at=self._master_time,
+            error=record.error,
+        )
+
+    def send_stop(self, worker_id: int) -> None:
+        """Model the final empty message telling a worker to stop (Fig. 4)."""
+        if not 0 <= worker_id < self.n_workers:
+            raise ClusterError(f"invalid worker id {worker_id}")
+        cost = self.comm.stop_time()
+        self._master_time += cost
+        self._master_busy += cost
+
+    def finalize(self) -> BackendStats:
+        if self._in_flight:
+            raise ClusterError(
+                f"cannot finalize with {self._in_flight} job(s) still in flight"
+            )
+        self._finalized = True
+        total = self._master_time
+        return BackendStats(
+            total_time=total,
+            n_jobs=self._n_jobs,
+            n_workers=self.n_workers,
+            worker_busy={i: busy for i, busy in enumerate(self._worker_busy)},
+            master_busy=self._master_busy,
+            bytes_sent=self._bytes_sent,
+            extra={
+                "strategy": self.strategy,
+                "nfs_cached_paths": self.comm.nfs.cached_count,
+            },
+        )
+
+    # -- helpers -----------------------------------------------------------------
+    @property
+    def traces(self) -> list[SimulationTrace]:
+        """Per-job timing records (dispatch/start/done/collect)."""
+        return list(self._traces)
+
+    def _execute_job(
+        self, job: Job, message: PreparedMessage | None
+    ) -> tuple[dict[str, Any] | None, float, str | None]:
+        if message is not None and message.payload is not None:
+            return execute_payload(message.kind, message.payload)
+        if job.problem is not None:
+            return execute_payload("problem", job.problem)
+        if job.path:
+            return execute_payload("path", job.path)
+        raise SimulationError(
+            f"execute=True but job {job.job_id} has neither a problem nor a file"
+        )

@@ -1,0 +1,115 @@
+"""``repro.core`` -- the risk-management benchmark (the paper's contribution).
+
+Layers on top of :mod:`repro.pricing`, :mod:`repro.serial` and
+:mod:`repro.cluster`:
+
+* portfolios and the three benchmark workloads (:mod:`repro.core.portfolio`);
+* the three problem-transmission strategies (:mod:`repro.core.strategies`);
+* the Robin-Hood scheduler and its extensions (:mod:`repro.core.scheduler`);
+* the runner and CPU-count sweeps (:mod:`repro.core.runner`);
+* speedup tables in the paper's format (:mod:`repro.core.speedup`);
+* the non-regression workload (:mod:`repro.core.regression`);
+* portfolio risk measures (:mod:`repro.core.risk`).
+"""
+
+from repro.core.paper_reference import (
+    PAPER_TABLE_I,
+    PAPER_TABLE_II,
+    PAPER_TABLE_III,
+    compare_with_paper,
+    paper_speedup_table,
+)
+from repro.core.portfolio import (
+    PORTFOLIO_BUILDERS,
+    Portfolio,
+    Position,
+    build_realistic_portfolio,
+    build_regression_portfolio,
+    build_toy_portfolio,
+)
+from repro.core.regression import RegressionSuite, generate_regression_problems
+from repro.core.risk import (
+    PortfolioRiskReport,
+    historical_var,
+    portfolio_greeks,
+    portfolio_value,
+    scenario_jobs,
+    sensitivity_sweep,
+)
+from repro.core.runner import (
+    RunReport,
+    compare_strategies,
+    run_jobs,
+    run_portfolio,
+    sweep_cpu_counts,
+)
+from repro.core.scheduler import (
+    SCHEDULERS,
+    ChunkedRobinHoodScheduler,
+    RobinHoodScheduler,
+    ScheduleOutcome,
+    Scheduler,
+    StaticBlockScheduler,
+    simulate_hierarchical,
+)
+from repro.core.speedup import SpeedupRow, SpeedupTable, format_comparison_table, speedup_ratio
+from repro.core.strategies import (
+    STRATEGIES,
+    FullLoadStrategy,
+    InMemoryStrategy,
+    NFSStrategy,
+    SerializedLoadStrategy,
+    TransmissionStrategy,
+    get_strategy,
+)
+
+__all__ = [
+    # portfolio
+    "Portfolio",
+    "Position",
+    "build_toy_portfolio",
+    "build_realistic_portfolio",
+    "build_regression_portfolio",
+    "PORTFOLIO_BUILDERS",
+    # strategies
+    "TransmissionStrategy",
+    "FullLoadStrategy",
+    "SerializedLoadStrategy",
+    "NFSStrategy",
+    "InMemoryStrategy",
+    "get_strategy",
+    "STRATEGIES",
+    # schedulers
+    "Scheduler",
+    "RobinHoodScheduler",
+    "StaticBlockScheduler",
+    "ChunkedRobinHoodScheduler",
+    "simulate_hierarchical",
+    "ScheduleOutcome",
+    "SCHEDULERS",
+    # runner / speedup
+    "RunReport",
+    "run_jobs",
+    "run_portfolio",
+    "sweep_cpu_counts",
+    "compare_strategies",
+    "SpeedupTable",
+    "SpeedupRow",
+    "speedup_ratio",
+    "format_comparison_table",
+    # regression / risk
+    "RegressionSuite",
+    "generate_regression_problems",
+    "portfolio_value",
+    "portfolio_greeks",
+    "sensitivity_sweep",
+    "scenario_jobs",
+    "historical_var",
+    "PortfolioRiskReport",
+    # published reference data
+    "PAPER_TABLE_I",
+    "PAPER_TABLE_II",
+    "PAPER_TABLE_III",
+    "paper_speedup_table",
+    "compare_with_paper",
+]

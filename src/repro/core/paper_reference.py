@@ -1,0 +1,151 @@
+"""The published tables of the paper, as data.
+
+Having the published numbers available programmatically lets users (and the
+benchmark harness) compare a regenerated
+:class:`~repro.core.speedup.SpeedupTable` against the original measurements
+row by row, and quantify how well a given cost/communication model reproduces
+the published shape.
+
+The numbers are transcribed verbatim from the paper:
+
+* Table I   -- speedup of the Premia non-regression tests;
+* Table II  -- 10,000-option toy portfolio, three transmission strategies;
+* Table III -- 7,931-claim realistic portfolio, three transmission strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.speedup import SpeedupTable
+from repro.errors import PortfolioError
+
+__all__ = [
+    "PAPER_TABLE_I",
+    "PAPER_TABLE_II",
+    "PAPER_TABLE_III",
+    "paper_speedup_table",
+    "ShapeComparison",
+    "compare_with_paper",
+]
+
+#: Table I -- ``{n_cpus: time_seconds}`` (serialized-load / sload strategy)
+PAPER_TABLE_I: dict[int, float] = {
+    2: 838.004, 4: 285.356, 6: 172.146, 8: 124.78, 10: 97.1792, 16: 67.9677,
+    32: 45.6611, 64: 34.2828, 96: 31.4682, 128: 30.5574, 160: 16.1006,
+    192: 30.7013, 224: 30.5024, 256: 31.3172,
+}
+
+#: Table II -- ``{strategy: {n_cpus: time_seconds}}``
+PAPER_TABLE_II: dict[str, dict[int, float]] = {
+    "full_load": {
+        2: 8.85665, 4: 3.55046, 8: 3.86341, 10: 4.06038, 12: 3.9264, 14: 3.9624,
+        16: 4.05038, 18: 3.9524, 20: 4.13337, 24: 3.77643, 28: 3.9504, 32: 4.35934,
+        36: 4.05938, 40: 4.06538, 45: 4.12437, 50: 4.19136,
+    },
+    "nfs": {
+        2: 16.3965, 4: 4.91225, 8: 2.52961, 10: 2.08968, 12: 1.77673, 14: 1.57676,
+        16: 1.40579, 18: 1.27181, 20: 1.17682, 24: 1.02784, 28: 0.928859, 32: 0.848871,
+        36: 0.786881, 40: 0.832873, 45: 0.768884, 50: 0.738887,
+    },
+    "serialized_load": {
+        2: 7.17891, 4: 1.73774, 8: 1.81472, 10: 1.87771, 12: 1.88571, 14: 1.81372,
+        16: 1.9367, 18: 1.9497, 20: 1.87272, 24: 1.84772, 28: 1.77273, 32: 1.83072,
+        36: 1.75773, 40: 1.81572, 45: 1.78273, 50: 1.70474,
+    },
+}
+
+#: Table III -- ``{strategy: {n_cpus: time_seconds}}`` (320/384/512 rows exist
+#: only for the full-load and serialized-load columns in the paper)
+PAPER_TABLE_III: dict[str, dict[int, float]] = {
+    "full_load": {
+        2: 5770.16, 4: 1980.35, 6: 1154.05, 8: 823.056, 10: 641.166, 16: 389.295,
+        32: 187.441, 64: 93.2008, 96: 61.5176, 128: 46.7399, 160: 38.4812,
+        192: 31.5312, 224: 27.2929, 256: 24.4743, 320: 26.1740, 384: 20.0550,
+        512: 19.7960,
+    },
+    "nfs": {
+        2: 5799.66, 4: 1939.46, 6: 1161.25, 8: 828.07, 10: 645.544, 16: 389.097,
+        32: 193.937, 64: 100.384, 96: 69.7884, 128: 54.8667, 160: 41.9726,
+        192: 35.7536, 224: 31.3362, 256: 28.2047,
+    },
+    "serialized_load": {
+        2: 5776.33, 4: 1925.29, 6: 1157.22, 8: 840.403, 10: 641.096, 16: 386.745,
+        32: 189.354, 64: 94.7316, 96: 63.1974, 128: 47.6968, 160: 41.1997,
+        192: 33.5979, 224: 31.5822, 256: 27.8228, 320: 26.7879, 384: 22.5696,
+        512: 20.1779,
+    },
+}
+
+
+def paper_speedup_table(table: str, strategy: str = "serialized_load") -> SpeedupTable:
+    """Return one published column as a :class:`SpeedupTable`.
+
+    Parameters
+    ----------
+    table:
+        ``"I"``, ``"II"`` or ``"III"`` (also accepts ``"1"``, ``"2"``, ``"3"``).
+    strategy:
+        Transmission strategy column, for Tables II and III.
+    """
+    normalized = table.strip().upper()
+    if normalized in ("I", "1", "TABLE1", "TABLE I"):
+        return SpeedupTable.from_times("paper Table I", PAPER_TABLE_I)
+    if normalized in ("II", "2", "TABLE2", "TABLE II"):
+        source = PAPER_TABLE_II
+        label = f"paper Table II ({strategy})"
+    elif normalized in ("III", "3", "TABLE3", "TABLE III"):
+        source = PAPER_TABLE_III
+        label = f"paper Table III ({strategy})"
+    else:
+        raise PortfolioError(f"unknown table {table!r}; expected I, II or III")
+    if strategy not in source:
+        raise PortfolioError(
+            f"unknown strategy {strategy!r}; expected one of {sorted(source)}"
+        )
+    return SpeedupTable.from_times(label, source[strategy])
+
+
+@dataclass
+class ShapeComparison:
+    """Row-by-row comparison of a measured table against a published one."""
+
+    n_common_rows: int
+    max_time_ratio: float
+    mean_time_ratio: float
+    max_ratio_difference: float
+    mean_ratio_difference: float
+
+    @property
+    def within_factor_two(self) -> bool:
+        """Whether every common row's time is within a factor 2 of the paper."""
+        return self.max_time_ratio <= 2.0 and self.max_time_ratio >= 0.0
+
+
+def compare_with_paper(measured: SpeedupTable, reference: SpeedupTable) -> ShapeComparison:
+    """Compare a measured sweep against a published column.
+
+    Only CPU counts present in both tables are compared.  ``time_ratio`` is
+    ``max(measured, paper) / min(measured, paper)`` (so 1.0 is a perfect
+    match); ``ratio_difference`` is the absolute difference of the speedup
+    ratios.
+    """
+    common = sorted(set(measured.cpu_counts()) & set(reference.cpu_counts()))
+    if not common:
+        raise PortfolioError("the two tables have no CPU count in common")
+    time_ratios = []
+    ratio_diffs = []
+    for n_cpus in common:
+        measured_row = measured.row_for(n_cpus)
+        reference_row = reference.row_for(n_cpus)
+        hi = max(measured_row.time, reference_row.time)
+        lo = min(measured_row.time, reference_row.time)
+        time_ratios.append(hi / lo if lo > 0 else float("inf"))
+        ratio_diffs.append(abs(measured_row.ratio - reference_row.ratio))
+    return ShapeComparison(
+        n_common_rows=len(common),
+        max_time_ratio=max(time_ratios),
+        mean_time_ratio=sum(time_ratios) / len(time_ratios),
+        max_ratio_difference=max(ratio_diffs),
+        mean_ratio_difference=sum(ratio_diffs) / len(ratio_diffs),
+    )

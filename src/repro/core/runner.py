@@ -1,0 +1,208 @@
+"""Run portfolios against a backend and sweep cluster sizes.
+
+This is the top layer of the benchmark: given a portfolio (or a prepared job
+list), a transmission strategy, a scheduler and a backend, :func:`run_jobs`
+produces a :class:`RunReport`; :func:`sweep_cpu_counts` repeats the run over
+a list of cluster sizes on the simulated cluster and returns the
+:class:`~repro.core.speedup.SpeedupTable` that reproduces one column of the
+paper's tables, and :func:`compare_strategies` runs the sweep for the three
+transmission strategies to reproduce a full table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.cluster.backends.base import Job, WorkerBackend
+from repro.cluster.costmodel import CostModel, paper_cost_model
+from repro.cluster.simcluster.comm import STRATEGY_NAMES, CommunicationModel
+from repro.cluster.simcluster.node import ClusterSpec
+from repro.cluster.simcluster.simulator import SimulatedClusterBackend
+from repro.core.portfolio import Portfolio
+from repro.core.scheduler import RobinHoodScheduler, Scheduler, ScheduleOutcome
+from repro.core.speedup import SpeedupTable
+from repro.core.strategies import TransmissionStrategy, get_strategy
+from repro.errors import SchedulingError
+
+__all__ = ["RunReport", "run_jobs", "run_portfolio", "sweep_cpu_counts", "compare_strategies"]
+
+
+@dataclass
+class RunReport:
+    """Outcome of valuing one portfolio on one cluster configuration."""
+
+    n_jobs: int
+    n_workers: int
+    strategy: str
+    scheduler: str
+    total_time: float
+    master_busy: float
+    worker_busy: dict[int, float]
+    bytes_sent: int
+    results: dict[int, dict[str, Any] | None] = field(default_factory=dict)
+    errors: dict[int, str] = field(default_factory=dict)
+    category_times: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_cpus(self) -> int:
+        """The paper's "number of CPUs" = workers + the master."""
+        return self.n_workers + 1
+
+    @property
+    def mean_worker_utilisation(self) -> float:
+        """Average fraction of the makespan the workers spent busy."""
+        if not self.worker_busy or self.total_time <= 0:
+            return 0.0
+        busy = sum(self.worker_busy.values()) / len(self.worker_busy)
+        return busy / self.total_time
+
+    def prices(self) -> dict[int, float]:
+        """Job id -> price, for runs that actually executed the problems."""
+        return {
+            job_id: result["price"]
+            for job_id, result in self.results.items()
+            if result is not None and "price" in result
+        }
+
+    @classmethod
+    def from_outcome(
+        cls,
+        outcome: ScheduleOutcome,
+        jobs: Sequence[Job],
+        strategy_name: str,
+    ) -> "RunReport":
+        category_by_id = {job.job_id: job.category for job in jobs}
+        category_times: dict[str, float] = {}
+        results: dict[int, dict[str, Any] | None] = {}
+        errors: dict[int, str] = {}
+        for completed in outcome.completed:
+            category = category_by_id.get(completed.job_id, "generic")
+            category_times[category] = category_times.get(category, 0.0) + completed.compute_time
+            results[completed.job_id] = completed.result
+            if completed.error is not None:
+                errors[completed.job_id] = completed.error
+        return cls(
+            n_jobs=len(jobs),
+            n_workers=outcome.stats.n_workers,
+            strategy=strategy_name,
+            scheduler=outcome.scheduler_name,
+            total_time=outcome.stats.total_time,
+            master_busy=outcome.stats.master_busy,
+            worker_busy=dict(outcome.stats.worker_busy),
+            bytes_sent=outcome.stats.bytes_sent,
+            results=results,
+            errors=errors,
+            category_times=category_times,
+            extra=dict(outcome.stats.extra),
+        )
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    backend: WorkerBackend,
+    strategy: TransmissionStrategy | str = "serialized_load",
+    scheduler: Scheduler | None = None,
+) -> RunReport:
+    """Value a prepared job list on a backend and return the report."""
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy)
+    scheduler = scheduler or RobinHoodScheduler()
+    outcome = scheduler.run(jobs, backend, strategy)
+    if len(outcome.completed) != len(jobs):
+        raise SchedulingError(
+            f"scheduler returned {len(outcome.completed)} results for {len(jobs)} jobs"
+        )
+    return RunReport.from_outcome(outcome, jobs, strategy.name)
+
+
+def run_portfolio(
+    portfolio: Portfolio,
+    backend: WorkerBackend,
+    strategy: TransmissionStrategy | str = "serialized_load",
+    scheduler: Scheduler | None = None,
+    cost_model: CostModel | None = None,
+    store=None,
+    attach_problems: bool | None = None,
+) -> RunReport:
+    """Value a :class:`Portfolio` on a backend.
+
+    ``attach_problems`` defaults to ``True`` for executing backends without a
+    problem store (so workers can rebuild the problems from memory) and
+    ``False`` otherwise.
+    """
+    if attach_problems is None:
+        attach_problems = getattr(backend, "requires_payload", True) and store is None
+    jobs = portfolio.build_jobs(
+        cost_model=cost_model, store=store, attach_problems=attach_problems
+    )
+    return run_jobs(jobs, backend, strategy=strategy, scheduler=scheduler)
+
+
+def sweep_cpu_counts(
+    jobs: Sequence[Job],
+    cpu_counts: Sequence[int],
+    strategy: str = "serialized_load",
+    scheduler_factory: Callable[[], Scheduler] | None = None,
+    comm: CommunicationModel | None = None,
+    share_nfs_cache: bool = True,
+    label: str | None = None,
+) -> SpeedupTable:
+    """Simulate the same workload over several cluster sizes.
+
+    Reproduces one column of the paper's tables: for each ``n_cpus`` a fresh
+    :class:`SimulatedClusterBackend` with ``n_cpus - 1`` workers is driven by
+    the scheduler, and the virtual makespans are collected into a
+    :class:`SpeedupTable`.
+
+    ``share_nfs_cache=True`` reuses the same :class:`CommunicationModel`
+    (hence the same NFS server cache) across the sweep, as happened on the
+    paper's physical cluster where successive experiments re-read the same
+    portfolio files; pass ``False`` to model independent cold runs.
+    """
+    if not cpu_counts:
+        raise SchedulingError("cpu_counts must not be empty")
+    base_comm = comm if comm is not None else CommunicationModel()
+    times: dict[int, float] = {}
+    for n_cpus in cpu_counts:
+        run_comm = base_comm if share_nfs_cache else CommunicationModel(
+            network=base_comm.network
+        )
+        backend = SimulatedClusterBackend(
+            ClusterSpec.from_cpu_count(n_cpus), strategy=strategy, comm=run_comm
+        )
+        scheduler = scheduler_factory() if scheduler_factory else RobinHoodScheduler()
+        report = run_jobs(jobs, backend, strategy=strategy, scheduler=scheduler)
+        times[n_cpus] = report.total_time
+    return SpeedupTable.from_times(label or strategy, times)
+
+
+def compare_strategies(
+    jobs: Sequence[Job],
+    cpu_counts: Sequence[int],
+    strategies: Sequence[str] = STRATEGY_NAMES,
+    scheduler_factory: Callable[[], Scheduler] | None = None,
+    comm_factory: Callable[[], CommunicationModel] | None = None,
+    share_nfs_cache: bool = True,
+) -> dict[str, SpeedupTable]:
+    """Run the CPU-count sweep for several transmission strategies.
+
+    This reproduces the full layout of Tables II and III (one Time and one
+    Speedup-ratio column per strategy).  Each strategy gets its own
+    communication model (hence its own NFS cache history), mirroring the
+    paper where the three columns come from separate experiment campaigns.
+    """
+    tables: dict[str, SpeedupTable] = {}
+    for strategy in strategies:
+        comm = comm_factory() if comm_factory else CommunicationModel()
+        tables[strategy] = sweep_cpu_counts(
+            jobs,
+            cpu_counts,
+            strategy=strategy,
+            scheduler_factory=scheduler_factory,
+            comm=comm,
+            share_nfs_cache=share_nfs_cache,
+            label=strategy,
+        )
+    return tables

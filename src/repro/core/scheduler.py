@@ -1,0 +1,335 @@
+"""Load-balancing schedulers for the portfolio valuation benchmark.
+
+The paper uses "a simplified 'Robbin Hood' strategy ... First, the master
+sends one job to each slave and as soon as a slave finishes its computation
+and sends its answer back, it is assigned a new job.  This mechanism goes on
+until the whole portfolio has been treated" (Fig. 4).  Its conclusion sketches
+two refinements: "gather several pricing problems and send them all together
+to reduce the communication latency" and "divide the nodes into sub-groups,
+each group having its own master".
+
+This module implements:
+
+* :class:`RobinHoodScheduler` -- the paper's dynamic master/worker loop;
+* :class:`StaticBlockScheduler` -- a static pre-partitioning baseline (what
+  the dynamic strategy is implicitly compared against);
+* :class:`ChunkedRobinHoodScheduler` -- Robin Hood with job batching (the
+  first refinement);
+* :func:`simulate_hierarchical` -- the sub-master organisation (the second
+  refinement), evaluated on the simulated cluster.
+
+All schedulers drive a :class:`~repro.cluster.backends.base.WorkerBackend`
+through the same dispatch/collect interface, so the same code path runs on
+the sequential backend, on real ``multiprocessing`` workers and on the
+simulated cluster.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.cluster.backends.base import BackendStats, CompletedJob, Job, WorkerBackend
+from repro.cluster.simcluster.comm import CommunicationModel
+from repro.cluster.simcluster.node import ClusterSpec
+from repro.cluster.simcluster.simulator import SimulatedClusterBackend
+from repro.core.strategies import TransmissionStrategy
+from repro.errors import SchedulingError
+
+__all__ = [
+    "ScheduleOutcome",
+    "Scheduler",
+    "RobinHoodScheduler",
+    "StaticBlockScheduler",
+    "ChunkedRobinHoodScheduler",
+    "simulate_hierarchical",
+    "SCHEDULERS",
+]
+
+
+@dataclass
+class ScheduleOutcome:
+    """Everything the scheduler hands back to the runner."""
+
+    completed: list[CompletedJob]
+    stats: BackendStats
+    scheduler_name: str
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return self.stats.total_time
+
+    @property
+    def errors(self) -> list[CompletedJob]:
+        return [job for job in self.completed if job.error is not None]
+
+
+def _prepare(backend: WorkerBackend, strategy: TransmissionStrategy, job: Job):
+    """Prepare the real payload only for backends that execute it."""
+    if getattr(backend, "requires_payload", True):
+        return strategy.prepare(job)
+    return None
+
+
+def _check_jobs(jobs: Sequence[Job]) -> None:
+    if not jobs:
+        raise SchedulingError("cannot schedule an empty job list")
+    seen: set[int] = set()
+    for job in jobs:
+        if job.job_id in seen:
+            raise SchedulingError(f"duplicate job id {job.job_id}")
+        seen.add(job.job_id)
+
+
+class Scheduler(abc.ABC):
+    """Common interface of the load balancers."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        jobs: Sequence[Job],
+        backend: WorkerBackend,
+        strategy: TransmissionStrategy,
+    ) -> ScheduleOutcome:
+        """Dispatch every job, collect every result, finalize the backend."""
+
+
+class RobinHoodScheduler(Scheduler):
+    """The paper's dynamic master/worker loop (Fig. 4)."""
+
+    name = "robin_hood"
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        backend: WorkerBackend,
+        strategy: TransmissionStrategy,
+    ) -> ScheduleOutcome:
+        _check_jobs(jobs)
+        backend.on_run_start(len(jobs))
+        completed: list[CompletedJob] = []
+        queue = list(jobs)
+        n_initial = min(backend.n_workers, len(queue))
+
+        # first, one job per slave
+        for worker_id in range(n_initial):
+            job = queue.pop(0)
+            backend.dispatch(worker_id, job, _prepare(backend, strategy, job))
+        in_flight = n_initial
+
+        # then feed each slave as soon as it answers
+        while queue:
+            done = backend.collect()
+            completed.append(done)
+            job = queue.pop(0)
+            backend.dispatch(done.worker_id, job, _prepare(backend, strategy, job))
+
+        # drain the remaining in-flight jobs
+        for _ in range(in_flight):
+            completed.append(backend.collect())
+
+        # tell every slave to stop working (the empty message of Fig. 4)
+        for worker_id in range(backend.n_workers):
+            backend.send_stop(worker_id)
+
+        stats = backend.finalize()
+        return ScheduleOutcome(completed=completed, stats=stats, scheduler_name=self.name)
+
+
+class StaticBlockScheduler(Scheduler):
+    """Pre-partition the portfolio into contiguous blocks, one per worker.
+
+    No dynamic balancing: a worker that drew the expensive block becomes the
+    critical path.  Used as the baseline of the scheduler ablation benchmark.
+    """
+
+    name = "static_block"
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        backend: WorkerBackend,
+        strategy: TransmissionStrategy,
+    ) -> ScheduleOutcome:
+        _check_jobs(jobs)
+        backend.on_run_start(len(jobs))
+        n_workers = backend.n_workers
+        completed: list[CompletedJob] = []
+
+        # contiguous blocks, as a naive static partitioning would do
+        for index, job in enumerate(jobs):
+            worker_id = min(index * n_workers // len(jobs), n_workers - 1)
+            backend.dispatch(worker_id, job, _prepare(backend, strategy, job))
+        for _ in range(len(jobs)):
+            completed.append(backend.collect())
+        for worker_id in range(n_workers):
+            backend.send_stop(worker_id)
+        stats = backend.finalize()
+        return ScheduleOutcome(completed=completed, stats=stats, scheduler_name=self.name)
+
+
+class ChunkedRobinHoodScheduler(Scheduler):
+    """Robin Hood dispatching ``chunk_size`` jobs per message.
+
+    "The first idea is to gather several pricing problems and send them all
+    together to reduce the communication latency: it is always advisable to
+    send a single large message rather [than] several smaller messages."
+    Dispatching still goes through the per-job backend interface, but on
+    backends that expose ``dispatch_batch`` (the simulated cluster) a single
+    message latency is charged per chunk instead of per job.
+    """
+
+    name = "chunked_robin_hood"
+
+    def __init__(self, chunk_size: int = 8):
+        if chunk_size < 1:
+            raise SchedulingError("chunk_size must be >= 1")
+        self.chunk_size = int(chunk_size)
+
+    def _dispatch_chunk(
+        self,
+        backend: WorkerBackend,
+        strategy: TransmissionStrategy,
+        worker_id: int,
+        chunk: list[Job],
+    ) -> None:
+        batch = getattr(backend, "dispatch_batch", None)
+        if batch is not None:
+            batch(worker_id, chunk, [
+                _prepare(backend, strategy, job) for job in chunk
+            ] if getattr(backend, "requires_payload", True) else None)
+        else:
+            for job in chunk:
+                backend.dispatch(worker_id, job, _prepare(backend, strategy, job))
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        backend: WorkerBackend,
+        strategy: TransmissionStrategy,
+    ) -> ScheduleOutcome:
+        _check_jobs(jobs)
+        backend.on_run_start(len(jobs))
+        completed: list[CompletedJob] = []
+        chunks = [
+            list(jobs[i : i + self.chunk_size]) for i in range(0, len(jobs), self.chunk_size)
+        ]
+        queue = list(chunks)
+        n_initial = min(backend.n_workers, len(queue))
+        outstanding: dict[int, int] = {}
+
+        for worker_id in range(n_initial):
+            chunk = queue.pop(0)
+            self._dispatch_chunk(backend, strategy, worker_id, chunk)
+            outstanding[worker_id] = outstanding.get(worker_id, 0) + len(chunk)
+
+        remaining = sum(outstanding.values()) + sum(len(c) for c in queue)
+        while remaining:
+            done = backend.collect()
+            completed.append(done)
+            remaining -= 1
+            outstanding[done.worker_id] -= 1
+            # hand the worker a new chunk once it drained its previous one
+            if outstanding[done.worker_id] == 0 and queue:
+                chunk = queue.pop(0)
+                self._dispatch_chunk(backend, strategy, done.worker_id, chunk)
+                outstanding[done.worker_id] += len(chunk)
+
+        for worker_id in range(backend.n_workers):
+            backend.send_stop(worker_id)
+        stats = backend.finalize()
+        return ScheduleOutcome(
+            completed=completed,
+            stats=stats,
+            scheduler_name=self.name,
+            extra={"chunk_size": self.chunk_size},
+        )
+
+
+def simulate_hierarchical(
+    jobs: Sequence[Job],
+    n_workers: int,
+    n_groups: int,
+    strategy_name: str = "serialized_load",
+    comm: CommunicationModel | None = None,
+    worker_speed: float = 1.0,
+    chunk_size: int = 1,
+) -> dict[str, Any]:
+    """Two-level master organisation evaluated on the simulated cluster.
+
+    "one way of encompassing this difficulty is to divide the nodes into
+    sub-groups, each group having its own master.  Then, each sub-master could
+    apply a naive load balancing but since it has fewer slave processes to
+    monitor the speedups would be better."
+
+    The global master deals jobs to ``n_groups`` sub-masters round-robin (a
+    cheap name-only message per job); each sub-master then runs its own Robin
+    Hood loop over its share of the workers.  Each group uses an independent
+    :class:`SimulatedClusterBackend`; the reported makespan is the slowest
+    group, plus the global master's dealing time.
+
+    Returns a dictionary with ``total_time``, ``group_times`` and
+    ``master_dealing_time``.
+    """
+    from repro.core.strategies import get_strategy
+
+    if n_groups < 1:
+        raise SchedulingError("n_groups must be >= 1")
+    if n_workers < n_groups:
+        raise SchedulingError("need at least one worker per group")
+    _check_jobs(jobs)
+    base_comm = comm if comm is not None else CommunicationModel()
+
+    # the global master only forwards file names to the sub-masters
+    dealing_time = len(jobs) * (
+        base_comm.nfs_master_overhead
+        + base_comm.network.transfer_time(base_comm.name_message_bytes)
+    )
+
+    # split workers and jobs across groups (round-robin keeps the expensive
+    # jobs spread out, like the paper's single-master dealing order)
+    group_sizes = [n_workers // n_groups] * n_groups
+    for i in range(n_workers % n_groups):
+        group_sizes[i] += 1
+    group_jobs: list[list[Job]] = [[] for _ in range(n_groups)]
+    for index, job in enumerate(jobs):
+        group_jobs[index % n_groups].append(job)
+
+    scheduler: Scheduler
+    if chunk_size > 1:
+        scheduler = ChunkedRobinHoodScheduler(chunk_size=chunk_size)
+    else:
+        scheduler = RobinHoodScheduler()
+
+    group_times: list[float] = []
+    for size, sub_jobs in zip(group_sizes, group_jobs):
+        if not sub_jobs:
+            group_times.append(0.0)
+            continue
+        backend = SimulatedClusterBackend(
+            ClusterSpec.homogeneous(size, speed=worker_speed),
+            strategy=strategy_name,
+            comm=CommunicationModel(network=base_comm.network, nfs=base_comm.nfs),
+        )
+        outcome = scheduler.run(sub_jobs, backend, get_strategy(strategy_name))
+        group_times.append(outcome.total_time)
+
+    return {
+        "total_time": dealing_time + max(group_times),
+        "group_times": group_times,
+        "master_dealing_time": dealing_time,
+        "n_groups": n_groups,
+        "n_workers": n_workers,
+    }
+
+
+#: named schedulers usable from the command line and the benchmarks
+SCHEDULERS: dict[str, Any] = {
+    RobinHoodScheduler.name: RobinHoodScheduler,
+    StaticBlockScheduler.name: StaticBlockScheduler,
+    ChunkedRobinHoodScheduler.name: ChunkedRobinHoodScheduler,
+}

@@ -1,0 +1,163 @@
+"""The three problem-transmission strategies of the paper.
+
+Tables II and III compare three ways for the master to hand a pricing problem
+to a slave:
+
+* **full load** -- "the master reads the content of the file describing the
+  PremiaModel object, then creates the object, serializes it, packs it and
+  sends it to a slave";
+* **serialized load** -- "creating the serialized object directly from the
+  file containing the object rather than first creating the object itself and
+  then serializing it" (the ``sload`` function of Fig. 2);
+* **NFS** -- "the master ... only send[s] the name of the file to be read and
+  let[s] the slave read the file content".
+
+Each strategy implements :meth:`TransmissionStrategy.prepare`, the *real*
+master-side work performed before a dispatch on the executing backends
+(sequential / multiprocessing).  On the simulated backend the same costs are
+modelled by :class:`repro.cluster.simcluster.comm.CommunicationModel`; the
+strategy then only contributes its name.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from repro.cluster.backends.base import (
+    PAYLOAD_PATH,
+    PAYLOAD_PROBLEM,
+    PAYLOAD_SERIAL,
+    Job,
+    PreparedMessage,
+)
+from repro.errors import SchedulingError
+from repro.serial import Serial, serialize, sload
+
+__all__ = [
+    "TransmissionStrategy",
+    "FullLoadStrategy",
+    "SerializedLoadStrategy",
+    "NFSStrategy",
+    "InMemoryStrategy",
+    "get_strategy",
+    "STRATEGIES",
+]
+
+
+class TransmissionStrategy(abc.ABC):
+    """How the master turns a job into a message for a worker."""
+
+    #: name used by the communication cost model of the simulated cluster
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def _prepare(self, job: Job) -> PreparedMessage:
+        """Strategy-specific preparation (no timing)."""
+
+    def prepare(self, job: Job) -> PreparedMessage:
+        """Prepare the message and record the master-side preparation time."""
+        start = time.perf_counter()
+        message = self._prepare(job)
+        message.prep_elapsed = time.perf_counter() - start
+        return message
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FullLoadStrategy(TransmissionStrategy):
+    """Read the file, build the object, serialize it again, send the bytes."""
+
+    name = "full_load"
+
+    def _prepare(self, job: Job) -> PreparedMessage:
+        if job.path and _is_real_file(job):
+            # the deliberately wasteful path of the paper: materialise the
+            # object only to serialize it again immediately
+            problem = sload(job.path).unserialize()
+        elif job.problem is not None:
+            problem = job.problem
+        else:
+            raise SchedulingError(
+                f"job {job.job_id} has neither a readable file nor an in-memory problem"
+            )
+        serial = serialize(problem)
+        data = serial.to_bytes()
+        return PreparedMessage(kind=PAYLOAD_SERIAL, payload=data, nbytes=len(data))
+
+
+class SerializedLoadStrategy(TransmissionStrategy):
+    """``sload``: wrap the file bytes directly as a Serial object and send it."""
+
+    name = "serialized_load"
+
+    def _prepare(self, job: Job) -> PreparedMessage:
+        if job.path and _is_real_file(job):
+            serial = sload(job.path)
+        elif job.problem is not None:
+            # no file: serializing the in-memory object is the closest
+            # equivalent (no wasteful rebuild happens either way)
+            serial = serialize(job.problem)
+        else:
+            raise SchedulingError(
+                f"job {job.job_id} has neither a readable file nor an in-memory problem"
+            )
+        data = serial.to_bytes()
+        return PreparedMessage(kind=PAYLOAD_SERIAL, payload=data, nbytes=len(data))
+
+
+class NFSStrategy(TransmissionStrategy):
+    """Send only the file name; the worker reads the shared file system."""
+
+    name = "nfs"
+
+    def _prepare(self, job: Job) -> PreparedMessage:
+        if not job.path:
+            raise SchedulingError(
+                f"the NFS strategy needs a problem file for job {job.job_id}"
+            )
+        return PreparedMessage(
+            kind=PAYLOAD_PATH, payload=job.path, nbytes=len(job.path.encode("utf-8"))
+        )
+
+
+class InMemoryStrategy(TransmissionStrategy):
+    """Hand the in-memory problem object to the worker directly.
+
+    Not part of the paper's comparison (it cannot cross process boundaries);
+    used by the sequential backend in unit tests where serialization round
+    trips would only add noise.
+    """
+
+    name = "serialized_load"  # cost-model equivalent
+
+    def _prepare(self, job: Job) -> PreparedMessage:
+        if job.problem is None:
+            raise SchedulingError(f"job {job.job_id} has no in-memory problem")
+        return PreparedMessage(kind=PAYLOAD_PROBLEM, payload=job.problem, nbytes=job.file_size)
+
+
+def _is_real_file(job: Job) -> bool:
+    """Whether the job's path points at an actual readable file."""
+    import os
+
+    return bool(job.path) and os.path.exists(job.path)
+
+
+#: registry of the paper's three strategies, by name
+STRATEGIES: dict[str, type[TransmissionStrategy]] = {
+    FullLoadStrategy.name: FullLoadStrategy,
+    SerializedLoadStrategy.name: SerializedLoadStrategy,
+    NFSStrategy.name: NFSStrategy,
+}
+
+
+def get_strategy(name: str) -> TransmissionStrategy:
+    """Build a strategy from its name (``full_load``, ``serialized_load``,
+    ``nfs``)."""
+    if name not in STRATEGIES:
+        raise SchedulingError(
+            f"unknown strategy {name!r}; known strategies: {sorted(STRATEGIES)}"
+        )
+    return STRATEGIES[name]()

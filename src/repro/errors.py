@@ -1,0 +1,59 @@
+"""Exception hierarchy shared by all ``repro`` subpackages.
+
+Keeping the exceptions in a single leaf module avoids import cycles between
+``repro.pricing``, ``repro.serial`` and ``repro.cluster`` while still letting
+callers catch a single :class:`ReproError` base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class PricingError(ReproError):
+    """Raised when a pricing method cannot produce a valid result."""
+
+
+class IncompatibleMethodError(PricingError):
+    """Raised when a pricing method is applied to an unsupported
+    (model, product) pair -- e.g. a closed-form Black-Scholes formula asked to
+    price an option under the Heston model."""
+
+
+class RegistryError(ReproError):
+    """Raised on unknown model/option/method identifiers in the
+    :mod:`repro.pricing.engine` registry."""
+
+
+class ProblemStateError(ReproError):
+    """Raised when a :class:`~repro.pricing.engine.PricingProblem` is used
+    before it is fully specified (missing model, option or method), or when
+    results are requested before :meth:`compute` has run."""
+
+
+class SerializationError(ReproError):
+    """Raised when encoding or decoding a serialized object fails."""
+
+
+class ClusterError(ReproError):
+    """Base class for errors raised by the cluster / MPI substrate."""
+
+
+class CommunicatorError(ClusterError):
+    """Raised on invalid use of a communicator (bad rank, closed comm...)."""
+
+
+class SimulationError(ClusterError):
+    """Raised by the discrete-event cluster simulator on inconsistent
+    configurations or corrupted event state."""
+
+
+class SchedulingError(ReproError):
+    """Raised by the portfolio schedulers on invalid configurations
+    (e.g. zero workers, unknown strategy, duplicate job ids)."""
+
+
+class PortfolioError(ReproError):
+    """Raised by portfolio builders and the risk layer on invalid inputs."""

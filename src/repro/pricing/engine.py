@@ -1,0 +1,398 @@
+"""The pricing-problem engine: the analogue of Premia's ``PremiaModel``.
+
+In the paper, a pricing problem is described at the Nsp level by creating a
+``PremiaModel`` object and setting its asset class, model, option and method::
+
+    P = premia_create()
+    P.set_asset[str="equity"]
+    P.set_model[str="Heston1dim"]
+    P.set_option[str="PutAmer"]
+    P.set_method[str="MC_AM_Alfonsi_LongstaffSchwartz"]
+    save('fic', P)
+
+:class:`PricingProblem` mirrors that interface: ``set_asset``, ``set_model``,
+``set_option``, ``set_method``, ``compute`` and ``get_method_results``.  The
+(model, option, method) names are resolved through module-level registries so
+that new models, products and methods can be plugged in without touching the
+engine ("it is an easy task to add any new pricing algorithms using the
+Premia framework").
+
+A :class:`PricingProblem` is fully described by a plain dictionary
+(:meth:`PricingProblem.to_dict`), which is what the :mod:`repro.serial` layer
+encodes into architecture-independent problem files.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from repro.errors import ProblemStateError, RegistryError
+from repro.pricing.methods import METHOD_CLASSES, PricingMethod, PricingResult
+from repro.pricing.methods.longstaff_schwartz import LongstaffSchwartz
+from repro.pricing.models import MODEL_CLASSES, Model
+from repro.pricing.products import PRODUCT_CLASSES, Product
+
+__all__ = [
+    "PricingProblem",
+    "premia_create",
+    "register_model",
+    "register_product",
+    "register_method",
+    "register_method_alias",
+    "list_models",
+    "list_products",
+    "list_methods",
+    "compatible_methods",
+    "ASSET_CLASSES",
+]
+
+#: asset classes recognised by :meth:`PricingProblem.set_asset`; the paper's
+#: experiments are restricted to equity derivatives but Premia also covers
+#: rates, credit, commodities and inflation.
+ASSET_CLASSES = ("equity", "interest_rate", "credit", "commodity", "inflation")
+
+# ---------------------------------------------------------------------------
+# registries
+# ---------------------------------------------------------------------------
+
+_MODEL_REGISTRY: dict[str, type[Model]] = dict(MODEL_CLASSES)
+_PRODUCT_REGISTRY: dict[str, type[Product]] = dict(PRODUCT_CLASSES)
+_METHOD_REGISTRY: dict[str, type[PricingMethod]] = dict(METHOD_CLASSES)
+#: aliases map a Premia-style method name to (registry name, default params)
+_METHOD_ALIASES: dict[str, tuple[str, dict[str, Any]]] = {}
+
+
+def register_model(cls: type[Model]) -> type[Model]:
+    """Register a new model class (usable as a decorator)."""
+    if not getattr(cls, "model_name", None) or cls.model_name == "abstract":
+        raise RegistryError("model classes must define a non-abstract model_name")
+    _MODEL_REGISTRY[cls.model_name] = cls
+    return cls
+
+
+def register_product(cls: type[Product]) -> type[Product]:
+    """Register a new product class (usable as a decorator)."""
+    if not getattr(cls, "option_name", None) or cls.option_name == "abstract":
+        raise RegistryError("product classes must define a non-abstract option_name")
+    _PRODUCT_REGISTRY[cls.option_name] = cls
+    return cls
+
+
+def register_method(cls: type[PricingMethod]) -> type[PricingMethod]:
+    """Register a new pricing method class (usable as a decorator)."""
+    if not getattr(cls, "method_name", None) or cls.method_name == "abstract":
+        raise RegistryError("method classes must define a non-abstract method_name")
+    _METHOD_REGISTRY[cls.method_name] = cls
+    return cls
+
+
+def register_method_alias(alias: str, method_name: str, **default_params: Any) -> None:
+    """Register a Premia-style alias for a method with default parameters.
+
+    Example: ``MC_AM_Alfonsi_LongstaffSchwartz`` (the paper's example method)
+    aliases :class:`LongstaffSchwartz` with the Alfonsi variance scheme.
+    """
+    if method_name not in _METHOD_REGISTRY:
+        raise RegistryError(f"unknown method {method_name!r} for alias {alias!r}")
+    _METHOD_ALIASES[alias] = (method_name, dict(default_params))
+
+
+def list_models() -> list[str]:
+    """Names of all registered models."""
+    return sorted(_MODEL_REGISTRY)
+
+
+def list_products() -> list[str]:
+    """Names of all registered products."""
+    return sorted(_PRODUCT_REGISTRY)
+
+
+def list_methods(include_aliases: bool = True) -> list[str]:
+    """Names of all registered methods (and aliases)."""
+    names = set(_METHOD_REGISTRY)
+    if include_aliases:
+        names |= set(_METHOD_ALIASES)
+    return sorted(names)
+
+
+def _build_model(name: str, params: dict[str, Any]) -> Model:
+    if name not in _MODEL_REGISTRY:
+        raise RegistryError(f"unknown model {name!r}; known models: {list_models()}")
+    return _MODEL_REGISTRY[name].from_params(params)
+
+
+def _build_product(name: str, params: dict[str, Any]) -> Product:
+    if name not in _PRODUCT_REGISTRY:
+        raise RegistryError(f"unknown option {name!r}; known options: {list_products()}")
+    return _PRODUCT_REGISTRY[name].from_params(params)
+
+
+def _build_method(name: str, params: dict[str, Any]) -> PricingMethod:
+    if name in _METHOD_ALIASES:
+        target, defaults = _METHOD_ALIASES[name]
+        merged = dict(defaults)
+        merged.update(params)
+        return _METHOD_REGISTRY[target].from_params(merged)
+    if name not in _METHOD_REGISTRY:
+        raise RegistryError(f"unknown method {name!r}; known methods: {list_methods()}")
+    return _METHOD_REGISTRY[name].from_params(params)
+
+
+def compatible_methods(model: Model, product: Product) -> list[str]:
+    """Names of registered methods (with default parameters) that can price
+    ``product`` under ``model``."""
+    names = []
+    for name, cls in _METHOD_REGISTRY.items():
+        try:
+            method = cls()
+        except TypeError:  # pragma: no cover - methods requiring parameters
+            continue
+        if method.supports(model, product):
+            names.append(name)
+    return sorted(names)
+
+
+# the alias named in the paper's example script
+register_method_alias(
+    "MC_AM_Alfonsi_LongstaffSchwartz",
+    LongstaffSchwartz.method_name,
+    heston_scheme="alfonsi",
+)
+# a few convenience aliases with Premia-flavoured names
+register_method_alias("CF_CallEuro_BlackScholes", "CF_Call")
+register_method_alias("CF_PutEuro_BlackScholes", "CF_Put")
+register_method_alias("FD_CrankNicolson", "FD_European", theta=0.5)
+register_method_alias("FD_Implicit", "FD_European", theta=1.0)
+register_method_alias("MC_Standard", "MC_European")
+register_method_alias("MC_Sobol", "MC_European", rng_kind="sobol")
+
+
+# ---------------------------------------------------------------------------
+# the PricingProblem object
+# ---------------------------------------------------------------------------
+
+
+class PricingProblem:
+    """A fully specified pricing problem (asset, model, option, method).
+
+    The object supports two construction styles:
+
+    * Premia/Nsp style, by name::
+
+        p = PricingProblem()
+        p.set_asset("equity")
+        p.set_model("BlackScholes1D", spot=100, rate=0.05, volatility=0.2)
+        p.set_option("CallEuro", strike=100, maturity=1.0)
+        p.set_method("CF_Call")
+
+    * directly from instances::
+
+        p = PricingProblem.from_instances(model, product, method)
+
+    ``compute()`` runs the method and stores the :class:`PricingResult`;
+    ``get_method_results()`` returns it.
+    """
+
+    def __init__(self, label: str | None = None):
+        self.asset: str = "equity"
+        self.label = label
+        self._model_name: str | None = None
+        self._model_params: dict[str, Any] = {}
+        self._product_name: str | None = None
+        self._product_params: dict[str, Any] = {}
+        self._method_name: str | None = None
+        self._method_params: dict[str, Any] = {}
+        self._model: Model | None = None
+        self._product: Product | None = None
+        self._method: PricingMethod | None = None
+        self._result: PricingResult | None = None
+
+    # -- setters ----------------------------------------------------------------
+    def set_asset(self, name: str) -> "PricingProblem":
+        if name not in ASSET_CLASSES:
+            raise RegistryError(
+                f"unknown asset class {name!r}; known classes: {ASSET_CLASSES}"
+            )
+        self.asset = name
+        return self
+
+    def set_model(self, name: str | Model, **params: Any) -> "PricingProblem":
+        if isinstance(name, Model):
+            self._model = name
+            self._model_name = name.model_name
+            self._model_params = name.to_params()
+        else:
+            self._model_name = name
+            self._model_params = params
+            self._model = _build_model(name, params)
+        self._result = None
+        return self
+
+    def set_option(self, name: str | Product, **params: Any) -> "PricingProblem":
+        if isinstance(name, Product):
+            self._product = name
+            self._product_name = name.option_name
+            self._product_params = name.to_params()
+        else:
+            self._product_name = name
+            self._product_params = params
+            self._product = _build_product(name, params)
+        self._result = None
+        return self
+
+    def set_method(self, name: str | PricingMethod, **params: Any) -> "PricingProblem":
+        if isinstance(name, PricingMethod):
+            self._method = name
+            self._method_name = name.method_name
+            self._method_params = name.to_params()
+        else:
+            self._method_name = name
+            self._method_params = params
+            self._method = _build_method(name, params)
+        self._result = None
+        return self
+
+    @classmethod
+    def from_instances(
+        cls,
+        model: Model,
+        product: Product,
+        method: PricingMethod,
+        asset: str = "equity",
+        label: str | None = None,
+    ) -> "PricingProblem":
+        problem = cls(label=label)
+        problem.set_asset(asset)
+        problem.set_model(model)
+        problem.set_option(product)
+        problem.set_method(method)
+        return problem
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def model(self) -> Model:
+        if self._model is None:
+            raise ProblemStateError("the problem has no model; call set_model first")
+        return self._model
+
+    @property
+    def product(self) -> Product:
+        if self._product is None:
+            raise ProblemStateError("the problem has no option; call set_option first")
+        return self._product
+
+    @property
+    def method(self) -> PricingMethod:
+        if self._method is None:
+            raise ProblemStateError("the problem has no method; call set_method first")
+        return self._method
+
+    @property
+    def model_name(self) -> str | None:
+        return self._model_name
+
+    @property
+    def option_name(self) -> str | None:
+        return self._product_name
+
+    @property
+    def method_name(self) -> str | None:
+        return self._method_name
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the problem has a model, an option and a method."""
+        return (
+            self._model is not None
+            and self._product is not None
+            and self._method is not None
+        )
+
+    @property
+    def has_result(self) -> bool:
+        return self._result is not None
+
+    # -- computation ---------------------------------------------------------------
+    def compute(self) -> PricingResult:
+        """Run the pricing method and store (and return) its result."""
+        if not self.is_complete:
+            missing = [
+                name
+                for name, value in (
+                    ("model", self._model),
+                    ("option", self._product),
+                    ("method", self._method),
+                )
+                if value is None
+            ]
+            raise ProblemStateError(f"problem is incomplete, missing: {missing}")
+        self._result = self.method.price(self.model, self.product)
+        return self._result
+
+    def get_method_results(self) -> PricingResult:
+        """Return the stored result of the last :meth:`compute` call."""
+        if self._result is None:
+            raise ProblemStateError("no results available; call compute() first")
+        return self._result
+
+    # -- serialization ----------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dictionary description (model/option/method names + params).
+
+        The dictionary only contains numbers, strings, lists and nested
+        dictionaries, so the :mod:`repro.serial` XDR encoder can write it
+        without type-specific hooks.
+        """
+        return {
+            "asset": self.asset,
+            "label": self.label,
+            "model": {"name": self._model_name, "params": copy.deepcopy(self._model_params)},
+            "option": {
+                "name": self._product_name,
+                "params": copy.deepcopy(self._product_params),
+            },
+            "method": {
+                "name": self._method_name,
+                "params": copy.deepcopy(self._method_params),
+            },
+            "result": None if self._result is None else self._result.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PricingProblem":
+        problem = cls(label=data.get("label"))
+        problem.set_asset(data.get("asset", "equity"))
+        model = data.get("model") or {}
+        if model.get("name"):
+            problem.set_model(model["name"], **(model.get("params") or {}))
+        option = data.get("option") or {}
+        if option.get("name"):
+            problem.set_option(option["name"], **(option.get("params") or {}))
+        method = data.get("method") or {}
+        if method.get("name"):
+            problem.set_method(method["name"], **(method.get("params") or {}))
+        result = data.get("result")
+        if result is not None:
+            problem._result = PricingResult.from_dict(result)
+        return problem
+
+    # -- misc --------------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PricingProblem):
+            return NotImplemented
+        a, b = self.to_dict(), other.to_dict()
+        a.pop("result"), b.pop("result")
+        return a == b
+
+    def __repr__(self) -> str:
+        return (
+            f"PricingProblem(asset={self.asset!r}, model={self._model_name!r}, "
+            f"option={self._product_name!r}, method={self._method_name!r}, "
+            f"label={self.label!r})"
+        )
+
+
+def premia_create(label: str | None = None) -> PricingProblem:
+    """Premia-flavoured factory function, mirroring the paper's scripts."""
+    return PricingProblem(label=label)

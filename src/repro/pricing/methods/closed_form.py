@@ -1,0 +1,218 @@
+"""Closed-form pricing methods.
+
+These methods are "almost instantaneous" (the paper's characterisation of the
+plain-vanilla slice of the realistic portfolio) and are the ones used for the
+10,000-option toy portfolio of Table II, where they make the communication
+cost visible.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.pricing import analytics
+from repro.pricing.methods.base import PricingMethod, PricingResult
+from repro.pricing.models.base import Model
+from repro.pricing.models.black_scholes import BlackScholesModel
+from repro.pricing.models.multi_asset import MultiAssetBlackScholesModel
+from repro.pricing.products.barrier import BarrierOption
+from repro.pricing.products.base import Product
+from repro.pricing.products.basket import BasketOption
+from repro.pricing.products.vanilla import DigitalCall, DigitalPut, EuropeanCall, EuropeanPut
+
+__all__ = [
+    "ClosedFormCall",
+    "ClosedFormPut",
+    "ClosedFormDigital",
+    "ClosedFormBarrier",
+    "ClosedFormBasketApprox",
+]
+
+
+class ClosedFormCall(PricingMethod):
+    """Black-Scholes formula for European calls (price + full Greeks)."""
+
+    method_name = "CF_Call"
+
+    def supports(self, model: Model, product: Product) -> bool:
+        return isinstance(model, BlackScholesModel) and isinstance(product, EuropeanCall)
+
+    def _price(self, model: BlackScholesModel, product: EuropeanCall) -> PricingResult:
+        s, k, r, sigma, t, q = (
+            model.spot,
+            product.strike,
+            model.rate,
+            model.volatility,
+            product.maturity,
+            model.dividend,
+        )
+        price = float(analytics.bs_call_price(s, k, r, sigma, t, q))
+        delta = float(analytics.bs_call_delta(s, k, r, sigma, t, q))
+        extra = {
+            "gamma": float(analytics.bs_gamma(s, k, r, sigma, t, q)),
+            "vega": float(analytics.bs_vega(s, k, r, sigma, t, q)),
+            "theta": float(analytics.bs_call_theta(s, k, r, sigma, t, q)),
+            "rho": float(analytics.bs_call_rho(s, k, r, sigma, t, q)),
+        }
+        return PricingResult(price=price, delta=delta, n_evaluations=1, extra=extra)
+
+
+class ClosedFormPut(PricingMethod):
+    """Black-Scholes formula for European puts (price + full Greeks)."""
+
+    method_name = "CF_Put"
+
+    def supports(self, model: Model, product: Product) -> bool:
+        return isinstance(model, BlackScholesModel) and isinstance(product, EuropeanPut)
+
+    def _price(self, model: BlackScholesModel, product: EuropeanPut) -> PricingResult:
+        s, k, r, sigma, t, q = (
+            model.spot,
+            product.strike,
+            model.rate,
+            model.volatility,
+            product.maturity,
+            model.dividend,
+        )
+        price = float(analytics.bs_put_price(s, k, r, sigma, t, q))
+        delta = float(analytics.bs_put_delta(s, k, r, sigma, t, q))
+        extra = {
+            "gamma": float(analytics.bs_gamma(s, k, r, sigma, t, q)),
+            "vega": float(analytics.bs_vega(s, k, r, sigma, t, q)),
+            "theta": float(analytics.bs_put_theta(s, k, r, sigma, t, q)),
+            "rho": float(analytics.bs_put_rho(s, k, r, sigma, t, q)),
+        }
+        return PricingResult(price=price, delta=delta, n_evaluations=1, extra=extra)
+
+
+class ClosedFormDigital(PricingMethod):
+    """Black-Scholes formula for cash-or-nothing digital options."""
+
+    method_name = "CF_Digital"
+
+    def supports(self, model: Model, product: Product) -> bool:
+        return isinstance(model, BlackScholesModel) and isinstance(
+            product, (DigitalCall, DigitalPut)
+        )
+
+    def _price(self, model: BlackScholesModel, product: Product) -> PricingResult:
+        s, k, r, sigma, t, q = (
+            model.spot,
+            product.strike,
+            model.rate,
+            model.volatility,
+            product.maturity,
+            model.dividend,
+        )
+        if isinstance(product, DigitalCall):
+            price = float(analytics.digital_call_price(s, k, r, sigma, t, q))
+        else:
+            price = float(analytics.digital_put_price(s, k, r, sigma, t, q))
+        # delta by central finite difference on the closed form (cheap, exact
+        # enough for risk aggregation)
+        bump = 1e-4 * s
+        if isinstance(product, DigitalCall):
+            up = analytics.digital_call_price(s + bump, k, r, sigma, t, q)
+            dn = analytics.digital_call_price(s - bump, k, r, sigma, t, q)
+        else:
+            up = analytics.digital_put_price(s + bump, k, r, sigma, t, q)
+            dn = analytics.digital_put_price(s - bump, k, r, sigma, t, q)
+        delta = float((up - dn) / (2 * bump))
+        return PricingResult(price=price, delta=delta, n_evaluations=1)
+
+
+class ClosedFormBarrier(PricingMethod):
+    """Reiner-Rubinstein formulas for continuously monitored barrier options.
+
+    Only zero-rebate barriers are handled in closed form; options with a
+    rebate fall back to the PDE or Monte-Carlo pricers.
+    """
+
+    method_name = "CF_Barrier"
+
+    def supports(self, model: Model, product: Product) -> bool:
+        return (
+            isinstance(model, BlackScholesModel)
+            and isinstance(product, BarrierOption)
+            and product.rebate == 0.0
+        )
+
+    def _price(self, model: BlackScholesModel, product: BarrierOption) -> PricingResult:
+        s, k, h, r, sigma, t, q = (
+            model.spot,
+            product.strike,
+            product.barrier,
+            model.rate,
+            model.volatility,
+            product.maturity,
+            model.dividend,
+        )
+        if product.payoff_type == "call":
+            price = float(
+                analytics.barrier_call_price(
+                    s, k, h, r, sigma, t, q, barrier_type=product.barrier_type
+                )
+            )
+            bump = 1e-4 * s
+            up = analytics.barrier_call_price(
+                s + bump, k, h, r, sigma, t, q, barrier_type=product.barrier_type
+            )
+            dn = analytics.barrier_call_price(
+                s - bump, k, h, r, sigma, t, q, barrier_type=product.barrier_type
+            )
+        else:
+            price = float(
+                analytics.barrier_put_price(
+                    s, k, h, r, sigma, t, q, barrier_type=product.barrier_type
+                )
+            )
+            bump = 1e-4 * s
+            up = analytics.barrier_put_price(
+                s + bump, k, h, r, sigma, t, q, barrier_type=product.barrier_type
+            )
+            dn = analytics.barrier_put_price(
+                s - bump, k, h, r, sigma, t, q, barrier_type=product.barrier_type
+            )
+        delta = float((np.asarray(up) - np.asarray(dn)) / (2 * bump))
+        return PricingResult(price=price, delta=delta, n_evaluations=1)
+
+
+class ClosedFormBasketApprox(PricingMethod):
+    """Moment-matched lognormal approximation for European basket options.
+
+    The basket value is approximated by a lognormal variable with the same
+    first two moments (Levy 1992 approximation) and priced with the Black-76
+    formula.  Used as a fast sanity check and as a control variate for the
+    Monte-Carlo basket pricer.
+    """
+
+    method_name = "CF_BasketMomentMatch"
+
+    def supports(self, model: Model, product: Product) -> bool:
+        return (
+            isinstance(model, MultiAssetBlackScholesModel)
+            and isinstance(product, BasketOption)
+            and product.dimension == model.dimension
+            and np.all(product.weights >= 0)
+        )
+
+    def _price(self, model: MultiAssetBlackScholesModel, product: BasketOption) -> PricingResult:
+        forward, vol = model.basket_lognormal_proxy(product.weights, product.maturity)
+        df = model.discount_factor(product.maturity)
+        price = float(
+            analytics.black_formula(
+                forward,
+                product.strike,
+                vol,
+                product.maturity,
+                df,
+                is_call=(product.payoff_type == "call"),
+            )
+        )
+        extra = {"proxy_forward": forward, "proxy_volatility": vol}
+        return PricingResult(price=price, n_evaluations=1, extra=extra)
+
+    def to_params(self) -> dict[str, Any]:
+        return {}

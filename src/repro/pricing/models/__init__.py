@@ -1,0 +1,39 @@
+"""Asset-dynamics models (the model layer of the Premia substitute).
+
+Every model registered here can be referred to by name through
+:class:`repro.pricing.engine.PricingProblem.set_model`.
+"""
+
+from repro.pricing.models.base import DiffusionModel1D, Model, MultiAssetModel
+from repro.pricing.models.black_scholes import BlackScholesModel
+from repro.pricing.models.heston import HestonModel
+from repro.pricing.models.local_vol import CEVModel, SmileLocalVolModel
+from repro.pricing.models.merton import MertonJumpModel
+from repro.pricing.models.multi_asset import MultiAssetBlackScholesModel, flat_correlation
+
+#: name -> class mapping used by the engine registry
+MODEL_CLASSES: dict[str, type[Model]] = {
+    cls.model_name: cls
+    for cls in (
+        BlackScholesModel,
+        CEVModel,
+        SmileLocalVolModel,
+        HestonModel,
+        MertonJumpModel,
+        MultiAssetBlackScholesModel,
+    )
+}
+
+__all__ = [
+    "Model",
+    "DiffusionModel1D",
+    "MultiAssetModel",
+    "BlackScholesModel",
+    "CEVModel",
+    "SmileLocalVolModel",
+    "HestonModel",
+    "MertonJumpModel",
+    "MultiAssetBlackScholesModel",
+    "flat_correlation",
+    "MODEL_CLASSES",
+]

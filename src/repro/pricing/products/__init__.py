@@ -1,0 +1,71 @@
+"""Financial products (the *option* layer of the Premia substitute)."""
+
+from repro.pricing.products.american import (
+    AmericanBasketCall,
+    AmericanBasketPut,
+    AmericanCall,
+    AmericanPut,
+)
+from repro.pricing.products.asian import AsianCall, AsianOption, AsianPut
+from repro.pricing.products.barrier import (
+    BarrierOption,
+    DownOutCall,
+    DownOutPut,
+    UpOutCall,
+    UpOutPut,
+)
+from repro.pricing.products.base import ExerciseStyle, Product, VanillaLike
+from repro.pricing.products.basket import BasketCall, BasketOption, BasketPut
+from repro.pricing.products.vanilla import DigitalCall, DigitalPut, EuropeanCall, EuropeanPut
+
+#: name -> class mapping used by the engine registry
+PRODUCT_CLASSES: dict[str, type[Product]] = {
+    cls.option_name: cls
+    for cls in (
+        EuropeanCall,
+        EuropeanPut,
+        DigitalCall,
+        DigitalPut,
+        BarrierOption,
+        DownOutCall,
+        DownOutPut,
+        UpOutCall,
+        UpOutPut,
+        BasketOption,
+        BasketCall,
+        BasketPut,
+        AsianOption,
+        AsianCall,
+        AsianPut,
+        AmericanPut,
+        AmericanCall,
+        AmericanBasketPut,
+        AmericanBasketCall,
+    )
+}
+
+__all__ = [
+    "Product",
+    "VanillaLike",
+    "ExerciseStyle",
+    "EuropeanCall",
+    "EuropeanPut",
+    "DigitalCall",
+    "DigitalPut",
+    "BarrierOption",
+    "DownOutCall",
+    "DownOutPut",
+    "UpOutCall",
+    "UpOutPut",
+    "BasketOption",
+    "BasketCall",
+    "BasketPut",
+    "AsianOption",
+    "AsianCall",
+    "AsianPut",
+    "AmericanPut",
+    "AmericanCall",
+    "AmericanBasketPut",
+    "AmericanBasketCall",
+    "PRODUCT_CLASSES",
+]

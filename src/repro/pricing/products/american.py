@@ -1,0 +1,104 @@
+"""American-style products (early exercise at any time up to maturity).
+
+The realistic portfolio of Section 4.3 includes 1952 American put options
+priced by PDE and 525 American put options on a 7-dimensional basket priced
+by Longstaff-Schwartz American Monte-Carlo.  "The evaluation of American
+products is much longer than any other (above 60 seconds)" -- these products
+populate the expensive tail of the workload distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import PricingError
+from repro.pricing.products.base import ExerciseStyle, Product, VanillaLike
+
+__all__ = ["AmericanPut", "AmericanCall", "AmericanBasketPut", "AmericanBasketCall"]
+
+
+class AmericanPut(VanillaLike):
+    """American put: exercise value ``max(K - S_t, 0)`` at any ``t <= T``."""
+
+    option_name = "PutAmer"
+    exercise = ExerciseStyle.AMERICAN
+
+    def terminal_payoff(self, spot: np.ndarray) -> np.ndarray:
+        spot = np.asarray(spot, dtype=float)
+        return np.maximum(self.strike - spot, 0.0)
+
+
+class AmericanCall(VanillaLike):
+    """American call: exercise value ``max(S_t - K, 0)`` at any ``t <= T``.
+
+    On a non-dividend-paying asset its value equals the European call, a
+    classical no-arbitrage fact the test-suite verifies against the pricers.
+    """
+
+    option_name = "CallAmer"
+    exercise = ExerciseStyle.AMERICAN
+
+    def terminal_payoff(self, spot: np.ndarray) -> np.ndarray:
+        spot = np.asarray(spot, dtype=float)
+        return np.maximum(spot - self.strike, 0.0)
+
+
+class _AmericanBasket(Product):
+    """Shared implementation for American basket options."""
+
+    exercise = ExerciseStyle.AMERICAN
+    payoff_type = "put"
+
+    def __init__(self, strike: float, maturity: float, weights: np.ndarray):
+        super().__init__(maturity)
+        if strike <= 0:
+            raise PricingError("strike must be strictly positive")
+        weights = np.atleast_1d(np.asarray(weights, dtype=float))
+        if weights.ndim != 1 or len(weights) < 1:
+            raise PricingError("weights must be a non-empty 1-d array")
+        self.strike = float(strike)
+        self.weights = weights
+        self.dimension = len(weights)
+
+    def basket_value(self, spot: np.ndarray) -> np.ndarray:
+        spot = np.asarray(spot, dtype=float)
+        if spot.ndim == 1:
+            if self.dimension != 1:
+                raise PricingError(
+                    f"expected {self.dimension}-dimensional spot vectors, got 1-d input"
+                )
+            return self.weights[0] * spot
+        if spot.shape[-1] != self.dimension:
+            raise PricingError(
+                f"spot dimension {spot.shape[-1]} != basket dimension {self.dimension}"
+            )
+        return spot @ self.weights
+
+    def terminal_payoff(self, spot: np.ndarray) -> np.ndarray:
+        basket = self.basket_value(spot)
+        if self.payoff_type == "call":
+            return np.maximum(basket - self.strike, 0.0)
+        return np.maximum(self.strike - basket, 0.0)
+
+    def to_params(self) -> dict[str, Any]:
+        return {
+            "strike": self.strike,
+            "maturity": self.maturity,
+            "weights": self.weights.tolist(),
+        }
+
+
+class AmericanBasketPut(_AmericanBasket):
+    """American put on a weighted basket (the paper's 7-dimensional product)."""
+
+    option_name = "BasketPutAmer"
+    payoff_type = "put"
+
+
+class AmericanBasketCall(_AmericanBasket):
+    """American call on a weighted basket."""
+
+    option_name = "BasketCallAmer"
+    payoff_type = "call"

@@ -1,0 +1,123 @@
+"""Basket options on several underlying assets.
+
+The realistic portfolio contains 525 European put options on a
+40-dimensional basket (priced by plain Monte-Carlo) and 525 American put
+options on a 7-dimensional basket (priced by Longstaff-Schwartz).  The
+European variants live here; the American ones in
+:mod:`repro.pricing.products.american`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import PricingError
+from repro.pricing.products.base import ExerciseStyle, Product
+
+__all__ = ["BasketOption", "BasketCall", "BasketPut"]
+
+
+class BasketOption(Product):
+    """European option on a weighted arithmetic basket of assets.
+
+    The basket value is ``B_T = sum_i w_i S^i_T``; the payoff is
+    ``max(B_T - K, 0)`` for calls and ``max(K - B_T, 0)`` for puts.
+
+    Parameters
+    ----------
+    strike:
+        Basket strike.
+    maturity:
+        Time to expiry in years.
+    weights:
+        Basket weights (length = number of underlying assets).  They are not
+        required to sum to one.
+    payoff_type:
+        ``"call"`` or ``"put"``.
+    """
+
+    option_name = "BasketEuro"
+    exercise = ExerciseStyle.EUROPEAN
+
+    def __init__(
+        self,
+        strike: float,
+        maturity: float,
+        weights: np.ndarray,
+        payoff_type: str = "put",
+    ):
+        super().__init__(maturity)
+        if strike <= 0:
+            raise PricingError("strike must be strictly positive")
+        weights = np.atleast_1d(np.asarray(weights, dtype=float))
+        if weights.ndim != 1 or len(weights) < 1:
+            raise PricingError("weights must be a non-empty 1-d array")
+        if payoff_type not in ("call", "put"):
+            raise PricingError("payoff_type must be 'call' or 'put'")
+        self.strike = float(strike)
+        self.weights = weights
+        self.payoff_type = payoff_type
+        self.dimension = len(weights)
+
+    def basket_value(self, spot: np.ndarray) -> np.ndarray:
+        """Weighted basket value for terminal asset vectors ``(n, d)``."""
+        spot = np.asarray(spot, dtype=float)
+        if spot.ndim == 1:
+            if self.dimension != 1:
+                raise PricingError(
+                    f"expected {self.dimension}-dimensional spot vectors, got 1-d input"
+                )
+            return self.weights[0] * spot
+        if spot.shape[-1] != self.dimension:
+            raise PricingError(
+                f"spot dimension {spot.shape[-1]} != basket dimension {self.dimension}"
+            )
+        return spot @ self.weights
+
+    def terminal_payoff(self, spot: np.ndarray) -> np.ndarray:
+        basket = self.basket_value(spot)
+        if self.payoff_type == "call":
+            return np.maximum(basket - self.strike, 0.0)
+        return np.maximum(self.strike - basket, 0.0)
+
+    def to_params(self) -> dict[str, Any]:
+        return {
+            "strike": self.strike,
+            "maturity": self.maturity,
+            "weights": self.weights.tolist(),
+            "payoff_type": self.payoff_type,
+        }
+
+
+class BasketCall(BasketOption):
+    """European basket call."""
+
+    option_name = "BasketCallEuro"
+
+    def __init__(self, strike: float, maturity: float, weights: np.ndarray):
+        super().__init__(strike=strike, maturity=maturity, weights=weights, payoff_type="call")
+
+    def to_params(self) -> dict[str, Any]:
+        return {
+            "strike": self.strike,
+            "maturity": self.maturity,
+            "weights": self.weights.tolist(),
+        }
+
+
+class BasketPut(BasketOption):
+    """European basket put -- the 40-dimensional product of the paper."""
+
+    option_name = "BasketPutEuro"
+
+    def __init__(self, strike: float, maturity: float, weights: np.ndarray):
+        super().__init__(strike=strike, maturity=maturity, weights=weights, payoff_type="put")
+
+    def to_params(self) -> dict[str, Any]:
+        return {
+            "strike": self.strike,
+            "maturity": self.maturity,
+            "weights": self.weights.tolist(),
+        }

@@ -1,0 +1,58 @@
+"""Plain vanilla and digital European options.
+
+The toy portfolio of Table II consists of 10,000 such options priced by
+closed-form formulas; the realistic portfolio of Table III contains 1952
+vanilla calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pricing.products.base import ExerciseStyle, VanillaLike
+
+__all__ = ["EuropeanCall", "EuropeanPut", "DigitalCall", "DigitalPut"]
+
+
+class EuropeanCall(VanillaLike):
+    """European call: payoff ``max(S_T - K, 0)``."""
+
+    option_name = "CallEuro"
+    exercise = ExerciseStyle.EUROPEAN
+
+    def terminal_payoff(self, spot: np.ndarray) -> np.ndarray:
+        spot = np.asarray(spot, dtype=float)
+        return np.maximum(spot - self.strike, 0.0)
+
+
+class EuropeanPut(VanillaLike):
+    """European put: payoff ``max(K - S_T, 0)``."""
+
+    option_name = "PutEuro"
+    exercise = ExerciseStyle.EUROPEAN
+
+    def terminal_payoff(self, spot: np.ndarray) -> np.ndarray:
+        spot = np.asarray(spot, dtype=float)
+        return np.maximum(self.strike - spot, 0.0)
+
+
+class DigitalCall(VanillaLike):
+    """Cash-or-nothing digital call: pays 1 if ``S_T > K``."""
+
+    option_name = "DigitalCallEuro"
+    exercise = ExerciseStyle.EUROPEAN
+
+    def terminal_payoff(self, spot: np.ndarray) -> np.ndarray:
+        spot = np.asarray(spot, dtype=float)
+        return (spot > self.strike).astype(float)
+
+
+class DigitalPut(VanillaLike):
+    """Cash-or-nothing digital put: pays 1 if ``S_T < K``."""
+
+    option_name = "DigitalPutEuro"
+    exercise = ExerciseStyle.EUROPEAN
+
+    def terminal_payoff(self, spot: np.ndarray) -> np.ndarray:
+        spot = np.asarray(spot, dtype=float)
+        return (spot < self.strike).astype(float)

@@ -1,0 +1,49 @@
+"""``repro.serial`` -- architecture-independent serialization (Nsp substitute).
+
+Provides the XDR-style encoder (:mod:`repro.serial.xdr`), the ``Serial``
+object with optional compression (:mod:`repro.serial.serial`) and the
+``save`` / ``load`` / ``sload`` problem-file functions plus the
+:class:`~repro.serial.store.ProblemStore` directory abstraction
+(:mod:`repro.serial.store`).
+
+Importing this package registers the codecs for
+:class:`~repro.pricing.engine.PricingProblem` and
+:class:`~repro.pricing.methods.base.PricingResult`, so pricing problems can
+be saved, loaded and shipped across the cluster out of the box.
+"""
+
+from repro.pricing.engine import PricingProblem
+from repro.pricing.methods.base import PricingResult
+from repro.serial import xdr
+from repro.serial.serial import Serial, serialize, unserialize
+from repro.serial.store import ProblemStore, load, save, sload
+from repro.serial.xdr import decode, encode, register_codec, registered_type_names
+
+# register the pricing-layer codecs so problems round-trip through XDR
+register_codec(
+    "PricingProblem",
+    PricingProblem,
+    lambda problem: problem.to_dict(),
+    PricingProblem.from_dict,
+)
+register_codec(
+    "PricingResult",
+    PricingResult,
+    lambda result: result.as_dict(),
+    PricingResult.from_dict,
+)
+
+__all__ = [
+    "Serial",
+    "serialize",
+    "unserialize",
+    "save",
+    "load",
+    "sload",
+    "ProblemStore",
+    "encode",
+    "decode",
+    "register_codec",
+    "registered_type_names",
+    "xdr",
+]

@@ -1,0 +1,260 @@
+"""XDR-style architecture-independent binary encoding.
+
+The paper saves ``PremiaModel`` objects to files "relying on the XDR library
+(eXternal Data Representation).  This way, any PremiaModel object can be
+saved to a file in a format which is independent of the computer
+architecture".  This module provides the same property for the Python
+objects used by the benchmark: every value is written big-endian with
+explicit type tags, so the byte stream does not depend on the host
+architecture, and strings/byte blocks are padded to 4-byte boundaries as in
+classic XDR.
+
+Supported value types
+---------------------
+``None``, ``bool``, ``int`` (64-bit signed), ``float`` (IEEE-754 double),
+``str``, ``bytes``, ``list``/``tuple``, ``dict`` with string keys, NumPy
+arrays of float/int/bool dtypes, plus any class registered through
+:func:`register_codec` (used for :class:`~repro.pricing.engine.PricingProblem`
+and the portfolio objects).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+__all__ = ["encode", "decode", "register_codec", "registered_type_names"]
+
+# type tags -----------------------------------------------------------------
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STRING = b"S"
+_TAG_BYTES = b"B"
+_TAG_LIST = b"L"
+_TAG_DICT = b"H"  # "hash table", in Nsp parlance
+_TAG_ARRAY = b"A"
+_TAG_OBJECT = b"O"
+
+_ARRAY_DTYPES: dict[str, np.dtype] = {
+    "f8": np.dtype(">f8"),
+    "i8": np.dtype(">i8"),
+    "b1": np.dtype("bool"),
+}
+
+# object codec registry -------------------------------------------------------
+_CODECS: dict[str, tuple[type, Callable[[Any], dict], Callable[[dict], Any]]] = {}
+_CLASS_TO_NAME: dict[type, str] = {}
+
+
+def register_codec(
+    type_name: str,
+    cls: type,
+    to_dict: Callable[[Any], dict],
+    from_dict: Callable[[dict], Any],
+) -> None:
+    """Register an object codec.
+
+    ``to_dict`` must produce a dictionary containing only XDR-encodable
+    values; ``from_dict`` rebuilds the object.  Registering the same name
+    twice overwrites the previous codec (useful in tests).
+    """
+    _CODECS[type_name] = (cls, to_dict, from_dict)
+    _CLASS_TO_NAME[cls] = type_name
+
+
+def registered_type_names() -> list[str]:
+    """Names of all registered object codecs."""
+    return sorted(_CODECS)
+
+
+def _pad(data: bytes) -> bytes:
+    """Pad to a 4-byte boundary, XDR style."""
+    remainder = len(data) % 4
+    if remainder:
+        return data + b"\x00" * (4 - remainder)
+    return data
+
+
+def _encode_into(value: Any, chunks: list[bytes]) -> None:
+    if value is None:
+        chunks.append(_TAG_NONE)
+    elif isinstance(value, bool):  # bool before int: bool is a subclass of int
+        chunks.append(_TAG_TRUE if value else _TAG_FALSE)
+    elif isinstance(value, (int, np.integer)):
+        ivalue = int(value)
+        if not -(2**63) <= ivalue < 2**63:
+            raise SerializationError(f"integer {ivalue} does not fit in 64 bits")
+        chunks.append(_TAG_INT + struct.pack(">q", ivalue))
+    elif isinstance(value, (float, np.floating)):
+        chunks.append(_TAG_FLOAT + struct.pack(">d", float(value)))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        chunks.append(_TAG_STRING + struct.pack(">I", len(raw)) + _pad(raw))
+    elif isinstance(value, (bytes, bytearray)):
+        raw = bytes(value)
+        chunks.append(_TAG_BYTES + struct.pack(">I", len(raw)) + _pad(raw))
+    elif isinstance(value, (list, tuple)):
+        chunks.append(_TAG_LIST + struct.pack(">I", len(value)))
+        for item in value:
+            _encode_into(item, chunks)
+    elif isinstance(value, dict):
+        chunks.append(_TAG_DICT + struct.pack(">I", len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerializationError(
+                    f"dictionary keys must be strings, got {type(key).__name__}"
+                )
+            raw = key.encode("utf-8")
+            chunks.append(struct.pack(">I", len(raw)) + _pad(raw))
+            _encode_into(item, chunks)
+    elif isinstance(value, np.ndarray):
+        _encode_array(value, chunks)
+    elif type(value) in _CLASS_TO_NAME:
+        type_name = _CLASS_TO_NAME[type(value)]
+        _, to_dict, _ = _CODECS[type_name]
+        raw_name = type_name.encode("utf-8")
+        chunks.append(_TAG_OBJECT + struct.pack(">I", len(raw_name)) + _pad(raw_name))
+        _encode_into(to_dict(value), chunks)
+    else:
+        # fall back to a registered codec for a parent class, if any
+        for cls, type_name in _CLASS_TO_NAME.items():
+            if isinstance(value, cls):
+                _, to_dict, _ = _CODECS[type_name]
+                raw_name = type_name.encode("utf-8")
+                chunks.append(
+                    _TAG_OBJECT + struct.pack(">I", len(raw_name)) + _pad(raw_name)
+                )
+                _encode_into(to_dict(value), chunks)
+                return
+        raise SerializationError(
+            f"cannot encode value of unsupported type {type(value).__name__}"
+        )
+
+
+def _encode_array(value: np.ndarray, chunks: list[bytes]) -> None:
+    if value.dtype.kind == "f":
+        code, dtype = "f8", _ARRAY_DTYPES["f8"]
+    elif value.dtype.kind in "iu":
+        code, dtype = "i8", _ARRAY_DTYPES["i8"]
+    elif value.dtype.kind == "b":
+        code, dtype = "b1", _ARRAY_DTYPES["b1"]
+    else:
+        raise SerializationError(f"unsupported array dtype: {value.dtype}")
+    data = np.ascontiguousarray(value, dtype=dtype).tobytes()
+    header = (
+        _TAG_ARRAY
+        + code.encode("ascii")
+        + struct.pack(">I", value.ndim)
+        + b"".join(struct.pack(">I", int(dim)) for dim in value.shape)
+        + struct.pack(">I", len(data))
+    )
+    chunks.append(header + _pad(data))
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` into an architecture-independent byte string."""
+    chunks: list[bytes] = []
+    _encode_into(value, chunks)
+    return b"".join(chunks)
+
+
+class _Reader:
+    """Cursor over an encoded byte string."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise SerializationError("truncated XDR stream")
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def take_padded(self, n: int) -> bytes:
+        out = self.take(n)
+        remainder = n % 4
+        if remainder:
+            self.take(4 - remainder)
+        return out
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.data)
+
+
+def _decode_from(reader: _Reader) -> Any:
+    tag = reader.take(1)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_INT:
+        return struct.unpack(">q", reader.take(8))[0]
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", reader.take(8))[0]
+    if tag == _TAG_STRING:
+        length = reader.u32()
+        return reader.take_padded(length).decode("utf-8")
+    if tag == _TAG_BYTES:
+        length = reader.u32()
+        return reader.take_padded(length)
+    if tag == _TAG_LIST:
+        length = reader.u32()
+        return [_decode_from(reader) for _ in range(length)]
+    if tag == _TAG_DICT:
+        length = reader.u32()
+        out = {}
+        for _ in range(length):
+            key_len = reader.u32()
+            key = reader.take_padded(key_len).decode("utf-8")
+            out[key] = _decode_from(reader)
+        return out
+    if tag == _TAG_ARRAY:
+        code = reader.take(2).decode("ascii")
+        if code not in _ARRAY_DTYPES:
+            raise SerializationError(f"unknown array dtype code {code!r}")
+        ndim = reader.u32()
+        shape = tuple(reader.u32() for _ in range(ndim))
+        nbytes = reader.u32()
+        raw = reader.take_padded(nbytes)
+        arr = np.frombuffer(raw, dtype=_ARRAY_DTYPES[code]).reshape(shape)
+        # convert back to native byte order
+        return np.ascontiguousarray(arr, dtype=arr.dtype.newbyteorder("="))
+    if tag == _TAG_OBJECT:
+        name_len = reader.u32()
+        type_name = reader.take_padded(name_len).decode("utf-8")
+        if type_name not in _CODECS:
+            raise SerializationError(f"no codec registered for object type {type_name!r}")
+        _, _, from_dict = _CODECS[type_name]
+        payload = _decode_from(reader)
+        if not isinstance(payload, dict):
+            raise SerializationError("object payload must decode to a dictionary")
+        return from_dict(payload)
+    raise SerializationError(f"unknown XDR tag {tag!r} at position {reader.pos - 1}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode a byte string produced by :func:`encode`."""
+    reader = _Reader(bytes(data))
+    value = _decode_from(reader)
+    if not reader.exhausted:
+        raise SerializationError(
+            f"trailing bytes after decoding ({len(data) - reader.pos} left)"
+        )
+    return value

@@ -1,0 +1,114 @@
+"""Tests of the compute-cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.costmodel import CostModel, estimate_work_units, measured_cost, paper_cost_model
+from repro.pricing import PricingProblem
+
+
+def _problem(method: str, **method_params) -> PricingProblem:
+    problem = PricingProblem()
+    problem.set_model("BlackScholes1D", spot=100.0, rate=0.05, volatility=0.2)
+    problem.set_option("CallEuro", strike=100.0, maturity=1.0)
+    problem.set_method(method, **method_params)
+    return problem
+
+
+class TestWorkUnits:
+    def test_closed_form(self):
+        work, family = estimate_work_units(_problem("CF_Call"))
+        assert family == "closed_form"
+        assert work == 1.0
+
+    def test_pde(self):
+        work, family = estimate_work_units(_problem("FD_European", n_space=200, n_time=100))
+        assert family == "pde"
+        assert work == 200 * 100
+
+    def test_pde_american(self):
+        problem = PricingProblem()
+        problem.set_model("BlackScholes1D", spot=100.0, rate=0.05, volatility=0.2)
+        problem.set_option("PutAmer", strike=100.0, maturity=1.0)
+        problem.set_method("FD_American", n_space=300, n_time=100)
+        work, family = estimate_work_units(problem)
+        assert family == "pde_american"
+        assert work == 300 * 100
+
+    def test_monte_carlo_counts_paths_steps_and_dimension(self):
+        work, family = estimate_work_units(
+            _problem("MC_European", n_paths=1000, n_steps=10)
+        )
+        assert family == "monte_carlo"
+        assert work == 1000 * 10
+
+    def test_tree(self):
+        work, family = estimate_work_units(_problem("TR_CoxRossRubinstein", n_steps=200))
+        assert family == "tree"
+        assert work == 200 * 200
+
+
+class TestCostModel:
+    def test_estimate_positive_and_ordered(self):
+        model = paper_cost_model()
+        cheap = model.estimate(_problem("CF_Call"))
+        mc = model.estimate(_problem("MC_European", n_paths=1_000_000, n_steps=10))
+        assert 0 < cheap < mc
+
+    def test_paper_cost_classes(self):
+        """Vanilla ~instantaneous, European MC/PDE intermediate, American slowest."""
+        model = paper_cost_model()
+        vanilla = model.estimate(_problem("CF_Call"))
+        pde = model.estimate(_problem("FD_European", n_space=500, n_time=500))
+        problem_american = PricingProblem()
+        problem_american.set_model("BlackScholes1D", spot=100.0, rate=0.05, volatility=0.2)
+        problem_american.set_option("PutAmer", strike=100.0, maturity=1.0)
+        problem_american.set_method("FD_American", n_space=500, n_time=500)
+        american = model.estimate(problem_american)
+        assert vanilla < 0.01
+        assert vanilla < pde < american
+
+    def test_scale_factor(self):
+        base = paper_cost_model()
+        slower = base.with_scale(2.0)
+        problem = _problem("FD_European", n_space=100, n_time=100)
+        assert slower.estimate(problem) == pytest.approx(2.0 * base.estimate(problem))
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().rate_for("quantum")
+
+    def test_calibration_refits_rates(self):
+        model = CostModel()
+        problems = [
+            _problem("MC_European", n_paths=10_000, n_steps=10),
+            _problem("MC_European", n_paths=20_000, n_steps=10),
+        ]
+        measured = [2.0, 4.0]  # pretend each path-step costs 2e-5 seconds
+        calibrated = model.calibrate(problems, measured)
+        expected_rate = (2.0 + 4.0 - 2 * model.overhead) / (100_000 + 200_000)
+        assert calibrated.monte_carlo == pytest.approx(expected_rate, rel=1e-6)
+        # untouched families keep their defaults
+        assert calibrated.pde == model.pde
+
+    def test_calibration_validates_lengths(self):
+        with pytest.raises(ValueError):
+            CostModel().calibrate([_problem("CF_Call")], [1.0, 2.0])
+
+    def test_calibration_against_real_measurements(self):
+        """Calibrated estimates should land within a factor ~3 of reality."""
+        problems = [
+            _problem("MC_European", n_paths=20_000, n_steps=5, seed=0),
+            _problem("FD_European", n_space=150, n_time=80),
+            _problem("TR_CoxRossRubinstein", n_steps=300),
+        ]
+        measured = [measured_cost(p) for p in problems]
+        calibrated = CostModel().calibrate(problems, measured)
+        for problem, actual in zip(problems, measured):
+            estimate = calibrated.estimate(problem)
+            assert estimate == pytest.approx(actual, rel=3.0, abs=0.05)
+
+    def test_as_dict(self):
+        data = paper_cost_model().as_dict()
+        assert set(data) >= {"overhead", "scale", "monte_carlo", "pde"}

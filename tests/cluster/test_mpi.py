@@ -1,0 +1,195 @@
+"""Tests of the MPI-like message passing facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import mpi
+from repro.errors import CommunicatorError
+from repro.serial import Serial, serialize
+
+
+def test_spawn_basic_roundtrip():
+    def slave(comm):
+        value = comm.recv_obj(source=0, tag=1)
+        comm.send_obj(value * 2, dest=0, tag=2)
+
+    with mpi.spawn(2, slave) as comm:
+        assert comm.rank == 0
+        assert comm.size == 3
+        comm.send_obj(21, dest=1, tag=1)
+        comm.send_obj(100, dest=2, tag=1)
+        results = sorted(comm.recv_obj(source=mpi.ANY_SOURCE, tag=2) for _ in range(2))
+    assert results == [42, 200]
+
+
+def test_send_obj_serializes_arbitrary_objects():
+    """The paper's example: a list holding a string, a boolean and a matrix."""
+    payload = ["string", True, np.random.default_rng(0).random((4, 4))]
+
+    def slave(comm):
+        received = comm.recv_obj(source=0, tag=5)
+        comm.send_obj(
+            bool(
+                received[0] == "string"
+                and received[1] is True
+                and np.allclose(received[2], payload[2])
+            ),
+            dest=0,
+            tag=6,
+        )
+
+    with mpi.spawn(1, slave) as comm:
+        comm.send_obj(payload, dest=1, tag=5)
+        assert comm.recv_obj(source=1, tag=6) is True
+
+
+def test_probe_reports_source_tag_and_count():
+    def slave(comm):
+        comm.send_obj("ready", dest=0, tag=9)
+
+    with mpi.spawn(2, slave) as comm:
+        status = comm.probe(source=mpi.ANY_SOURCE, tag=9)
+        assert status.source in (1, 2)
+        assert status.tag == 9
+        assert status.count > 0
+        # probing does not consume: the message is still receivable
+        value = comm.recv_obj(source=status.source, tag=9)
+        assert value == "ready"
+        comm.recv_obj(source=mpi.ANY_SOURCE, tag=9)
+
+
+def test_pack_unpack_round_trip():
+    packed = mpi.pack({"A": [True, False], "B": list(range(4))})
+    assert isinstance(packed, Serial)
+    assert mpi.unpack(packed) == {"A": [True, False], "B": [0, 1, 2, 3]}
+    assert mpi.unpack(packed.to_bytes()) == {"A": [True, False], "B": [0, 1, 2, 3]}
+
+
+def test_send_packed_buffers():
+    """MPI_Pack / MPI_Send / MPI_Probe / MPI_Recv / MPI_Unpack sequence."""
+
+    def slave(comm):
+        status = comm.probe(source=0)
+        assert status.count > 0
+        buffer = comm.recv(source=0, tag=status.tag)
+        value = mpi.unpack(buffer)
+        comm.send_obj(value["B"], dest=0, tag=3)
+
+    with mpi.spawn(1, slave) as comm:
+        packed = mpi.pack({"A": 1, "B": [4, 5, 6]})
+        comm.send(packed, dest=1, tag=7)
+        assert comm.recv_obj(source=1, tag=3) == [4, 5, 6]
+
+
+def test_serialized_objects_pass_through_unserialized_on_recv_obj():
+    def slave(comm):
+        value = comm.recv_obj(source=0, tag=1)
+        comm.send_obj(value, dest=0, tag=2)
+
+    with mpi.spawn(1, slave) as comm:
+        comm.send_obj(serialize([1, 2, 3]), dest=1, tag=1)
+        assert comm.recv_obj(source=1, tag=2) == [1, 2, 3]
+
+
+def test_tag_filtering():
+    def slave(comm):
+        comm.send_obj("low", dest=0, tag=1)
+        comm.send_obj("high", dest=0, tag=2)
+
+    with mpi.spawn(1, slave) as comm:
+        # receive out of order by tag
+        assert comm.recv_obj(source=1, tag=2) == "high"
+        assert comm.recv_obj(source=1, tag=1) == "low"
+
+
+def test_barrier_synchronises_all_ranks():
+    hits: list[int] = []
+
+    def slave(comm):
+        comm.barrier()
+        hits.append(comm.rank)
+
+    group = mpi.spawn(3, slave)
+    assert hits == []  # slaves are blocked on the barrier
+    group.master.barrier()
+    group.join()
+    assert sorted(hits) == [1, 2, 3]
+
+
+def test_invalid_rank_rejected():
+    def slave(comm):
+        comm.recv_obj(source=0, tag=1)
+
+    group = mpi.spawn(1, slave)
+    with pytest.raises(CommunicatorError):
+        group.master.send_obj(1, dest=5, tag=1)
+    group.master.send_obj(None, dest=1, tag=1)
+    group.join()
+
+
+def test_recv_timeout():
+    def slave(comm):
+        comm.recv_obj(source=0, tag=1)
+
+    group = mpi.spawn(1, slave)
+    with pytest.raises(CommunicatorError):
+        group.master.recv_obj(source=1, tag=1, timeout=0.05)
+    group.master.send_obj(None, dest=1, tag=1)
+    group.join()
+
+
+def test_slave_exception_surfaces_at_join():
+    def bad_slave(comm):
+        raise RuntimeError("boom")
+
+    group = mpi.spawn(1, bad_slave)
+    with pytest.raises(CommunicatorError, match="boom"):
+        group.join()
+
+
+def test_spawn_requires_at_least_one_slave():
+    with pytest.raises(CommunicatorError):
+        mpi.spawn(0, lambda comm: None)
+
+
+def test_extra_spawn_arguments_forwarded():
+    def slave(comm, factor):
+        value = comm.recv_obj(source=0, tag=1)
+        comm.send_obj(value * factor, dest=0, tag=2)
+
+    with mpi.spawn(1, slave, 10) as comm:
+        comm.send_obj(7, dest=1, tag=1)
+        assert comm.recv_obj(source=1, tag=2) == 70
+
+
+def test_robin_hood_master_worker_pattern():
+    """The Fig. 4 pattern: feed whoever answers first, then send stop."""
+
+    def slave(comm):
+        while True:
+            job = comm.recv_obj(source=0, tag=1)
+            if job == "":
+                break
+            comm.send_obj((comm.rank, job * job), dest=0, tag=2)
+
+    jobs = list(range(1, 21))
+    results = []
+    n_slaves = 4
+    with mpi.spawn(n_slaves, slave) as comm:
+        queue = list(jobs)
+        for rank in range(1, n_slaves + 1):
+            comm.send_obj(queue.pop(0), dest=rank, tag=1)
+        while queue:
+            status = comm.probe(source=mpi.ANY_SOURCE, tag=2)
+            results.append(comm.recv_obj(source=status.source, tag=2))
+            comm.send_obj(queue.pop(0), dest=status.source, tag=1)
+        for _ in range(n_slaves):
+            results.append(comm.recv_obj(source=mpi.ANY_SOURCE, tag=2))
+        for rank in range(1, n_slaves + 1):
+            comm.send_obj("", dest=rank, tag=1)
+
+    assert sorted(value for _, value in results) == sorted(j * j for j in jobs)
+    # more than one slave actually contributed
+    assert len({rank for rank, _ in results}) > 1

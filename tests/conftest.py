@@ -1,0 +1,79 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pricing import (
+    BlackScholesModel,
+    EuropeanCall,
+    EuropeanPut,
+    HestonModel,
+    MertonJumpModel,
+    MultiAssetBlackScholesModel,
+    PricingProblem,
+    flat_correlation,
+)
+
+
+@pytest.fixture
+def bs_model() -> BlackScholesModel:
+    """The canonical Black-Scholes test model (S=100, r=5%, sigma=20%)."""
+    return BlackScholesModel(spot=100.0, rate=0.05, volatility=0.2)
+
+
+@pytest.fixture
+def bs_model_dividend() -> BlackScholesModel:
+    return BlackScholesModel(spot=100.0, rate=0.05, volatility=0.25, dividend=0.03)
+
+
+@pytest.fixture
+def heston_model() -> HestonModel:
+    return HestonModel(
+        spot=100.0, rate=0.03, v0=0.04, kappa=2.0, theta=0.04, sigma_v=0.4, rho=-0.7
+    )
+
+
+@pytest.fixture
+def merton_model() -> MertonJumpModel:
+    return MertonJumpModel(
+        spot=100.0, rate=0.05, volatility=0.2,
+        jump_intensity=0.5, jump_mean=-0.1, jump_std=0.2,
+    )
+
+
+@pytest.fixture
+def basket_model() -> MultiAssetBlackScholesModel:
+    return MultiAssetBlackScholesModel(
+        spot=[100.0] * 5,
+        rate=0.05,
+        volatilities=[0.2, 0.22, 0.18, 0.25, 0.21],
+        correlation=flat_correlation(5, 0.4),
+    )
+
+
+@pytest.fixture
+def atm_call() -> EuropeanCall:
+    return EuropeanCall(strike=100.0, maturity=1.0)
+
+
+@pytest.fixture
+def atm_put() -> EuropeanPut:
+    return EuropeanPut(strike=100.0, maturity=1.0)
+
+
+@pytest.fixture
+def simple_problem() -> PricingProblem:
+    """A fully specified closed-form Black-Scholes call problem."""
+    problem = PricingProblem(label="fixture_call")
+    problem.set_asset("equity")
+    problem.set_model("BlackScholes1D", spot=100.0, rate=0.05, volatility=0.2)
+    problem.set_option("CallEuro", strike=100.0, maturity=1.0)
+    problem.set_method("CF_Call")
+    return problem
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

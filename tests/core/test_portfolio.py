@@ -1,0 +1,198 @@
+"""Tests of portfolios and the three benchmark workload builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.costmodel import paper_cost_model
+from repro.core.portfolio import (
+    Portfolio,
+    Position,
+    build_realistic_portfolio,
+    build_regression_portfolio,
+    build_toy_portfolio,
+)
+from repro.errors import PortfolioError
+from repro.pricing import PricingProblem
+
+
+def _problem(strike=100.0, label="p"):
+    problem = PricingProblem(label=label)
+    problem.set_model("BlackScholes1D", spot=100.0, rate=0.05, volatility=0.2)
+    problem.set_option("CallEuro", strike=strike, maturity=1.0)
+    problem.set_method("CF_Call")
+    return problem
+
+
+class TestPortfolioContainer:
+    def test_add_and_iterate(self):
+        portfolio = Portfolio(name="test")
+        portfolio.add(Position(problem=_problem(90.0), category="a", label="x"))
+        portfolio.extend([Position(problem=_problem(110.0), category="b", label="y")])
+        assert len(portfolio) == 2
+        assert portfolio[0].label == "x"
+        assert portfolio.categories() == ["a", "b"]
+        assert portfolio.count_by_category() == {"a": 1, "b": 1}
+
+    def test_incomplete_problem_rejected(self):
+        with pytest.raises(PortfolioError):
+            Position(problem=PricingProblem(), category="bad")
+
+    def test_summary_with_cost_model(self):
+        portfolio = Portfolio(positions=[Position(problem=_problem(), category="cf")])
+        summary = portfolio.summary(cost_model=paper_cost_model())
+        assert summary["cf"]["count"] == 1
+        assert summary["cf"]["estimated_cost"] > 0
+        assert portfolio.total_estimated_cost() > 0
+
+    def test_subset(self):
+        portfolio = build_toy_portfolio(n_options=10)
+        assert len(portfolio.subset(3)) == 3
+
+    def test_store_roundtrip(self, tmp_path):
+        portfolio = build_toy_portfolio(n_options=5)
+        store = portfolio.to_store(tmp_path / "files")
+        assert len(store) == 5
+        reloaded = Portfolio.from_store(store)
+        assert len(reloaded) == 5
+        assert reloaded[0].problem == portfolio[0].problem
+
+    def test_build_jobs_virtual(self):
+        portfolio = build_toy_portfolio(n_options=8)
+        jobs = portfolio.build_jobs()
+        assert len(jobs) == 8
+        assert all(job.file_size > 0 for job in jobs)
+        assert all(job.compute_cost > 0 for job in jobs)
+        assert all(job.problem is None for job in jobs)
+        assert len({job.job_id for job in jobs}) == 8
+
+    def test_build_jobs_with_store_and_problems(self, tmp_path):
+        portfolio = build_toy_portfolio(n_options=4)
+        store = portfolio.to_store(tmp_path / "files")
+        jobs = portfolio.build_jobs(store=store, attach_problems=True)
+        assert all(job.path.endswith(".pb") for job in jobs)
+        assert all(job.problem is not None for job in jobs)
+        sizes = [job.file_size for job in jobs]
+        assert sizes == [path.stat().st_size for path in store.paths()]
+
+    def test_build_jobs_store_mismatch(self, tmp_path):
+        portfolio = build_toy_portfolio(n_options=4)
+        store = build_toy_portfolio(n_options=2).to_store(tmp_path / "files")
+        with pytest.raises(PortfolioError):
+            portfolio.build_jobs(store=store)
+
+
+class TestToyPortfolio:
+    def test_default_size_matches_the_paper(self):
+        portfolio = build_toy_portfolio()
+        assert len(portfolio) == 10_000
+
+    def test_all_positions_closed_form_vanilla(self):
+        portfolio = build_toy_portfolio(n_options=50)
+        assert set(portfolio.count_by_category()) == {"vanilla_cf"}
+        for position in portfolio:
+            assert position.problem.method_name in ("CF_Call", "CF_Put")
+
+    def test_positions_are_distinct_problems(self):
+        portfolio = build_toy_portfolio(n_options=200)
+        dicts = [str(p.problem.to_dict()) for p in portfolio]
+        assert len(set(dicts)) == 200
+
+    def test_costs_are_tiny(self):
+        portfolio = build_toy_portfolio(n_options=20)
+        model = paper_cost_model()
+        assert all(model.estimate(p.problem) < 0.01 for p in portfolio)
+
+    def test_invalid_size(self):
+        with pytest.raises(PortfolioError):
+            build_toy_portfolio(n_options=0)
+
+
+class TestRealisticPortfolio:
+    def test_full_scale_composition_matches_section_4_3(self):
+        portfolio = build_realistic_portfolio(profile="paper")
+        counts = portfolio.count_by_category()
+        assert counts == {
+            "vanilla_cf": 1952,
+            "barrier_pde": 1952,
+            "basket_mc": 525,
+            "localvol_mc": 1025,
+            "american_pde": 1952,
+            "american_basket_ls": 525,
+        }
+        assert len(portfolio) == 7931
+
+    def test_total_cost_scale_matches_table_iii(self):
+        """Single-worker work should be in the few-thousand-seconds range of
+        Table III (T(2 CPUs) = 5770 s)."""
+        portfolio = build_realistic_portfolio(profile="paper")
+        total = portfolio.total_estimated_cost(paper_cost_model())
+        assert 4000 < total < 8000
+
+    def test_cost_ordering_of_the_slices(self):
+        portfolio = build_realistic_portfolio(profile="paper", scale=0.05)
+        summary = portfolio.summary(paper_cost_model())
+        per_item = {k: v["estimated_cost"] / v["count"] for k, v in summary.items()}
+        assert per_item["vanilla_cf"] < 0.01
+        assert per_item["vanilla_cf"] < per_item["barrier_pde"]
+        assert per_item["barrier_pde"] < per_item["american_basket_ls"]
+        # American options are the most expensive class, as in the paper
+        assert max(per_item, key=per_item.get) in ("american_basket_ls", "american_pde")
+
+    def test_scaled_down_preserves_all_slices(self):
+        portfolio = build_realistic_portfolio(profile="fast", scale=0.01)
+        counts = portfolio.count_by_category()
+        assert set(counts) == {
+            "vanilla_cf", "barrier_pde", "basket_mc", "localvol_mc",
+            "american_pde", "american_basket_ls",
+        }
+        assert len(portfolio) < 200
+
+    def test_fast_profile_is_executable(self):
+        portfolio = build_realistic_portfolio(profile="fast", scale=0.003)
+        for position in portfolio:
+            result = position.problem.compute()
+            assert result.price >= 0.0
+
+    def test_basket_dimensions(self):
+        portfolio = build_realistic_portfolio(profile="fast", scale=0.01)
+        by_cat = {c: [p for p in portfolio if p.category == c] for c in portfolio.categories()}
+        assert by_cat["basket_mc"][0].problem.model.dimension == 40
+        assert by_cat["american_basket_ls"][0].problem.model.dimension == 7
+
+    def test_barrier_slice_uses_two_day_time_steps(self):
+        portfolio = build_realistic_portfolio(profile="paper", scale=0.01)
+        barrier_positions = [p for p in portfolio if p.category == "barrier_pde"]
+        for position in barrier_positions:
+            params = position.problem.method.to_params()
+            maturity = position.problem.product.maturity
+            assert params["n_time"] >= int(126 * maturity)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(PortfolioError):
+            build_realistic_portfolio(profile="heavy")
+        with pytest.raises(PortfolioError):
+            build_realistic_portfolio(scale=0.0)
+        with pytest.raises(PortfolioError):
+            build_realistic_portfolio(scale=1.5)
+
+
+class TestRegressionPortfolio:
+    def test_covers_every_model_family(self):
+        portfolio = build_regression_portfolio(profile="paper")
+        labels = [p.label for p in portfolio]
+        for model_tag in ("bs/", "cev/", "lv/", "heston/", "merton/", "bs5d/"):
+            assert any(label.startswith(model_tag) for label in labels)
+
+    def test_problem_count_is_stable(self):
+        """The suite size is part of the Table I workload definition."""
+        portfolio = build_regression_portfolio(profile="paper")
+        assert 80 <= len(portfolio) <= 130
+
+    def test_contains_the_paper_cost_spread(self):
+        portfolio = build_regression_portfolio(profile="paper")
+        model = paper_cost_model()
+        costs = [model.estimate(p.problem) for p in portfolio]
+        assert min(costs) < 0.01          # closed forms
+        assert max(costs) > 10.0          # the heavy Monte-Carlo tests
+        assert sum(costs) > 300.0         # the suite represents minutes of work

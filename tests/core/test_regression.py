@@ -1,0 +1,88 @@
+"""Tests of the non-regression workload (Table I) and reference checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.regression import (
+    RegressionSuite,
+    generate_regression_problems,
+)
+from repro.errors import PortfolioError
+
+
+class TestGeneration:
+    def test_every_problem_is_complete_and_unique(self):
+        problems = list(generate_regression_problems(profile="fast"))
+        labels = [label for _, label in problems]
+        assert len(labels) == len(set(labels))
+        for problem, label in problems:
+            assert problem.is_complete
+            assert problem.label == label
+
+    def test_paper_and_fast_profiles_have_the_same_combinations(self):
+        paper = [label for _, label in generate_regression_problems("paper")]
+        fast = [label for _, label in generate_regression_problems("fast")]
+        assert paper == fast
+
+    def test_paper_profile_is_heavier(self):
+        from repro.cluster.costmodel import paper_cost_model
+
+        model = paper_cost_model()
+        paper_cost = sum(
+            model.estimate(p) for p, _ in generate_regression_problems("paper")
+        )
+        fast_cost = sum(
+            model.estimate(p) for p, _ in generate_regression_problems("fast")
+        )
+        assert paper_cost > 50 * fast_cost
+
+    def test_the_paper_example_combination_is_included(self):
+        labels = [label for _, label in generate_regression_problems("fast")]
+        assert any("heston/american_put/MC_AM_LongstaffSchwartz" in label for label in labels)
+
+    def test_invalid_profile(self):
+        with pytest.raises(PortfolioError):
+            list(generate_regression_problems(profile="exhaustive"))
+
+
+class TestRegressionSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return RegressionSuite(profile="fast")
+
+    def test_run_produces_a_price_per_problem(self, suite):
+        prices = suite.run()
+        assert len(prices) == len(suite)
+        assert all(price >= 0 or price == price for price in prices.values())
+
+    def test_reference_roundtrip_has_no_mismatch(self, suite, tmp_path):
+        reference_path = tmp_path / "reference.json"
+        suite.generate_reference(reference_path)
+        mismatches = suite.check_against_reference(reference_path)
+        assert mismatches == []
+
+    def test_detects_a_changed_algorithm(self, suite, tmp_path):
+        import json
+
+        reference_path = tmp_path / "reference.json"
+        reference = suite.generate_reference(reference_path)
+        # simulate a code change that shifts one algorithm's output
+        corrupted = dict(reference)
+        first_key = sorted(corrupted)[0]
+        corrupted[first_key] = corrupted[first_key] + 1.0
+        reference_path.write_text(json.dumps(corrupted))
+        mismatches = suite.check_against_reference(reference_path)
+        assert len(mismatches) == 1
+        assert mismatches[0].label == first_key
+        assert mismatches[0].relative_error > 0
+
+    def test_detects_a_removed_problem(self, suite, tmp_path):
+        import json
+
+        reference_path = tmp_path / "reference.json"
+        reference = suite.generate_reference(reference_path)
+        reference["bs/imaginary/NEW_Method"] = 1.0
+        reference_path.write_text(json.dumps(reference))
+        mismatches = suite.check_against_reference(reference_path)
+        assert any(m.label == "bs/imaginary/NEW_Method" for m in mismatches)

@@ -1,0 +1,158 @@
+"""Tests of the load-balancing schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.backends.base import Job
+from repro.cluster.simcluster import ClusterSpec, CommunicationModel, SimulatedClusterBackend
+from repro.core.scheduler import (
+    SCHEDULERS,
+    ChunkedRobinHoodScheduler,
+    RobinHoodScheduler,
+    StaticBlockScheduler,
+    simulate_hierarchical,
+)
+from repro.core.strategies import get_strategy
+from repro.errors import SchedulingError
+
+
+def _jobs(costs):
+    return [
+        Job(job_id=i, path=f"/virtual/p{i}.pb", file_size=600, compute_cost=c,
+            category="test")
+        for i, c in enumerate(costs)
+    ]
+
+
+def _backend(n_workers, strategy="serialized_load", speeds=None):
+    spec = (
+        ClusterSpec.heterogeneous(speeds) if speeds else ClusterSpec.homogeneous(n_workers)
+    )
+    return SimulatedClusterBackend(spec, strategy=strategy)
+
+
+STRATEGY = get_strategy("serialized_load")
+
+
+class TestRobinHood:
+    def test_all_jobs_completed_once(self):
+        jobs = _jobs([0.1] * 25)
+        outcome = RobinHoodScheduler().run(jobs, _backend(4), STRATEGY)
+        assert sorted(c.job_id for c in outcome.completed) == list(range(25))
+        assert outcome.total_time > 0
+        assert outcome.scheduler_name == "robin_hood"
+        assert not outcome.errors
+
+    def test_fewer_jobs_than_workers(self):
+        jobs = _jobs([0.1, 0.2])
+        outcome = RobinHoodScheduler().run(jobs, _backend(8), STRATEGY)
+        assert len(outcome.completed) == 2
+
+    def test_single_worker(self):
+        jobs = _jobs([0.1] * 5)
+        outcome = RobinHoodScheduler().run(jobs, _backend(1), STRATEGY)
+        assert len(outcome.completed) == 5
+        assert outcome.total_time >= 0.5
+
+    def test_dynamic_balancing_beats_static_on_heterogeneous_work(self):
+        """Robin Hood adapts to the heavy tail; static blocks do not."""
+        # a workload where one contiguous block is much heavier than the others
+        costs = [0.01] * 60 + [1.0] * 20
+        jobs = _jobs(costs)
+        robin = RobinHoodScheduler().run(jobs, _backend(4), STRATEGY).total_time
+        static = StaticBlockScheduler().run(jobs, _backend(4), STRATEGY).total_time
+        assert robin < static
+
+    def test_heterogeneous_workers_fast_one_does_more(self):
+        jobs = _jobs([0.2] * 30)
+        backend = _backend(None, speeds=[4.0, 1.0])
+        outcome = RobinHoodScheduler().run(jobs, backend, STRATEGY)
+        per_worker = {}
+        for completed in outcome.completed:
+            per_worker[completed.worker_id] = per_worker.get(completed.worker_id, 0) + 1
+        assert per_worker[0] > per_worker[1]
+
+    def test_empty_job_list_rejected(self):
+        with pytest.raises(SchedulingError):
+            RobinHoodScheduler().run([], _backend(2), STRATEGY)
+
+    def test_duplicate_job_ids_rejected(self):
+        jobs = _jobs([0.1, 0.1])
+        jobs[1].job_id = jobs[0].job_id
+        with pytest.raises(SchedulingError):
+            RobinHoodScheduler().run(jobs, _backend(2), STRATEGY)
+
+
+class TestStaticBlock:
+    def test_all_jobs_completed(self):
+        jobs = _jobs([0.05] * 17)
+        outcome = StaticBlockScheduler().run(jobs, _backend(4), STRATEGY)
+        assert sorted(c.job_id for c in outcome.completed) == list(range(17))
+        assert outcome.scheduler_name == "static_block"
+
+    def test_matches_robin_hood_on_homogeneous_work(self):
+        """With identical jobs the two schedulers should be comparable."""
+        jobs = _jobs([0.25] * 32)
+        robin = RobinHoodScheduler().run(jobs, _backend(4), STRATEGY).total_time
+        static = StaticBlockScheduler().run(jobs, _backend(4), STRATEGY).total_time
+        assert static == pytest.approx(robin, rel=0.15)
+
+
+class TestChunkedRobinHood:
+    def test_all_jobs_completed(self):
+        jobs = _jobs([0.01] * 53)
+        outcome = ChunkedRobinHoodScheduler(chunk_size=8).run(jobs, _backend(4), STRATEGY)
+        assert sorted(c.job_id for c in outcome.completed) == list(range(53))
+        assert outcome.extra["chunk_size"] == 8
+
+    def test_batching_reduces_makespan_for_cheap_jobs(self):
+        """The conclusion's first improvement: fewer, larger messages."""
+        jobs = _jobs([1e-4] * 1000)
+        single = RobinHoodScheduler().run(jobs, _backend(8, strategy="nfs"), get_strategy("nfs"))
+        chunked = ChunkedRobinHoodScheduler(chunk_size=25).run(
+            jobs, _backend(8, strategy="nfs"), get_strategy("nfs")
+        )
+        assert chunked.total_time < single.total_time
+
+    def test_chunk_size_one_equivalent_to_robin_hood(self):
+        jobs = _jobs([0.02] * 40)
+        plain = RobinHoodScheduler().run(jobs, _backend(3), STRATEGY).total_time
+        chunked = ChunkedRobinHoodScheduler(chunk_size=1).run(jobs, _backend(3), STRATEGY).total_time
+        assert chunked == pytest.approx(plain, rel=0.05)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(SchedulingError):
+            ChunkedRobinHoodScheduler(chunk_size=0)
+
+
+class TestHierarchical:
+    def test_returns_group_breakdown(self):
+        jobs = _jobs([0.05] * 120)
+        result = simulate_hierarchical(jobs, n_workers=12, n_groups=3)
+        assert result["n_groups"] == 3
+        assert len(result["group_times"]) == 3
+        assert result["total_time"] >= max(result["group_times"])
+        assert result["master_dealing_time"] > 0
+
+    def test_sub_masters_help_cheap_workloads(self):
+        """The conclusion's second improvement: with very cheap jobs a single
+        master is the bottleneck, sub-masters distribute that load."""
+        jobs = _jobs([1e-4] * 3000)
+        flat_backend = _backend(32)
+        flat = RobinHoodScheduler().run(jobs, flat_backend, STRATEGY).total_time
+        hierarchical = simulate_hierarchical(jobs, n_workers=32, n_groups=4)["total_time"]
+        assert hierarchical < flat
+
+    def test_validation(self):
+        jobs = _jobs([0.1] * 10)
+        with pytest.raises(SchedulingError):
+            simulate_hierarchical(jobs, n_workers=4, n_groups=0)
+        with pytest.raises(SchedulingError):
+            simulate_hierarchical(jobs, n_workers=2, n_groups=4)
+        with pytest.raises(SchedulingError):
+            simulate_hierarchical([], n_workers=4, n_groups=2)
+
+
+def test_scheduler_registry():
+    assert set(SCHEDULERS) == {"robin_hood", "static_block", "chunked_robin_hood"}

@@ -1,0 +1,123 @@
+"""Tests of the three problem-transmission strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.backends.base import PAYLOAD_PATH, PAYLOAD_PROBLEM, PAYLOAD_SERIAL, Job
+from repro.core.strategies import (
+    STRATEGIES,
+    FullLoadStrategy,
+    InMemoryStrategy,
+    NFSStrategy,
+    SerializedLoadStrategy,
+    get_strategy,
+)
+from repro.errors import SchedulingError
+from repro.pricing import PricingProblem
+from repro.serial import Serial, save, serialize
+
+
+@pytest.fixture
+def problem() -> PricingProblem:
+    problem = PricingProblem(label="strategy_test")
+    problem.set_asset("equity")
+    problem.set_model("BlackScholes1D", spot=100.0, rate=0.05, volatility=0.2)
+    problem.set_option("PutEuro", strike=95.0, maturity=0.5)
+    problem.set_method("CF_Put")
+    return problem
+
+
+@pytest.fixture
+def file_job(tmp_path, problem) -> Job:
+    path = tmp_path / "problem.pb"
+    save(path, problem)
+    return Job(job_id=1, path=str(path), file_size=path.stat().st_size,
+               compute_cost=1e-3, category="vanilla")
+
+
+@pytest.fixture
+def memory_job(problem) -> Job:
+    return Job(job_id=2, path="", file_size=serialize(problem).nbytes,
+               compute_cost=1e-3, category="vanilla", problem=problem)
+
+
+class TestFullLoad:
+    def test_prepare_from_file(self, file_job, problem):
+        message = FullLoadStrategy().prepare(file_job)
+        assert message.kind == PAYLOAD_SERIAL
+        assert message.nbytes == len(message.payload)
+        assert Serial.from_bytes(message.payload).unserialize() == problem
+        assert message.prep_elapsed >= 0.0
+
+    def test_prepare_from_memory(self, memory_job, problem):
+        message = FullLoadStrategy().prepare(memory_job)
+        assert Serial.from_bytes(message.payload).unserialize() == problem
+
+    def test_missing_source_raises(self):
+        job = Job(job_id=0, path="/nonexistent/file.pb", file_size=10, compute_cost=1e-3)
+        with pytest.raises(SchedulingError):
+            FullLoadStrategy().prepare(job)
+
+
+class TestSerializedLoad:
+    def test_prepare_reuses_file_bytes(self, file_job, tmp_path):
+        """sload must ship the file content as-is (no re-serialization)."""
+        message = SerializedLoadStrategy().prepare(file_job)
+        assert message.kind == PAYLOAD_SERIAL
+        file_bytes = (tmp_path / "problem.pb").read_bytes()
+        assert message.payload == file_bytes
+
+    def test_prepare_from_memory(self, memory_job, problem):
+        message = SerializedLoadStrategy().prepare(memory_job)
+        assert Serial.from_bytes(message.payload).unserialize() == problem
+
+    def test_equivalent_to_full_load_content(self, file_job, problem):
+        full = FullLoadStrategy().prepare(file_job)
+        sload = SerializedLoadStrategy().prepare(file_job)
+        assert Serial.from_bytes(full.payload).unserialize() == Serial.from_bytes(
+            sload.payload
+        ).unserialize()
+
+
+class TestNFS:
+    def test_prepare_sends_only_the_name(self, file_job):
+        message = NFSStrategy().prepare(file_job)
+        assert message.kind == PAYLOAD_PATH
+        assert message.payload == file_job.path
+        assert message.nbytes == len(file_job.path.encode("utf-8"))
+
+    def test_requires_a_file(self, memory_job):
+        with pytest.raises(SchedulingError):
+            NFSStrategy().prepare(memory_job)
+
+
+class TestInMemory:
+    def test_prepare(self, memory_job, problem):
+        message = InMemoryStrategy().prepare(memory_job)
+        assert message.kind == PAYLOAD_PROBLEM
+        assert message.payload is problem
+
+    def test_requires_problem(self, file_job):
+        file_job.problem = None
+        with pytest.raises(SchedulingError):
+            InMemoryStrategy().prepare(file_job)
+
+
+class TestRegistry:
+    def test_get_strategy(self):
+        assert isinstance(get_strategy("full_load"), FullLoadStrategy)
+        assert isinstance(get_strategy("serialized_load"), SerializedLoadStrategy)
+        assert isinstance(get_strategy("nfs"), NFSStrategy)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(SchedulingError):
+            get_strategy("smoke_signals")
+
+    def test_registry_covers_the_paper_strategies(self):
+        assert set(STRATEGIES) == {"full_load", "serialized_load", "nfs"}
+
+    def test_names_match_cost_model_names(self):
+        from repro.cluster.simcluster.comm import STRATEGY_NAMES
+
+        assert set(STRATEGIES) == set(STRATEGY_NAMES)

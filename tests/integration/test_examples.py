@@ -1,0 +1,62 @@
+"""Smoke tests running the example scripts end to end.
+
+The examples are part of the public deliverable; running them (with reduced
+workloads where they accept arguments) guarantees they do not rot as the
+library evolves.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_example(name: str, argv: list[str] | None = None) -> None:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {name}"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + (argv or [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_example(capsys):
+    _run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "closed form : 10.4506" in out
+    assert "problem file round-trip OK: True" in out
+
+
+def test_master_worker_mpi_example(capsys):
+    _run_example("master_worker_mpi.py")
+    out = capsys.readouterr().out
+    assert "priced 24 problems with 3 slaves" in out
+
+
+def test_risk_report_example(capsys):
+    _run_example("risk_report.py")
+    out = capsys.readouterr().out
+    assert "present value:" in out
+    assert "historical VaR" in out
+
+
+@pytest.mark.slow
+def test_portfolio_pricing_example(capsys):
+    _run_example("portfolio_pricing.py", ["2"])
+    out = capsys.readouterr().out
+    assert "sequential reference" in out
+    assert out.count("errors=0") == 3
+
+
+def test_cluster_scaling_example_quick(capsys):
+    _run_example("cluster_scaling.py", ["--quick"])
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table II" in out and "Table III" in out
+    assert "Speedup" in out

@@ -1,0 +1,127 @@
+"""Tests of the closed-form pricing methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IncompatibleMethodError
+from repro.pricing import (
+    BasketPut,
+    ClosedFormBarrier,
+    ClosedFormBasketApprox,
+    ClosedFormCall,
+    ClosedFormDigital,
+    ClosedFormPut,
+    DigitalCall,
+    DigitalPut,
+    DownOutCall,
+    EuropeanCall,
+    EuropeanPut,
+    MonteCarloEuropean,
+    analytics,
+)
+
+
+class TestClosedFormVanilla:
+    def test_call_price_and_greeks(self, bs_model, atm_call):
+        result = ClosedFormCall().price(bs_model, atm_call)
+        assert result.price == pytest.approx(10.450584, abs=1e-6)
+        assert result.delta == pytest.approx(0.636831, abs=1e-6)
+        assert result.method_name == "CF_Call"
+        assert result.extra["gamma"] > 0
+        assert result.extra["vega"] > 0
+        assert result.elapsed >= 0.0
+
+    def test_put_price_and_parity(self, bs_model, atm_call, atm_put):
+        call = ClosedFormCall().price(bs_model, atm_call).price
+        put = ClosedFormPut().price(bs_model, atm_put).price
+        parity = bs_model.spot - atm_call.strike * np.exp(-bs_model.rate)
+        assert call - put == pytest.approx(parity, abs=1e-12)
+
+    def test_dividend_model(self, bs_model_dividend, atm_call):
+        result = ClosedFormCall().price(bs_model_dividend, atm_call)
+        expected = analytics.bs_call_price(100.0, 100.0, 0.05, 0.25, 1.0, 0.03)
+        assert result.price == pytest.approx(float(expected), abs=1e-12)
+
+    def test_incompatible_combination_raises(self, bs_model, atm_put, heston_model, atm_call):
+        with pytest.raises(IncompatibleMethodError):
+            ClosedFormCall().price(bs_model, atm_put)
+        with pytest.raises(IncompatibleMethodError):
+            ClosedFormCall().price(heston_model, atm_call)
+
+    def test_put_delta_negative(self, bs_model, atm_put):
+        result = ClosedFormPut().price(bs_model, atm_put)
+        assert -1.0 < result.delta < 0.0
+
+
+class TestClosedFormDigital:
+    def test_digital_call(self, bs_model):
+        product = DigitalCall(strike=100.0, maturity=1.0)
+        result = ClosedFormDigital().price(bs_model, product)
+        expected = analytics.digital_call_price(100, 100, 0.05, 0.2, 1.0)
+        assert result.price == pytest.approx(float(expected), abs=1e-12)
+        assert result.delta > 0
+
+    def test_digital_put(self, bs_model):
+        product = DigitalPut(strike=100.0, maturity=1.0)
+        result = ClosedFormDigital().price(bs_model, product)
+        expected = analytics.digital_put_price(100, 100, 0.05, 0.2, 1.0)
+        assert result.price == pytest.approx(float(expected), abs=1e-12)
+        assert result.delta < 0
+
+    def test_digitals_sum_to_discount_bond(self, bs_model):
+        call = ClosedFormDigital().price(bs_model, DigitalCall(strike=100.0, maturity=1.0))
+        put = ClosedFormDigital().price(bs_model, DigitalPut(strike=100.0, maturity=1.0))
+        assert call.price + put.price == pytest.approx(np.exp(-0.05), abs=1e-12)
+
+
+class TestClosedFormBarrier:
+    def test_down_out_call(self, bs_model):
+        product = DownOutCall(strike=100.0, maturity=1.0, barrier=85.0)
+        result = ClosedFormBarrier().price(bs_model, product)
+        expected = analytics.barrier_call_price(100, 100, 85, 0.05, 0.2, 1.0,
+                                                barrier_type="down-out")
+        assert result.price == pytest.approx(float(expected), abs=1e-12)
+        assert 0 < result.price < ClosedFormCall().price(bs_model, EuropeanCall(100, 1.0)).price
+
+    def test_rebate_not_supported_in_closed_form(self, bs_model):
+        from repro.pricing import BarrierOption
+
+        product = BarrierOption(strike=100.0, maturity=1.0, barrier=85.0, rebate=2.0)
+        assert not ClosedFormBarrier().supports(bs_model, product)
+
+    def test_delta_sign(self, bs_model):
+        product = DownOutCall(strike=100.0, maturity=1.0, barrier=85.0)
+        result = ClosedFormBarrier().price(bs_model, product)
+        assert result.delta > 0  # call-like product
+
+
+class TestClosedFormBasketApprox:
+    def test_close_to_monte_carlo(self, basket_model):
+        product = BasketPut(strike=100.0, maturity=1.0, weights=[0.2] * 5)
+        approx = ClosedFormBasketApprox().price(basket_model, product)
+        mc = MonteCarloEuropean(n_paths=200_000, seed=3).price(basket_model, product)
+        # the moment-matched lognormal is accurate to ~1-2% for baskets of
+        # comparable assets
+        assert approx.price == pytest.approx(mc.price, rel=0.03)
+
+    def test_requires_nonnegative_weights(self, basket_model):
+        product = BasketPut(strike=100.0, maturity=1.0, weights=[0.4, 0.4, 0.4, 0.4, -0.6])
+        assert not ClosedFormBasketApprox().supports(basket_model, product)
+
+    def test_requires_matching_dimension(self, basket_model):
+        product = BasketPut(strike=100.0, maturity=1.0, weights=[0.5, 0.5])
+        assert not ClosedFormBasketApprox().supports(basket_model, product)
+
+    def test_incompatible_with_single_asset_model(self, bs_model):
+        product = BasketPut(strike=100.0, maturity=1.0, weights=[1.0])
+        assert not ClosedFormBasketApprox().supports(bs_model, product)
+
+
+def test_methods_report_work_and_name(bs_model, atm_call):
+    result = ClosedFormCall().price(bs_model, atm_call)
+    assert result.n_evaluations == 1
+    as_dict = result.as_dict()
+    assert as_dict["price"] == result.price
+    assert as_dict["method_name"] == "CF_Call"

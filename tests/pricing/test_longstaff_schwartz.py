@@ -1,0 +1,133 @@
+"""Tests of the Longstaff-Schwartz American Monte-Carlo pricer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PricingError
+from repro.pricing import (
+    AmericanBasketPut,
+    AmericanCall,
+    AmericanPut,
+    BasketPut,
+    BinomialTree,
+    ClosedFormCall,
+    ClosedFormPut,
+    EuropeanCall,
+    EuropeanPut,
+    LongstaffSchwartz,
+    MonteCarloEuropean,
+    PricingProblem,
+)
+
+
+class TestLongstaffSchwartzBlackScholes:
+    def test_american_put_close_to_binomial(self, bs_model):
+        product = AmericanPut(strike=100.0, maturity=1.0)
+        reference = BinomialTree(n_steps=2000).price(bs_model, product).price
+        ls = LongstaffSchwartz(n_paths=100_000, n_steps=50, seed=1).price(bs_model, product)
+        # Longstaff-Schwartz is slightly low biased (sub-optimal policy) and
+        # Bermudan-in-time; 1% relative accuracy is the expected regime
+        assert ls.price == pytest.approx(reference, rel=0.015)
+
+    def test_american_put_above_european(self, bs_model):
+        european = ClosedFormPut().price(bs_model, EuropeanPut(100.0, 1.0)).price
+        ls = LongstaffSchwartz(n_paths=50_000, n_steps=50, seed=2).price(
+            bs_model, AmericanPut(strike=100.0, maturity=1.0)
+        )
+        assert ls.price > european
+
+    def test_american_put_not_above_strike(self, bs_model):
+        ls = LongstaffSchwartz(n_paths=20_000, n_steps=25, seed=3).price(
+            bs_model, AmericanPut(strike=100.0, maturity=1.0)
+        )
+        assert ls.price < 100.0
+
+    def test_deep_itm_put_at_least_intrinsic(self, bs_model):
+        product = AmericanPut(strike=160.0, maturity=0.5)
+        ls = LongstaffSchwartz(n_paths=20_000, n_steps=25, seed=4).price(bs_model, product)
+        assert ls.price >= 60.0 - 1e-9
+        assert ls.extra["immediate_exercise"] == pytest.approx(60.0)
+
+    def test_american_call_no_dividend_close_to_european(self, bs_model):
+        european = ClosedFormCall().price(bs_model, EuropeanCall(100.0, 1.0)).price
+        ls = LongstaffSchwartz(n_paths=100_000, n_steps=50, seed=5).price(
+            bs_model, AmericanCall(strike=100.0, maturity=1.0)
+        )
+        assert ls.price == pytest.approx(european, rel=0.02)
+
+    def test_reproducibility(self, bs_model):
+        product = AmericanPut(strike=100.0, maturity=1.0)
+        a = LongstaffSchwartz(n_paths=20_000, n_steps=20, seed=6).price(bs_model, product).price
+        b = LongstaffSchwartz(n_paths=20_000, n_steps=20, seed=6).price(bs_model, product).price
+        assert a == b
+
+    def test_parameter_validation(self):
+        with pytest.raises(PricingError):
+            LongstaffSchwartz(n_paths=5)
+        with pytest.raises(PricingError):
+            LongstaffSchwartz(n_steps=1)
+        with pytest.raises(PricingError):
+            LongstaffSchwartz(basis_degree=0)
+        with pytest.raises(PricingError):
+            LongstaffSchwartz(heston_scheme="milstein")
+
+    def test_rejects_european_products(self, bs_model, atm_call):
+        assert not LongstaffSchwartz().supports(bs_model, atm_call)
+
+
+class TestLongstaffSchwartzHeston:
+    @pytest.mark.parametrize("scheme", ["alfonsi", "full_truncation"])
+    def test_heston_american_put_above_european(self, heston_model, scheme):
+        from repro.pricing import FourierCOS
+
+        european = FourierCOS(n_terms=512).price(
+            heston_model, EuropeanPut(strike=100.0, maturity=1.0)
+        ).price
+        ls = LongstaffSchwartz(
+            n_paths=50_000, n_steps=50, seed=7, heston_scheme=scheme
+        ).price(heston_model, AmericanPut(strike=100.0, maturity=1.0))
+        assert ls.price > european - 2 * ls.std_error
+        assert ls.price < 100.0
+
+    def test_paper_example_method_alias(self, heston_model):
+        """The paper's example: Heston + PutAmer + MC_AM_Alfonsi_LongstaffSchwartz."""
+        problem = PricingProblem()
+        problem.set_asset("equity")
+        problem.set_model(heston_model)
+        problem.set_option("PutAmer", strike=100.0, maturity=1.0)
+        problem.set_method("MC_AM_Alfonsi_LongstaffSchwartz", n_paths=20_000, n_steps=25, seed=8)
+        result = problem.compute()
+        assert 0.0 < result.price < 100.0
+        assert problem.method.heston_scheme == "alfonsi"
+
+
+class TestLongstaffSchwartzBasket:
+    def test_american_basket_put_above_european_basket(self, basket_model):
+        weights = [0.2] * 5
+        european = MonteCarloEuropean(n_paths=100_000, seed=9).price(
+            basket_model, BasketPut(strike=100.0, maturity=1.0, weights=weights)
+        )
+        american = LongstaffSchwartz(n_paths=50_000, n_steps=25, seed=9).price(
+            basket_model, AmericanBasketPut(strike=100.0, maturity=1.0, weights=weights)
+        )
+        assert american.price > european.price - 2 * european.std_error
+        assert american.price < 100.0
+
+    def test_seven_dimensional_basket_runs(self):
+        """The paper's 7-dimensional American basket class (scaled down)."""
+        from repro.pricing import MultiAssetBlackScholesModel, flat_correlation
+
+        d = 7
+        model = MultiAssetBlackScholesModel(
+            spot=[100.0] * d, rate=0.045, volatilities=[0.22] * d,
+            correlation=flat_correlation(d, 0.3),
+        )
+        product = AmericanBasketPut(strike=100.0, maturity=1.0, weights=[1.0 / d] * d)
+        result = LongstaffSchwartz(n_paths=10_000, n_steps=20, seed=10).price(model, product)
+        assert 0.0 < result.price < 100.0
+        assert result.n_evaluations == 10_000 * 20
+
+    def test_dimension_mismatch_rejected(self, basket_model):
+        product = AmericanBasketPut(strike=100.0, maturity=1.0, weights=[0.5, 0.5])
+        assert not LongstaffSchwartz().supports(basket_model, product)

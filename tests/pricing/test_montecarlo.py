@@ -1,0 +1,194 @@
+"""Tests of the Monte-Carlo European pricer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PricingError
+from repro.pricing import (
+    AmericanPut,
+    AsianCall,
+    BasketPut,
+    ClosedFormBarrier,
+    ClosedFormBasketApprox,
+    ClosedFormCall,
+    ClosedFormPut,
+    DigitalCall,
+    DownOutCall,
+    EuropeanCall,
+    EuropeanPut,
+    FourierCOS,
+    MonteCarloEuropean,
+    analytics,
+)
+
+
+def _within_ci(mc_result, reference, n_sigmas=4.0, extra=0.0):
+    return abs(mc_result.price - reference) <= n_sigmas * mc_result.std_error + extra
+
+
+class TestMonteCarloBlackScholes:
+    def test_call_matches_closed_form(self, bs_model, atm_call):
+        exact = ClosedFormCall().price(bs_model, atm_call).price
+        mc = MonteCarloEuropean(n_paths=200_000, seed=1).price(bs_model, atm_call)
+        assert _within_ci(mc, exact)
+        assert mc.std_error < 0.05
+        assert mc.confidence_interval[0] < mc.price < mc.confidence_interval[1]
+
+    def test_put_matches_closed_form(self, bs_model, atm_put):
+        exact = ClosedFormPut().price(bs_model, atm_put).price
+        mc = MonteCarloEuropean(n_paths=200_000, seed=2).price(bs_model, atm_put)
+        assert _within_ci(mc, exact)
+
+    def test_digital_matches_closed_form(self, bs_model):
+        product = DigitalCall(strike=100.0, maturity=1.0)
+        exact = float(analytics.digital_call_price(100, 100, 0.05, 0.2, 1.0))
+        mc = MonteCarloEuropean(n_paths=200_000, seed=3).price(bs_model, product)
+        assert _within_ci(mc, exact)
+
+    def test_reproducible_with_seed(self, bs_model, atm_call):
+        a = MonteCarloEuropean(n_paths=50_000, seed=7).price(bs_model, atm_call).price
+        b = MonteCarloEuropean(n_paths=50_000, seed=7).price(bs_model, atm_call).price
+        assert a == b
+
+    def test_different_seeds_differ(self, bs_model, atm_call):
+        a = MonteCarloEuropean(n_paths=50_000, seed=7).price(bs_model, atm_call).price
+        b = MonteCarloEuropean(n_paths=50_000, seed=8).price(bs_model, atm_call).price
+        assert a != b
+
+    def test_std_error_decreases_with_paths(self, bs_model, atm_call):
+        small = MonteCarloEuropean(n_paths=10_000, seed=1, control_variate=False).price(
+            bs_model, atm_call
+        )
+        large = MonteCarloEuropean(n_paths=160_000, seed=1, control_variate=False).price(
+            bs_model, atm_call
+        )
+        assert large.std_error < small.std_error
+        # roughly 1/sqrt(n): a factor 16 in paths gives ~4x smaller error
+        assert large.std_error == pytest.approx(small.std_error / 4.0, rel=0.5)
+
+    def test_control_variate_reduces_variance(self, bs_model, atm_call):
+        plain = MonteCarloEuropean(
+            n_paths=100_000, seed=5, antithetic=False, control_variate=False
+        ).price(bs_model, atm_call)
+        with_cv = MonteCarloEuropean(
+            n_paths=100_000, seed=5, antithetic=False, control_variate=True
+        ).price(bs_model, atm_call)
+        assert with_cv.std_error < plain.std_error
+        assert with_cv.extra["control_variate_beta"] != 0.0
+
+    def test_antithetic_reduces_variance(self, bs_model, atm_put):
+        plain = MonteCarloEuropean(
+            n_paths=100_000, seed=6, antithetic=False, control_variate=False
+        ).price(bs_model, atm_put)
+        anti = MonteCarloEuropean(
+            n_paths=100_000, seed=6, antithetic=True, control_variate=False
+        ).price(bs_model, atm_put)
+        assert anti.std_error < plain.std_error
+
+    def test_sobol_quasi_monte_carlo(self, bs_model, atm_call):
+        exact = ClosedFormCall().price(bs_model, atm_call).price
+        qmc = MonteCarloEuropean(
+            n_paths=65_536, rng_kind="sobol", antithetic=False, seed=0
+        ).price(bs_model, atm_call)
+        assert qmc.price == pytest.approx(exact, abs=0.02)
+
+    def test_batched_run_matches_single_batch(self, bs_model, atm_call):
+        single = MonteCarloEuropean(n_paths=40_000, seed=9, batch_size=40_000).price(
+            bs_model, atm_call
+        )
+        batched = MonteCarloEuropean(n_paths=40_000, seed=9, batch_size=8_000).price(
+            bs_model, atm_call
+        )
+        # same total paths, same generator type, statistically indistinguishable
+        assert batched.price == pytest.approx(single.price, abs=4 * single.std_error)
+
+    def test_parameter_validation(self):
+        with pytest.raises(PricingError):
+            MonteCarloEuropean(n_paths=1)
+        with pytest.raises(PricingError):
+            MonteCarloEuropean(n_steps=0)
+        with pytest.raises(PricingError):
+            MonteCarloEuropean(batch_size=1)
+
+    def test_american_product_rejected(self, bs_model):
+        assert not MonteCarloEuropean().supports(bs_model, AmericanPut(100.0, 1.0))
+
+
+class TestMonteCarloPathDependent:
+    def test_down_out_call_with_continuity_correction(self, bs_model):
+        product = DownOutCall(strike=100.0, maturity=1.0, barrier=85.0)
+        exact = ClosedFormBarrier().price(bs_model, product).price
+        mc = MonteCarloEuropean(n_paths=200_000, seed=4).price(bs_model, product)
+        assert mc.price == pytest.approx(exact, rel=0.02)
+
+    def test_correction_improves_accuracy(self, bs_model):
+        product = DownOutCall(strike=100.0, maturity=1.0, barrier=90.0)
+        exact = ClosedFormBarrier().price(bs_model, product).price
+        corrected = MonteCarloEuropean(
+            n_paths=200_000, seed=4, barrier_correction=True
+        ).price(bs_model, product)
+        raw = MonteCarloEuropean(
+            n_paths=200_000, seed=4, barrier_correction=False
+        ).price(bs_model, product)
+        assert abs(corrected.price - exact) < abs(raw.price - exact)
+        # without correction the discretely monitored option is worth more
+        assert raw.price > exact
+
+    def test_asian_call_below_vanilla(self, bs_model):
+        vanilla = ClosedFormCall().price(bs_model, EuropeanCall(100.0, 1.0)).price
+        asian = MonteCarloEuropean(n_paths=100_000, seed=5).price(
+            bs_model, AsianCall(strike=100.0, maturity=1.0, n_fixings=12)
+        )
+        assert asian.price < vanilla
+        assert asian.price > 0
+
+    def test_asian_with_single_fixing_close_to_vanilla(self, bs_model):
+        """With one fixing at maturity, the Asian option IS the vanilla."""
+        vanilla = ClosedFormCall().price(bs_model, EuropeanCall(100.0, 1.0)).price
+        asian = MonteCarloEuropean(n_paths=200_000, seed=6).price(
+            bs_model, AsianCall(strike=100.0, maturity=1.0, n_fixings=1)
+        )
+        assert _within_ci(asian, vanilla, extra=0.01)
+
+
+class TestMonteCarloOtherModels:
+    def test_heston_matches_cos(self, heston_model, atm_call):
+        exact = FourierCOS(n_terms=512).price(heston_model, atm_call).price
+        mc = MonteCarloEuropean(n_paths=100_000, n_steps=100, seed=10).price(
+            heston_model, atm_call
+        )
+        # discretisation bias of the Euler scheme allows a small extra margin
+        assert _within_ci(mc, exact, extra=0.05)
+
+    def test_merton_matches_cos(self, merton_model, atm_call):
+        exact = FourierCOS(n_terms=512).price(merton_model, atm_call).price
+        mc = MonteCarloEuropean(n_paths=200_000, seed=11).price(merton_model, atm_call)
+        assert _within_ci(mc, exact, extra=0.02)
+
+    def test_basket_put_matches_moment_matching(self, basket_model):
+        product = BasketPut(strike=100.0, maturity=1.0, weights=[0.2] * 5)
+        approx = ClosedFormBasketApprox().price(basket_model, product).price
+        mc = MonteCarloEuropean(n_paths=200_000, seed=12).price(basket_model, product)
+        assert mc.price == pytest.approx(approx, rel=0.03)
+        assert mc.std_error < 0.05
+
+    def test_forty_dimensional_basket_runs(self):
+        """The paper's 40-dimensional product class (scaled-down paths)."""
+        from repro.pricing import MultiAssetBlackScholesModel, flat_correlation
+
+        d = 40
+        model = MultiAssetBlackScholesModel(
+            spot=[100.0] * d, rate=0.045, volatilities=[0.2] * d,
+            correlation=flat_correlation(d, 0.3),
+        )
+        product = BasketPut(strike=100.0, maturity=1.0, weights=[1.0 / d] * d)
+        mc = MonteCarloEuropean(n_paths=20_000, seed=13, batch_size=5_000).price(model, product)
+        assert 0.0 < mc.price < 100.0
+        assert np.isfinite(mc.std_error)
+
+    def test_dimension_mismatch_rejected(self, bs_model, basket_model):
+        basket_product = BasketPut(strike=100.0, maturity=1.0, weights=[0.5, 0.5])
+        assert not MonteCarloEuropean().supports(bs_model, basket_product)
+        assert not MonteCarloEuropean().supports(basket_model, basket_product)

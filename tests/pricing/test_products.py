@@ -1,0 +1,235 @@
+"""Tests of the product payoffs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PricingError
+from repro.pricing import (
+    AmericanBasketPut,
+    AmericanCall,
+    AmericanPut,
+    AsianCall,
+    AsianPut,
+    BarrierOption,
+    BasketCall,
+    BasketPut,
+    DigitalCall,
+    DigitalPut,
+    DownOutCall,
+    EuropeanCall,
+    EuropeanPut,
+    UpOutPut,
+)
+from repro.pricing.products import PRODUCT_CLASSES
+
+
+class TestVanilla:
+    def test_call_payoff(self):
+        call = EuropeanCall(strike=100.0, maturity=1.0)
+        spots = np.array([80.0, 100.0, 130.0])
+        np.testing.assert_allclose(call.terminal_payoff(spots), [0.0, 0.0, 30.0])
+
+    def test_put_payoff(self):
+        put = EuropeanPut(strike=100.0, maturity=1.0)
+        spots = np.array([80.0, 100.0, 130.0])
+        np.testing.assert_allclose(put.terminal_payoff(spots), [20.0, 0.0, 0.0])
+
+    def test_digital_payoffs(self):
+        spots = np.array([99.0, 101.0])
+        np.testing.assert_allclose(
+            DigitalCall(strike=100.0, maturity=1.0).terminal_payoff(spots), [0.0, 1.0]
+        )
+        np.testing.assert_allclose(
+            DigitalPut(strike=100.0, maturity=1.0).terminal_payoff(spots), [1.0, 0.0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(PricingError):
+            EuropeanCall(strike=-5.0, maturity=1.0)
+        with pytest.raises(PricingError):
+            EuropeanCall(strike=100.0, maturity=0.0)
+
+    def test_equality_and_hash(self):
+        a = EuropeanCall(strike=100.0, maturity=1.0)
+        b = EuropeanCall(strike=100.0, maturity=1.0)
+        c = EuropeanCall(strike=110.0, maturity=1.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != EuropeanPut(strike=100.0, maturity=1.0)
+
+    def test_params_roundtrip(self):
+        call = EuropeanCall(strike=95.0, maturity=0.75)
+        assert EuropeanCall.from_params(call.to_params()) == call
+
+
+class TestBarrier:
+    def test_down_out_path_payoff(self):
+        option = DownOutCall(strike=100.0, maturity=1.0, barrier=90.0)
+        paths = np.array(
+            [
+                [100.0, 95.0, 120.0],   # never touches the barrier -> vanilla
+                [100.0, 89.0, 120.0],   # touches -> knocked out
+                [100.0, 95.0, 80.0],    # ends below barrier -> knocked out
+            ]
+        )
+        times = np.array([0.0, 0.5, 1.0])
+        np.testing.assert_allclose(option.path_payoff(paths, times), [20.0, 0.0, 0.0])
+
+    def test_down_in_is_complement_of_down_out(self):
+        out = BarrierOption(strike=100, maturity=1.0, barrier=90, barrier_type="down-out")
+        inn = BarrierOption(strike=100, maturity=1.0, barrier=90, barrier_type="down-in")
+        paths = 100.0 * np.exp(np.cumsum(
+            np.random.default_rng(0).normal(0, 0.05, size=(500, 12)), axis=1))
+        paths = np.concatenate([np.full((500, 1), 100.0), paths], axis=1)
+        times = np.linspace(0, 1, 13)
+        total = out.path_payoff(paths, times) + inn.path_payoff(paths, times)
+        vanilla = np.maximum(paths[:, -1] - 100.0, 0.0)
+        np.testing.assert_allclose(total, vanilla)
+
+    def test_rebate_paid_on_knock_out(self):
+        option = BarrierOption(strike=100, maturity=1.0, barrier=90,
+                               barrier_type="down-out", rebate=5.0)
+        paths = np.array([[100.0, 85.0, 130.0]])
+        assert option.path_payoff(paths, np.array([0.0, 0.5, 1.0]))[0] == 5.0
+
+    def test_up_out_put(self):
+        option = UpOutPut(strike=100.0, maturity=1.0, barrier=120.0)
+        paths = np.array([[100.0, 110.0, 90.0], [100.0, 125.0, 90.0]])
+        times = np.array([0.0, 0.5, 1.0])
+        np.testing.assert_allclose(option.path_payoff(paths, times), [10.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(PricingError):
+            BarrierOption(strike=100, maturity=1.0, barrier=90, barrier_type="sideways-out")
+        with pytest.raises(PricingError):
+            BarrierOption(strike=100, maturity=1.0, barrier=90, payoff_type="straddle")
+        with pytest.raises(PricingError):
+            BarrierOption(strike=100, maturity=1.0, barrier=-2.0)
+        with pytest.raises(PricingError):
+            BarrierOption(strike=100, maturity=1.0, barrier=90, rebate=-1.0)
+
+    def test_multi_asset_paths_rejected(self):
+        option = DownOutCall(strike=100, maturity=1.0, barrier=90)
+        with pytest.raises(PricingError):
+            option.path_payoff(np.ones((10, 5, 3)), np.linspace(0, 1, 5))
+
+
+class TestBasket:
+    def test_basket_put_payoff(self):
+        option = BasketPut(strike=100.0, maturity=1.0, weights=[0.5, 0.5])
+        spots = np.array([[90.0, 90.0], [120.0, 100.0]])
+        np.testing.assert_allclose(option.terminal_payoff(spots), [10.0, 0.0])
+
+    def test_basket_call_payoff(self):
+        option = BasketCall(strike=100.0, maturity=1.0, weights=[0.25] * 4)
+        spots = np.array([[120.0, 120.0, 120.0, 120.0]])
+        np.testing.assert_allclose(option.terminal_payoff(spots), [20.0])
+
+    def test_dimension_mismatch(self):
+        option = BasketPut(strike=100.0, maturity=1.0, weights=[0.5, 0.5])
+        with pytest.raises(PricingError):
+            option.terminal_payoff(np.ones((10, 3)))
+
+    def test_weights_validation(self):
+        with pytest.raises(PricingError):
+            BasketPut(strike=100.0, maturity=1.0, weights=[])
+
+
+class TestAsian:
+    def test_average_excludes_valuation_date(self):
+        option = AsianCall(strike=100.0, maturity=1.0, n_fixings=2)
+        paths = np.array([[100.0, 110.0, 130.0]])
+        times = np.array([0.0, 0.5, 1.0])
+        # average of 110 and 130 = 120 -> payoff 20
+        np.testing.assert_allclose(option.path_payoff(paths, times), [20.0])
+
+    def test_put_variant(self):
+        option = AsianPut(strike=100.0, maturity=1.0, n_fixings=2)
+        paths = np.array([[100.0, 80.0, 90.0]])
+        times = np.array([0.0, 0.5, 1.0])
+        np.testing.assert_allclose(option.path_payoff(paths, times), [15.0])
+
+    def test_validation(self):
+        with pytest.raises(PricingError):
+            AsianCall(strike=100.0, maturity=1.0, n_fixings=0)
+
+
+class TestAmerican:
+    def test_intrinsic_values(self):
+        put = AmericanPut(strike=100.0, maturity=1.0)
+        call = AmericanCall(strike=100.0, maturity=1.0)
+        spots = np.array([80.0, 120.0])
+        np.testing.assert_allclose(put.intrinsic_value(spots), [20.0, 0.0])
+        np.testing.assert_allclose(call.intrinsic_value(spots), [0.0, 20.0])
+
+    def test_exercise_style(self):
+        assert AmericanPut(strike=100.0, maturity=1.0).exercise == "american"
+        assert EuropeanPut(strike=100.0, maturity=1.0).exercise == "european"
+
+    def test_basket_american(self):
+        option = AmericanBasketPut(strike=100.0, maturity=1.0, weights=[1 / 3] * 3)
+        spots = np.array([[60.0, 90.0, 90.0]])
+        np.testing.assert_allclose(option.terminal_payoff(spots), [20.0])
+        assert option.dimension == 3
+
+
+def test_product_registry_names_are_consistent():
+    for name, cls in PRODUCT_CLASSES.items():
+        assert cls.option_name == name
+    # the products named in the paper's example and portfolio are registered
+    for required in ("PutAmer", "CallEuro", "CallDownOutEuro", "BasketPutEuro", "BasketPutAmer"):
+        assert required in PRODUCT_CLASSES
+
+
+# ---------------------------------------------------------------------------
+# property-based payoff invariants
+# ---------------------------------------------------------------------------
+
+_spot_arrays = st.lists(
+    st.floats(min_value=0.01, max_value=10_000.0), min_size=1, max_size=50
+).map(lambda xs: np.asarray(xs))
+
+
+@settings(max_examples=100, deadline=None)
+@given(spots=_spot_arrays, strike=st.floats(min_value=1.0, max_value=500.0))
+def test_payoffs_are_nonnegative(spots, strike):
+    for product in (
+        EuropeanCall(strike=strike, maturity=1.0),
+        EuropeanPut(strike=strike, maturity=1.0),
+        DigitalCall(strike=strike, maturity=1.0),
+        AmericanPut(strike=strike, maturity=1.0),
+    ):
+        assert np.all(product.terminal_payoff(spots) >= 0.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(spots=_spot_arrays, strike=st.floats(min_value=1.0, max_value=500.0))
+def test_call_put_payoff_identity(spots, strike):
+    call = EuropeanCall(strike=strike, maturity=1.0).terminal_payoff(spots)
+    put = EuropeanPut(strike=strike, maturity=1.0).terminal_payoff(spots)
+    np.testing.assert_allclose(call - put, spots - strike, rtol=1e-12, atol=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    strike=st.floats(min_value=50.0, max_value=150.0),
+    barrier=st.floats(min_value=10.0, max_value=99.0),
+    n_steps=st.integers(min_value=2, max_value=20),
+)
+def test_barrier_knock_out_never_exceeds_vanilla_payoff(strike, barrier, n_steps):
+    rng = np.random.default_rng(0)
+    paths = 100.0 * np.exp(
+        np.concatenate(
+            [np.zeros((20, 1)), np.cumsum(rng.normal(0, 0.1, size=(20, n_steps)), axis=1)],
+            axis=1,
+        )
+    )
+    times = np.linspace(0, 1, n_steps + 1)
+    option = DownOutCall(strike=strike, maturity=1.0, barrier=barrier)
+    vanilla = np.maximum(paths[:, -1] - strike, 0.0)
+    assert np.all(option.path_payoff(paths, times) <= vanilla + 1e-12)

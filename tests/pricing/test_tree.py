@@ -1,0 +1,114 @@
+"""Tests of the binomial and trinomial tree pricers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PricingError
+from repro.pricing import (
+    AmericanPut,
+    BinomialTree,
+    ClosedFormCall,
+    ClosedFormPut,
+    EuropeanCall,
+    EuropeanPut,
+    TrinomialTree,
+)
+
+
+class TestBinomialTree:
+    def test_european_call_converges_to_black_scholes(self, bs_model, atm_call):
+        exact = ClosedFormCall().price(bs_model, atm_call).price
+        tree = BinomialTree(n_steps=1000).price(bs_model, atm_call)
+        assert tree.price == pytest.approx(exact, rel=1e-3)
+
+    def test_european_put_converges(self, bs_model, atm_put):
+        exact = ClosedFormPut().price(bs_model, atm_put).price
+        tree = BinomialTree(n_steps=1000).price(bs_model, atm_put)
+        assert tree.price == pytest.approx(exact, rel=1e-3)
+
+    def test_convergence_rate(self, bs_model, atm_call):
+        exact = ClosedFormCall().price(bs_model, atm_call).price
+        errors = [
+            abs(BinomialTree(n_steps=n).price(bs_model, atm_call).price - exact)
+            for n in (50, 200, 800)
+        ]
+        assert errors[0] > errors[2]
+
+    def test_delta_close_to_closed_form(self, bs_model, atm_call):
+        exact = ClosedFormCall().price(bs_model, atm_call).delta
+        tree = BinomialTree(n_steps=1000).price(bs_model, atm_call)
+        assert tree.delta == pytest.approx(exact, abs=5e-3)
+
+    def test_american_put_premium(self, bs_model):
+        european = ClosedFormPut().price(bs_model, EuropeanPut(100.0, 1.0)).price
+        american = BinomialTree(n_steps=1000).price(bs_model, AmericanPut(100.0, 1.0)).price
+        assert american > european
+        # classical reference value for (S=K=100, r=5%, sigma=20%, T=1)
+        assert american == pytest.approx(6.0896, abs=5e-3)
+
+    def test_american_put_above_intrinsic_everywhere(self, bs_model):
+        deep_itm = AmericanPut(strike=150.0, maturity=1.0)
+        result = BinomialTree(n_steps=500).price(bs_model, deep_itm)
+        assert result.price >= 50.0 - 1e-9
+
+    def test_dividend_model(self, bs_model_dividend, atm_call):
+        exact = ClosedFormCall().price(bs_model_dividend, atm_call).price
+        tree = BinomialTree(n_steps=1000).price(bs_model_dividend, atm_call)
+        assert tree.price == pytest.approx(exact, rel=2e-3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(PricingError):
+            BinomialTree(n_steps=0)
+
+    def test_unsupported_model(self, heston_model, atm_call):
+        assert not BinomialTree().supports(heston_model, atm_call)
+
+    def test_extra_diagnostics(self, bs_model, atm_call):
+        result = BinomialTree(n_steps=100).price(bs_model, atm_call)
+        assert 0.0 < result.extra["p"] < 1.0
+        assert result.extra["u"] > 1.0 > result.extra["d"]
+
+
+class TestTrinomialTree:
+    def test_european_call_converges(self, bs_model, atm_call):
+        exact = ClosedFormCall().price(bs_model, atm_call).price
+        tree = TrinomialTree(n_steps=500).price(bs_model, atm_call)
+        assert tree.price == pytest.approx(exact, rel=1e-3)
+
+    def test_american_put_matches_binomial(self, bs_model):
+        product = AmericanPut(strike=100.0, maturity=1.0)
+        binomial = BinomialTree(n_steps=1500).price(bs_model, product).price
+        trinomial = TrinomialTree(n_steps=800).price(bs_model, product).price
+        assert trinomial == pytest.approx(binomial, rel=2e-3)
+
+    def test_probabilities_valid(self, bs_model, atm_call):
+        result = TrinomialTree(n_steps=200).price(bs_model, atm_call)
+        probabilities = [result.extra[k] for k in ("pu", "pm", "pd")]
+        assert all(p >= 0 for p in probabilities)
+        assert sum(probabilities) == pytest.approx(1.0, abs=1e-12)
+
+    def test_delta(self, bs_model, atm_put):
+        exact = ClosedFormPut().price(bs_model, atm_put).delta
+        tree = TrinomialTree(n_steps=500).price(bs_model, atm_put)
+        assert tree.delta == pytest.approx(exact, abs=5e-3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(PricingError):
+            TrinomialTree(n_steps=-1)
+        with pytest.raises(PricingError):
+            TrinomialTree(stretch=0.5)
+
+    def test_extreme_drift_rejected(self, atm_call):
+        """A huge drift over few steps gives negative probabilities."""
+        from repro.pricing import BlackScholesModel
+
+        model = BlackScholesModel(spot=100.0, rate=3.0, volatility=0.05)
+        with pytest.raises(PricingError):
+            TrinomialTree(n_steps=2).price(model, atm_call)
+
+    def test_trees_agree_with_each_other(self, bs_model):
+        product = EuropeanCall(strike=110.0, maturity=2.0)
+        binomial = BinomialTree(n_steps=1000).price(bs_model, product).price
+        trinomial = TrinomialTree(n_steps=600).price(bs_model, product).price
+        assert binomial == pytest.approx(trinomial, rel=2e-3)

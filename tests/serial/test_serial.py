@@ -1,0 +1,111 @@
+"""Tests of the Serial object (serialization + compression)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.serial import Serial, serialize, unserialize
+
+
+class TestSerial:
+    def test_roundtrip(self):
+        value = {"a": [1, 2, 3], "b": "text", "c": np.arange(4.0)}
+        serial = serialize(value)
+        back = serial.unserialize()
+        assert back["a"] == [1, 2, 3]
+        np.testing.assert_array_equal(back["c"], np.arange(4.0))
+
+    def test_repr_shows_size(self):
+        serial = serialize(list(range(100)))
+        assert "bytes" in repr(serial)
+        assert serial.nbytes == len(serial)
+
+    def test_compression_roundtrip(self):
+        value = list(range(1000))
+        serial = serialize(value)
+        compressed = serial.compress()
+        assert compressed.is_compressed
+        assert compressed.nbytes < serial.nbytes
+        assert compressed.unserialize() == value
+        assert compressed.uncompress().unserialize() == value
+
+    def test_paper_compression_example(self):
+        """The Nsp session of the paper: 1:100 compresses well."""
+        serial = serialize(list(range(1, 101)))
+        compressed = serial.compress()
+        assert compressed.nbytes < serial.nbytes / 2
+
+    def test_compress_is_idempotent(self):
+        serial = serialize([1.0] * 100).compress()
+        assert serial.compress() is serial
+
+    def test_uncompress_on_raw_is_noop(self):
+        serial = serialize([1, 2, 3])
+        assert serial.uncompress() is serial
+
+    def test_to_bytes_roundtrip(self):
+        serial = serialize({"x": 1})
+        clone = Serial.from_bytes(serial.to_bytes())
+        assert clone == serial
+        assert clone.unserialize() == {"x": 1}
+
+    def test_to_bytes_roundtrip_compressed(self):
+        serial = serialize(list(range(500))).compress()
+        clone = Serial.from_bytes(serial.to_bytes())
+        assert clone.is_compressed
+        assert clone.unserialize() == list(range(500))
+
+    def test_equality_and_hash(self):
+        a = serialize([1, 2, 3])
+        b = serialize([1, 2, 3])
+        c = serialize([1, 2, 4])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != a.compress()
+
+    def test_invalid_magic(self):
+        with pytest.raises(SerializationError):
+            Serial.from_bytes(b"XXXXpayload")
+        with pytest.raises(SerializationError):
+            Serial.from_bytes(b"xy")
+
+    def test_unserialize_free_function(self):
+        serial = serialize({"k": 7})
+        assert unserialize(serial) == {"k": 7}
+        assert unserialize(serial.to_bytes()) == {"k": 7}
+        with pytest.raises(SerializationError):
+            unserialize(12345)
+
+    def test_problem_serialization(self, simple_problem):
+        """Pricing problems (the paper's PremiaModel objects) serialize."""
+        serial = serialize(simple_problem)
+        clone = serial.unserialize()
+        assert clone == simple_problem
+        clone.compute()
+        assert clone.get_method_results().price == pytest.approx(10.450584, abs=1e-6)
+
+    def test_problem_with_results_serializes(self, simple_problem):
+        simple_problem.compute()
+        clone = serialize(simple_problem).unserialize()
+        assert clone.get_method_results().price == pytest.approx(
+            simple_problem.get_method_results().price
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values=st.lists(
+        st.one_of(st.integers(-1000, 1000), st.floats(allow_nan=False, allow_infinity=False),
+                  st.text(max_size=20)),
+        max_size=30,
+    )
+)
+def test_serialize_compress_roundtrip_property(values):
+    serial = serialize(values)
+    assert serial.unserialize() == values
+    assert serial.compress().unserialize() == values
+    assert Serial.from_bytes(serial.compress().to_bytes()).unserialize() == values
