@@ -8,6 +8,10 @@ representation), then value the whole portfolio with the Robin-Hood
 master/worker loop on real ``multiprocessing`` workers, comparing the three
 problem-transmission strategies of Table II/III.
 
+The whole run goes through the unified
+:class:`~repro.api.session.ValuationSession` facade: one session per backend
+configuration, ``session.run(portfolio, store=...)`` per experiment.
+
 Run with:  python examples/portfolio_pricing.py [n_workers]
 """
 
@@ -17,12 +21,8 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.cluster import MultiprocessingBackend, SequentialBackend
-from repro.core import (
-    build_realistic_portfolio,
-    portfolio_value,
-    run_portfolio,
-)
+from repro.api import ValuationSession
+from repro.core import build_realistic_portfolio
 
 
 def main(n_workers: int = 3) -> None:
@@ -37,23 +37,23 @@ def main(n_workers: int = 3) -> None:
         print(f"\nwrote {len(store)} problem files ({store.total_bytes()} bytes)")
 
         # sequential reference run
-        reference = run_portfolio(
-            portfolio, SequentialBackend(), strategy="serialized_load", store=store
-        )
-        reference_value = portfolio_value(portfolio, reference.prices())
+        sequential = ValuationSession(backend="local", strategy="serialized_load")
+        reference = sequential.run(portfolio, store=store)
+        reference_value = reference.value()
         print(f"sequential reference: {reference.total_time:.2f}s, "
               f"portfolio value {reference_value:.2f}")
 
-        # parallel runs, one per transmission strategy
+        # parallel runs, one per transmission strategy; the session rebuilds a
+        # fresh multiprocessing backend for every run
+        session = ValuationSession(backend="multiprocessing", n_workers=n_workers)
         for strategy in ("full_load", "nfs", "serialized_load"):
-            backend = MultiprocessingBackend(n_workers=n_workers)
-            report = run_portfolio(portfolio, backend, strategy=strategy, store=store)
-            value = portfolio_value(portfolio, report.prices())
+            result = session.run(portfolio, strategy=strategy, store=store)
+            value = result.value()
             drift = abs(value - reference_value)
             print(
-                f"{strategy:16s} on {n_workers} workers: {report.total_time:6.2f}s "
-                f"speedup x{reference.total_time / report.total_time:4.2f}  "
-                f"value {value:.2f} (|diff| {drift:.2e}) errors={len(report.errors)}"
+                f"{strategy:16s} on {n_workers} workers: {result.total_time:6.2f}s "
+                f"speedup x{reference.total_time / result.total_time:4.2f}  "
+                f"value {value:.2f} (|diff| {drift:.2e}) errors={result.n_errors}"
             )
 
 

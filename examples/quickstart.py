@@ -3,7 +3,9 @@
 
 Reproduces the scripting workflow of Section 3.3 of the paper: create a
 pricing problem, set the asset class / model / option / method, compute, save
-the problem to an architecture-independent file, reload it and reuse it.
+the problem to an architecture-independent file, reload it and reuse it --
+first through the unified :class:`~repro.api.session.ValuationSession`
+facade (the recommended entry point), then with the lower-level objects.
 
 Run with:  python examples/quickstart.py
 """
@@ -13,6 +15,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
+from repro.api import ValuationSession
 from repro.pricing import (
     BlackScholesModel,
     ClosedFormCall,
@@ -24,6 +27,31 @@ from repro.pricing import (
     compute_greeks,
 )
 from repro.serial import load, save, sload
+
+
+def unified_session_api() -> None:
+    """The one-object entry point: a session prices by registry names."""
+    print("=== Unified ValuationSession API ===")
+    session = ValuationSession(backend="local", strategy="serialized_load")
+    result = session.price(
+        model="BlackScholes1D", option="CallEuro", method="CF_Call",
+        model_params={"spot": 100.0, "rate": 0.05, "volatility": 0.2},
+        option_params={"strike": 100.0, "maturity": 1.0},
+    )
+    print(f"session price: {result.price:.4f} (delta {result.delta:.4f})")
+
+    # batch submission: queue several strikes, value them as one campaign
+    problems = []
+    for strike in (90.0, 100.0, 110.0):
+        p = PricingProblem(label=f"call_K{strike:.0f}")
+        p.set_asset("equity")
+        p.set_model("BlackScholes1D", spot=100.0, rate=0.05, volatility=0.2)
+        p.set_option("CallEuro", strike=strike, maturity=1.0)
+        p.set_method("CF_Call")
+        problems.append(p)
+    handles = session.submit_many(problems)
+    prices = ", ".join(f"{h.label}={h.price():.4f}" for h in handles)
+    print(f"batched strikes: {prices}")
 
 
 def premia_style_workflow() -> None:
@@ -80,5 +108,6 @@ def direct_api() -> None:
 
 
 if __name__ == "__main__":
+    unified_session_api()
     premia_style_workflow()
     direct_api()

@@ -1,0 +1,33 @@
+"""``repro.api`` -- the unified, typed entry point of the package.
+
+One facade (:class:`ValuationSession`) plus immutable configuration values
+(:class:`BackendSpec`, :class:`RunConfig`, :class:`SweepConfig`) and a
+normalized result hierarchy (:class:`PriceResult`, :class:`RunResult`,
+:class:`SweepResult`, :class:`ComparisonResult`).  Everything the legacy
+free functions in :mod:`repro.core.runner` did is reachable from here, and
+new capabilities (batching via :meth:`ValuationSession.submit_many`, named
+backend selection) only exist here.
+"""
+
+from repro.api.config import BackendSpec, RunConfig, SweepConfig
+from repro.api.results import (
+    ComparisonResult,
+    PriceResult,
+    RunResult,
+    SweepResult,
+    ValuationResult,
+)
+from repro.api.session import JobHandle, ValuationSession
+
+__all__ = [
+    "ValuationSession",
+    "JobHandle",
+    "BackendSpec",
+    "RunConfig",
+    "SweepConfig",
+    "ValuationResult",
+    "PriceResult",
+    "RunResult",
+    "SweepResult",
+    "ComparisonResult",
+]

@@ -1,0 +1,153 @@
+"""Typed, immutable configuration objects of the unified API.
+
+These frozen dataclasses carry everything a
+:class:`~repro.api.session.ValuationSession` needs to build backends,
+schedulers and sweeps, replacing the positional backend/strategy/scheduler
+plumbing of the free functions in :mod:`repro.core.runner`.  They are plain
+values: hashable-by-content where possible, safe to share between sessions
+and cheap to derive variants from with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.cluster.backends import WorkerBackend, create_backend, list_backends
+from repro.core.scheduler import SCHEDULERS, Scheduler
+from repro.core.strategies import STRATEGIES
+from repro.errors import ValuationError
+
+__all__ = ["BackendSpec", "RunConfig", "SweepConfig"]
+
+
+def _frozen_options(options: Mapping[str, Any] | None) -> tuple[tuple[str, Any], ...]:
+    if not options:
+        return ()
+    return tuple(sorted(options.items()))
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Recipe for building an execution backend by registered name.
+
+    A spec is *not* a backend: backends are one-shot objects (the scheduler
+    finalizes them at the end of a run) while a spec can :meth:`create` a
+    fresh one for every run of the session.
+    """
+
+    name: str = "simulated"
+    n_workers: int = 2
+    options: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValuationError("BackendSpec.n_workers must be >= 1")
+        if isinstance(self.options, Mapping):
+            object.__setattr__(self, "options", _frozen_options(self.options))
+
+    @classmethod
+    def coerce(
+        cls,
+        value: "str | BackendSpec | WorkerBackend",
+        n_workers: int | None = None,
+        options: Mapping[str, Any] | None = None,
+    ) -> "BackendSpec | WorkerBackend":
+        """Normalise a user-supplied backend argument.
+
+        Strings become specs (validated against the registry), specs pass
+        through (re-sized if ``n_workers`` is given), and ready-made
+        :class:`WorkerBackend` instances are returned untouched so callers
+        can inject a pre-configured engine.
+        """
+        if isinstance(value, WorkerBackend):
+            if options:
+                raise ValuationError(
+                    "backend options cannot be applied to an already-built "
+                    "WorkerBackend instance; pass a name or BackendSpec instead"
+                )
+            return value
+        if isinstance(value, BackendSpec):
+            merged = dict(value.options)
+            merged.update(options or {})
+            if merged != dict(value.options) or (
+                n_workers is not None and n_workers != value.n_workers
+            ):
+                return cls(
+                    value.name,
+                    n_workers if n_workers is not None else value.n_workers,
+                    merged,
+                )
+            return value
+        if isinstance(value, str):
+            if value not in list_backends():
+                raise ValuationError(
+                    f"unknown backend {value!r}; registered backends: {list_backends()}"
+                )
+            return cls(value, n_workers if n_workers is not None else 2,
+                       _frozen_options(options))
+        raise ValuationError(
+            f"backend must be a name, a BackendSpec or a WorkerBackend, "
+            f"got {type(value).__name__}"
+        )
+
+    def create(self, strategy: str = "serialized_load", **extra: Any) -> WorkerBackend:
+        """Build a fresh backend for one run."""
+        merged = dict(self.options)
+        merged.update(extra)
+        return create_backend(
+            self.name, n_workers=self.n_workers, strategy=strategy, **merged
+        )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How one portfolio (or job-list) valuation is executed."""
+
+    strategy: str = "serialized_load"
+    scheduler: str | None = None
+    scheduler_options: tuple[tuple[str, Any], ...] = ()
+    attach_problems: bool | None = None
+    cost_model: Any | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValuationError(
+                f"unknown strategy {self.strategy!r}; known: {sorted(STRATEGIES)}"
+            )
+        if self.scheduler is not None and self.scheduler not in SCHEDULERS:
+            raise ValuationError(
+                f"unknown scheduler {self.scheduler!r}; known: {sorted(SCHEDULERS)}"
+            )
+        if isinstance(self.scheduler_options, Mapping):
+            object.__setattr__(
+                self, "scheduler_options", _frozen_options(self.scheduler_options)
+            )
+
+    def scheduler_factory(self) -> Callable[[], Scheduler]:
+        """A factory producing a fresh scheduler per run (default Robin-Hood)."""
+        name = self.scheduler or "robin_hood"
+        cls = SCHEDULERS[name]
+        options = dict(self.scheduler_options)
+        return lambda: cls(**options)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """How a CPU-count sweep over the simulated cluster is executed."""
+
+    cpu_counts: tuple[int, ...] = (2, 4, 8, 16)
+    strategy: str = "serialized_load"
+    share_nfs_cache: bool = True
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cpu_counts", tuple(self.cpu_counts))
+        if not self.cpu_counts:
+            raise ValuationError("SweepConfig.cpu_counts must not be empty")
+        if any(n < 2 for n in self.cpu_counts):
+            raise ValuationError("cpu_counts must be >= 2 (one master + workers)")
+        if self.strategy not in STRATEGIES:
+            raise ValuationError(
+                f"unknown strategy {self.strategy!r}; known: {sorted(STRATEGIES)}"
+            )

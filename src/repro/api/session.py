@@ -1,0 +1,526 @@
+"""The :class:`ValuationSession` facade -- one typed entry point for the stack.
+
+The paper's workflow is *build a Premia-style problem, serialize it,
+distribute it over a master/worker cluster, collect speedup tables*.  Before
+this module, each step was a separate free function with positional
+backend/strategy/scheduler plumbing; a session bundles the choices once and
+exposes the whole workflow as methods::
+
+    from repro.api import ValuationSession
+
+    session = ValuationSession(backend="simulated", strategy="serialized_load")
+    price   = session.price(model="BlackScholes1D", option="CallEuro",
+                            method="CF_Call",
+                            model_params={"spot": 100, "rate": 0.05,
+                                          "volatility": 0.2},
+                            option_params={"strike": 100, "maturity": 1.0})
+    run     = session.run(portfolio)                       # -> RunResult
+    sweep   = session.sweep(portfolio, cpu_counts=[2, 4, 8])  # -> SweepResult
+    tables  = session.compare(portfolio, cpu_counts=[2, 4])   # -> ComparisonResult
+    handles = session.submit_many(problems)                # -> [JobHandle, ...]
+
+The legacy free functions in :mod:`repro.core.runner` still exist as thin
+shims delegating here, so both spellings stay equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.api.config import BackendSpec, RunConfig, SweepConfig
+from repro.api.results import ComparisonResult, PriceResult, RunResult, SweepResult
+from repro.cluster.backends import Job, WorkerBackend, create_backend
+from repro.cluster.costmodel import CostModel, paper_cost_model
+from repro.cluster.simcluster.comm import STRATEGY_NAMES, CommunicationModel
+from repro.core.portfolio import Portfolio
+from repro.core.runner import RunReport
+from repro.core.scheduler import SCHEDULERS, RobinHoodScheduler, Scheduler
+from repro.core.strategies import TransmissionStrategy, get_strategy
+from repro.errors import SchedulingError, ValuationError
+from repro.pricing.engine import PricingProblem
+from repro.serial import serialize
+
+__all__ = ["ValuationSession", "JobHandle"]
+
+#: sentinel distinguishing "not yet computed" from a ``None`` result
+_UNRESOLVED = object()
+
+
+class JobHandle:
+    """Deferred result of one problem submitted with :meth:`ValuationSession.submit_many`.
+
+    Handles resolve lazily: reading :meth:`result` (or :meth:`error`) on an
+    unresolved handle triggers :meth:`ValuationSession.gather` on the owning
+    session, which values every pending submission as one batch.
+    """
+
+    __slots__ = ("job_id", "label", "_session", "_result", "_error")
+
+    def __init__(self, job_id: int, label: str | None, session: "ValuationSession"):
+        self.job_id = job_id
+        self.label = label
+        self._session = session
+        self._result: Any = _UNRESOLVED
+        self._error: str | None = None
+
+    def done(self) -> bool:
+        """Whether the batch containing this handle has been executed."""
+        return self._result is not _UNRESOLVED
+
+    def result(self) -> dict[str, Any] | None:
+        """The worker's result dictionary (``None`` for timing-only backends).
+
+        Raises :class:`ValuationError` if the job failed on the worker.
+        """
+        if not self.done():
+            self._session.gather()
+        if self._error is not None:
+            raise ValuationError(f"job {self.job_id} failed: {self._error}")
+        return self._result
+
+    def price(self) -> float:
+        """Shortcut to the job's price; raises if the run was timing-only."""
+        result = self.result()
+        if result is None or "price" not in result:
+            raise ValuationError(
+                f"job {self.job_id} returned no price (timing-only backend?)"
+            )
+        return result["price"]
+
+    def error(self) -> str | None:
+        """The worker-side error message, or ``None``."""
+        if not self.done():
+            self._session.gather()
+        return self._error
+
+    def _resolve(self, result: dict[str, Any] | None, error: str | None) -> None:
+        self._result = result
+        self._error = error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        state = "pending" if not self.done() else ("error" if self._error else "done")
+        return f"JobHandle(job_id={self.job_id}, label={self.label!r}, {state})"
+
+
+class ValuationSession:
+    """Facade bundling backend, strategy, scheduler and cost-model choices.
+
+    Parameters
+    ----------
+    backend:
+        Registered backend name (``"local"``, ``"multiprocessing"``,
+        ``"simulated"``), a :class:`~repro.api.config.BackendSpec`, or a
+        ready-made :class:`~repro.cluster.backends.WorkerBackend` instance.
+        Name/spec sessions build a **fresh** backend per run and are reusable;
+        instance sessions are one-shot (backends are finalized by the
+        scheduler at the end of a run).
+    strategy:
+        Default problem-transmission strategy (``full_load``, ``nfs``,
+        ``serialized_load``) or a :class:`TransmissionStrategy` instance.
+    n_workers:
+        Worker count for name/spec backends (ignored for instances).
+    scheduler:
+        ``None`` (Robin-Hood), a scheduler name from
+        :data:`~repro.core.scheduler.SCHEDULERS`, a
+        :class:`~repro.core.scheduler.Scheduler` instance, or a zero-argument
+        factory returning fresh schedulers.
+    cost_model:
+        :class:`~repro.cluster.costmodel.CostModel` used to estimate per-job
+        compute costs when building jobs from portfolios / submissions
+        (default: the paper's calibrated model).
+    comm:
+        Shared :class:`CommunicationModel` for sweeps (warm NFS cache
+        semantics, the paper's experimental artefact).
+    comm_factory:
+        Factory producing a fresh :class:`CommunicationModel` per sweep run
+        or per compared strategy; this is how custom NFS settings survive
+        ``share_nfs_cache=False`` runs.
+    backend_options:
+        Extra keyword options for the backend factory (e.g.
+        ``{"start_method": "spawn"}`` for multiprocessing).
+    """
+
+    def __init__(
+        self,
+        backend: str | BackendSpec | WorkerBackend = "simulated",
+        strategy: str | TransmissionStrategy = "serialized_load",
+        *,
+        n_workers: int | None = None,
+        scheduler: str | Scheduler | Callable[[], Scheduler] | None = None,
+        cost_model: CostModel | None = None,
+        comm: CommunicationModel | None = None,
+        comm_factory: Callable[[], CommunicationModel] | None = None,
+        backend_options: Mapping[str, Any] | None = None,
+    ):
+        coerced = BackendSpec.coerce(backend, n_workers=n_workers, options=backend_options)
+        if isinstance(coerced, WorkerBackend):
+            self._backend_spec: BackendSpec | None = None
+            self._backend_instance: WorkerBackend | None = coerced
+        else:
+            self._backend_spec = coerced
+            self._backend_instance = None
+        self._backend_consumed = False
+        self.strategy = strategy
+        self.scheduler = scheduler
+        self.cost_model = cost_model or paper_cost_model()
+        self.comm = comm
+        self.comm_factory = comm_factory
+        self._pending: list[tuple[PricingProblem, JobHandle, str]] = []
+        self._next_job_id = 0
+        self._validate()
+
+    # -- configuration helpers ---------------------------------------------------
+    def _validate(self) -> None:
+        if isinstance(self.strategy, str):
+            get_strategy(self.strategy)  # raises SchedulingError on bad names
+        if isinstance(self.scheduler, str) and self.scheduler not in SCHEDULERS:
+            raise ValuationError(
+                f"unknown scheduler {self.scheduler!r}; known: {sorted(SCHEDULERS)}"
+            )
+
+    @property
+    def backend_spec(self) -> BackendSpec | None:
+        """The spec used to build backends (``None`` for instance sessions)."""
+        return self._backend_spec
+
+    def with_options(self, **changes: Any) -> "ValuationSession":
+        """A new session sharing this one's choices, with ``changes`` applied."""
+        current: dict[str, Any] = {
+            "backend": self._backend_spec
+            if self._backend_spec is not None
+            else self._backend_instance,
+            "strategy": self.strategy,
+            "scheduler": self.scheduler,
+            "cost_model": self.cost_model,
+            "comm": self.comm,
+            "comm_factory": self.comm_factory,
+        }
+        current.update(changes)
+        return ValuationSession(**current)
+
+    def _new_scheduler(self) -> Scheduler:
+        if self.scheduler is None:
+            return RobinHoodScheduler()
+        if isinstance(self.scheduler, Scheduler):
+            return self.scheduler
+        if isinstance(self.scheduler, str):
+            return SCHEDULERS[self.scheduler]()
+        return self.scheduler()
+
+    def _strategy_name(self, strategy: str | TransmissionStrategy | None) -> str:
+        chosen = strategy if strategy is not None else self.strategy
+        return chosen if isinstance(chosen, str) else chosen.name
+
+    def _acquire_backend(self, strategy_name: str) -> WorkerBackend:
+        if self._backend_instance is not None:
+            if self._backend_consumed:
+                raise ValuationError(
+                    "this session wraps a backend instance, which the scheduler "
+                    "finalizes after one run; pass a backend name or BackendSpec "
+                    "for a reusable session"
+                )
+            self._backend_consumed = True
+            return self._backend_instance
+        assert self._backend_spec is not None
+        extra: dict[str, Any] = {}
+        if self._backend_spec.name == "simulated" and self.comm is not None:
+            extra["comm"] = self.comm
+        return self._backend_spec.create(strategy=strategy_name, **extra)
+
+    # -- the engine --------------------------------------------------------------
+    def _execute_jobs(
+        self,
+        jobs: Sequence[Job],
+        backend: WorkerBackend,
+        strategy: str | TransmissionStrategy | None,
+        scheduler: Scheduler | None = None,
+    ) -> RunReport:
+        """Dispatch ``jobs``, check completeness and normalise the report.
+
+        This is the single execution path of the whole package: the legacy
+        :func:`repro.core.runner.run_jobs` delegates here.
+        """
+        chosen = strategy if strategy is not None else self.strategy
+        strategy_obj = get_strategy(chosen) if isinstance(chosen, str) else chosen
+        runner = scheduler or self._new_scheduler()
+        outcome = runner.run(jobs, backend, strategy_obj)
+        if len(outcome.completed) != len(jobs):
+            raise SchedulingError(
+                f"scheduler returned {len(outcome.completed)} results for {len(jobs)} jobs"
+            )
+        return RunReport.from_outcome(outcome, jobs, strategy_obj.name)
+
+    def _portfolio_jobs(
+        self,
+        portfolio: Portfolio,
+        backend: WorkerBackend,
+        store: Any = None,
+        attach_problems: bool | None = None,
+        cost_model: CostModel | None = None,
+    ) -> list[Job]:
+        if attach_problems is None:
+            attach_problems = getattr(backend, "requires_payload", True) and store is None
+        return portfolio.build_jobs(
+            cost_model=cost_model or self.cost_model,
+            store=store,
+            attach_problems=attach_problems,
+        )
+
+    # -- pricing -----------------------------------------------------------------
+    def price(
+        self,
+        model: Any = None,
+        option: Any = None,
+        method: Any = None,
+        *,
+        model_params: Mapping[str, Any] | None = None,
+        option_params: Mapping[str, Any] | None = None,
+        method_params: Mapping[str, Any] | None = None,
+        asset: str = "equity",
+        label: str | None = None,
+        problem: PricingProblem | None = None,
+    ) -> PriceResult:
+        """Price one option and return a :class:`PriceResult`.
+
+        Accepts either registry names plus parameter mappings (the
+        Premia-style spelling) or model/option/method *instances*; or a fully
+        specified :class:`PricingProblem` via ``problem=``.  Single-option
+        pricing always computes in-process -- the session's backend is for
+        portfolio-scale work.
+        """
+        if problem is not None:
+            if model is not None or option is not None or method is not None:
+                raise ValuationError("pass either problem= or model/option/method, not both")
+            return self.price_problem(problem)
+        if model is None or option is None or method is None:
+            raise ValuationError("price() needs model, option and method (or problem=)")
+        names = [isinstance(part, str) for part in (model, option, method)]
+        if all(names):
+            built = PricingProblem(label=label)
+            built.set_asset(asset)
+            built.set_model(model, **dict(model_params or {}))
+            built.set_option(option, **dict(option_params or {}))
+            built.set_method(method, **dict(method_params or {}))
+        elif not any(names):
+            built = PricingProblem.from_instances(
+                model, option, method, asset=asset, label=label
+            )
+        else:
+            raise ValuationError(
+                "price() takes either all names or all instances for "
+                "model/option/method, not a mix"
+            )
+        return self.price_problem(built)
+
+    def price_problem(self, problem: PricingProblem) -> PriceResult:
+        """Compute a fully specified problem in-process."""
+        result = problem.compute()
+        return PriceResult.from_pricing(
+            result, label=problem.label, method=problem.method_name
+        )
+
+    # -- portfolio runs ----------------------------------------------------------
+    def run(
+        self,
+        source: Portfolio | Sequence[Job],
+        *,
+        strategy: str | TransmissionStrategy | None = None,
+        scheduler: Scheduler | None = None,
+        store: Any = None,
+        attach_problems: bool | None = None,
+        config: RunConfig | None = None,
+    ) -> RunResult:
+        """Value a portfolio (or a prepared job list) on the session backend."""
+        cost_model: CostModel | None = None
+        if config is not None:
+            strategy = strategy if strategy is not None else config.strategy
+            if scheduler is None and config.scheduler is not None:
+                scheduler = config.scheduler_factory()()
+            if attach_problems is None:
+                attach_problems = config.attach_problems
+            cost_model = config.cost_model
+        strategy_name = self._strategy_name(strategy)
+        backend = self._acquire_backend(strategy_name)
+        if isinstance(source, Portfolio):
+            jobs = self._portfolio_jobs(source, backend, store, attach_problems, cost_model)
+            portfolio: Portfolio | None = source
+        else:
+            jobs = list(source)
+            portfolio = None
+        report = self._execute_jobs(jobs, backend, strategy, scheduler)
+        return RunResult(report=report, portfolio=portfolio)
+
+    # -- batch submission --------------------------------------------------------
+    def submit_many(
+        self,
+        problems: Iterable[PricingProblem],
+        *,
+        category: str = "submitted",
+    ) -> list[JobHandle]:
+        """Queue problems for batched valuation; returns one handle per problem.
+
+        Nothing executes until :meth:`gather` runs (explicitly, or implicitly
+        through the first ``handle.result()`` call), so many ``submit_many``
+        calls coalesce into a single master/worker campaign.
+        """
+        handles: list[JobHandle] = []
+        for problem in problems:
+            if not isinstance(problem, PricingProblem):
+                raise ValuationError(
+                    f"submit_many expects PricingProblem items, got {type(problem).__name__}"
+                )
+            handle = JobHandle(self._next_job_id, problem.label, self)
+            self._next_job_id += 1
+            self._pending.append((problem, handle, category))
+            handles.append(handle)
+        return handles
+
+    @property
+    def n_pending(self) -> int:
+        """Number of submitted problems not yet gathered."""
+        return len(self._pending)
+
+    def gather(self) -> RunResult:
+        """Value every pending submission as one batch and resolve the handles."""
+        if not self._pending:
+            raise ValuationError("no pending submissions to gather")
+        # keep the queue intact until the batch succeeds: a failure while
+        # building jobs or running them leaves the handles pending, with the
+        # real exception propagating, instead of stranding them unresolved
+        pending = list(self._pending)
+        jobs = [
+            Job(
+                job_id=handle.job_id,
+                path=f"/virtual/session/{handle.job_id:06d}.pb",
+                file_size=serialize(problem).nbytes + 4,
+                compute_cost=self.cost_model.estimate(problem),
+                category=category,
+                problem=problem,
+            )
+            for problem, handle, category in pending
+        ]
+        strategy_name = self._strategy_name(None)
+        backend = self._acquire_backend(strategy_name)
+        report = self._execute_jobs(jobs, backend, None)
+        self._pending = []
+        for _, handle, _category in pending:
+            handle._resolve(
+                report.results.get(handle.job_id), report.errors.get(handle.job_id)
+            )
+        return RunResult(report=report)
+
+    # -- sweeps and comparisons --------------------------------------------------
+    def sweep(
+        self,
+        source: Portfolio | Sequence[Job],
+        cpu_counts: Sequence[int] | None = None,
+        *,
+        strategy: str | None = None,
+        share_nfs_cache: bool | None = None,
+        label: str | None = None,
+        comm: CommunicationModel | None = None,
+        comm_factory: Callable[[], CommunicationModel] | None = None,
+        config: SweepConfig | None = None,
+    ) -> SweepResult:
+        """Simulate the same workload over several cluster sizes.
+
+        Always runs on the simulated cluster (that is the point of a sweep),
+        whatever the session backend is.  ``share_nfs_cache=True`` (default)
+        reuses one :class:`CommunicationModel` across the sweep, reproducing
+        the paper's warm-NFS-cache artefact; ``False`` gives every CPU count
+        an independent cold run built by ``comm_factory`` when provided, or
+        by :meth:`CommunicationModel.cold_copy` otherwise -- either way any
+        customised NFS settings are preserved.
+        """
+        if config is not None:
+            cpu_counts = cpu_counts if cpu_counts is not None else config.cpu_counts
+            strategy = strategy or config.strategy
+            if share_nfs_cache is None:
+                share_nfs_cache = config.share_nfs_cache
+            label = label or config.label
+        if share_nfs_cache is None:
+            share_nfs_cache = True
+        if not cpu_counts:
+            raise SchedulingError("cpu_counts must not be empty")
+        strategy_name = self._strategy_name(strategy)
+        jobs = self._sweep_jobs(source)
+        comm_factory = comm_factory or self.comm_factory
+        base_comm = comm if comm is not None else self.comm
+        if base_comm is None:
+            base_comm = comm_factory() if comm_factory else CommunicationModel()
+        times: dict[int, float] = {}
+        for n_cpus in cpu_counts:
+            if share_nfs_cache:
+                run_comm = base_comm
+            elif comm_factory is not None:
+                run_comm = comm_factory()
+            else:
+                run_comm = base_comm.cold_copy()
+            backend = self._simulated_backend(n_cpus, strategy_name, run_comm)
+            report = self._execute_jobs(jobs, backend, strategy_name)
+            times[n_cpus] = report.total_time
+        from repro.core.speedup import SpeedupTable
+
+        return SweepResult(SpeedupTable.from_times(label or strategy_name, times))
+
+    def compare(
+        self,
+        source: Portfolio | Sequence[Job],
+        cpu_counts: Sequence[int],
+        *,
+        strategies: Sequence[str] = STRATEGY_NAMES,
+        share_nfs_cache: bool = True,
+        comm_factory: Callable[[], CommunicationModel] | None = None,
+    ) -> ComparisonResult:
+        """Run the CPU-count sweep for several transmission strategies.
+
+        Reproduces the full layout of the paper's Tables II and III.  Each
+        strategy gets its own communication model (its own NFS cache
+        history), built by ``comm_factory`` when provided.
+        """
+        comm_factory = comm_factory or self.comm_factory
+        jobs = self._sweep_jobs(source)
+        tables: dict[str, Any] = {}
+        for strategy in strategies:
+            comm = comm_factory() if comm_factory else CommunicationModel()
+            tables[strategy] = self.sweep(
+                jobs,
+                cpu_counts,
+                strategy=strategy,
+                share_nfs_cache=share_nfs_cache,
+                comm=comm,
+                comm_factory=comm_factory,
+                label=strategy,
+            ).table
+        return ComparisonResult(tables)
+
+    def _sweep_jobs(self, source: Portfolio | Sequence[Job]) -> list[Job]:
+        if isinstance(source, Portfolio):
+            return source.build_jobs(cost_model=self.cost_model)
+        return list(source)
+
+    def _simulated_backend(
+        self, n_cpus: int, strategy_name: str, comm: CommunicationModel
+    ) -> WorkerBackend:
+        options: dict[str, Any] = {}
+        if self._backend_spec is not None and self._backend_spec.name == "simulated":
+            options.update(dict(self._backend_spec.options))
+        options.pop("comm", None)
+        return create_backend(
+            "simulated",
+            n_workers=n_cpus - 1,
+            strategy=strategy_name,
+            comm=comm,
+            **options,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        backend = (
+            self._backend_spec.name
+            if self._backend_spec is not None
+            else type(self._backend_instance).__name__
+        )
+        return (
+            f"ValuationSession(backend={backend!r}, "
+            f"strategy={self._strategy_name(None)!r}, pending={self.n_pending})"
+        )

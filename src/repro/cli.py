@@ -1,13 +1,17 @@
 """Command-line interface of the benchmark.
 
-``repro-bench`` exposes the main workflows without writing Python:
+``repro-bench`` exposes the main workflows without writing Python; every
+subcommand is a thin veneer over the unified
+:class:`~repro.api.session.ValuationSession` facade:
 
-* ``repro-bench list`` -- registered models, options and methods;
+* ``repro-bench list`` -- registered models, options, methods and backends;
 * ``repro-bench price`` -- price one option from the command line;
 * ``repro-bench table1|table2|table3`` -- regenerate the paper's tables on
   the simulated cluster;
 * ``repro-bench run`` -- actually value a (scaled-down) portfolio on the
-  local machine with multiprocessing workers.
+  local machine with multiprocessing workers;
+* ``repro-bench sweep`` -- simulate one portfolio over a list of CPU counts
+  and print the speedup table.
 """
 
 from __future__ import annotations
@@ -20,6 +24,13 @@ from repro._version import __version__
 
 __all__ = ["main", "build_parser"]
 
+_PORTFOLIO_CHOICES = ("toy", "realistic", "regression")
+
+
+def _add_portfolio_args(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--portfolio", choices=_PORTFOLIO_CHOICES, default="toy")
+    cmd.add_argument("--positions", type=int, default=64, help="number of positions")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -30,7 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered models, options and methods")
+    sub.add_parser("list", help="list registered models, options, methods and backends")
 
     price = sub.add_parser("price", help="price a single option")
     price.add_argument("--model", default="BlackScholes1D")
@@ -58,14 +69,49 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--strategy", default=None, help="restrict to one strategy")
 
     run = sub.add_parser("run", help="value a scaled-down portfolio locally")
-    run.add_argument("--portfolio", choices=("toy", "realistic", "regression"), default="toy")
-    run.add_argument("--positions", type=int, default=64, help="number of positions")
+    _add_portfolio_args(run)
     run.add_argument("--workers", type=int, default=2, help="worker processes")
     run.add_argument("--strategy", default="serialized_load")
+
+    sweep = sub.add_parser(
+        "sweep", help="simulate one portfolio over a list of CPU counts"
+    )
+    _add_portfolio_args(sweep)
+    sweep.add_argument(
+        "--cpus",
+        type=int,
+        nargs="+",
+        default=[2, 4, 8, 16],
+        help="CPU counts to simulate",
+    )
+    sweep.add_argument("--strategy", default="serialized_load")
+    sweep.add_argument(
+        "--scheduler",
+        default=None,
+        help="scheduler name (robin_hood, static_block, chunked_robin_hood)",
+    )
+    sweep.add_argument(
+        "--cold-nfs-cache",
+        action="store_true",
+        help="give every CPU count an independent cold NFS cache",
+    )
     return parser
 
 
+def _build_cli_portfolio(args: argparse.Namespace):
+    from repro.core import PORTFOLIO_BUILDERS
+
+    if args.portfolio == "toy":
+        return PORTFOLIO_BUILDERS["toy"](n_options=args.positions)
+    if args.portfolio == "realistic":
+        return PORTFOLIO_BUILDERS["realistic"](
+            profile="fast", scale=max(args.positions / 7931.0, 1e-3)
+        )
+    return PORTFOLIO_BUILDERS["regression"](profile="fast")
+
+
 def _cmd_list() -> int:
+    from repro.cluster.backends import list_backends
     from repro.pricing import list_methods, list_models, list_products
 
     print("Models:")
@@ -77,20 +123,23 @@ def _cmd_list() -> int:
     print("Methods (including aliases):")
     for name in list_methods():
         print(f"  {name}")
+    print("Backends:")
+    for name in list_backends():
+        print(f"  {name}")
     return 0
 
 
 def _cmd_price(args: argparse.Namespace) -> int:
-    from repro.pricing import PricingProblem
+    from repro.api import ValuationSession
 
-    problem = PricingProblem()
-    problem.set_asset("equity")
-    problem.set_model(
-        args.model, spot=args.spot, rate=args.rate, volatility=args.volatility
+    session = ValuationSession(backend="local")
+    result = session.price(
+        model=args.model,
+        option=args.option,
+        method=args.method,
+        model_params={"spot": args.spot, "rate": args.rate, "volatility": args.volatility},
+        option_params={"strike": args.strike, "maturity": args.maturity},
     )
-    problem.set_option(args.option, strike=args.strike, maturity=args.maturity)
-    problem.set_method(args.method)
-    result = problem.compute()
     print(f"price  = {result.price:.6f}")
     if result.delta is not None:
         print(f"delta  = {result.delta:.6f}")
@@ -100,22 +149,21 @@ def _cmd_price(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(table: str, args: argparse.Namespace) -> int:
+    from repro.api import ValuationSession
     from repro.cluster import paper_cost_model
     from repro.core import (
         build_realistic_portfolio,
         build_regression_portfolio,
         build_toy_portfolio,
-        compare_strategies,
-        format_comparison_table,
-        sweep_cpu_counts,
     )
 
-    cost_model = paper_cost_model()
+    session = ValuationSession(backend="simulated", cost_model=paper_cost_model())
     if table == "table1":
         cpus = args.cpus or [2, 4, 6, 8, 10, 16, 32, 64, 96, 128, 160, 192, 224, 256]
         portfolio = build_regression_portfolio(profile="paper")
-        jobs = portfolio.build_jobs(cost_model=cost_model)
-        result = sweep_cpu_counts(jobs, cpus, strategy=args.strategy or "serialized_load")
+        result = session.sweep(
+            portfolio, cpus, strategy=args.strategy or "serialized_load"
+        )
         print(result.format())
         return 0
 
@@ -125,36 +173,45 @@ def _cmd_table(table: str, args: argparse.Namespace) -> int:
     else:
         cpus = args.cpus or [2, 4, 6, 8, 10, 16, 32, 64, 96, 128, 160, 192, 224, 256, 320, 384, 512]
         portfolio = build_realistic_portfolio(profile="paper")
-    jobs = portfolio.build_jobs(cost_model=cost_model)
     strategies = [args.strategy] if args.strategy else ["full_load", "nfs", "serialized_load"]
-    tables = compare_strategies(jobs, cpus, strategies=strategies)
-    print(format_comparison_table(tables.values()))
+    comparison = session.compare(portfolio, cpus, strategies=strategies)
+    print(comparison.format())
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.cluster import MultiprocessingBackend
-    from repro.core import (
-        PORTFOLIO_BUILDERS,
-        portfolio_value,
-        run_portfolio,
-    )
+    from repro.api import ValuationSession
 
-    if args.portfolio == "toy":
-        portfolio = PORTFOLIO_BUILDERS["toy"](n_options=args.positions)
-    elif args.portfolio == "realistic":
-        portfolio = PORTFOLIO_BUILDERS["realistic"](
-            profile="fast", scale=max(args.positions / 7931.0, 1e-3)
-        )
-    else:
-        portfolio = PORTFOLIO_BUILDERS["regression"](profile="fast")
-    backend = MultiprocessingBackend(n_workers=args.workers)
-    report = run_portfolio(portfolio, backend, strategy=args.strategy)
+    portfolio = _build_cli_portfolio(args)
+    session = ValuationSession(
+        backend="multiprocessing", strategy=args.strategy, n_workers=args.workers
+    )
+    result = session.run(portfolio)
+    report = result.report
     print(
         f"valued {report.n_jobs} positions on {report.n_workers} workers "
         f"in {report.total_time:.2f}s ({len(report.errors)} errors)"
     )
-    print(f"portfolio value = {portfolio_value(portfolio, report.prices()):.2f}")
+    print(f"portfolio value = {result.value():.2f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api import ValuationSession
+
+    portfolio = _build_cli_portfolio(args)
+    session = ValuationSession(
+        backend="simulated", strategy=args.strategy, scheduler=args.scheduler
+    )
+    result = session.sweep(
+        portfolio,
+        args.cpus,
+        share_nfs_cache=not args.cold_nfs_cache,
+        label=f"{args.portfolio}/{args.strategy}",
+    )
+    print(result.format())
+    best = result.best_cpu_count()
+    print(f"fastest configuration: {best} CPUs ({result.times()[best]:.3f}s simulated)")
     return 0
 
 
@@ -170,6 +227,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_table(args.command, args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

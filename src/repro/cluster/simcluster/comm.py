@@ -27,7 +27,7 @@ between NFS and serialized load around a dozen CPUs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cluster.backends.base import Job
 from repro.cluster.simcluster.network import NetworkModel, gigabit_ethernet
@@ -66,6 +66,17 @@ class CommunicationModel:
     master_receive_overhead: float = 20e-6
     #: master-side cost of sending the final empty stop message to one worker
     stop_message_bytes: int = 32
+
+    def cold_copy(self) -> "CommunicationModel":
+        """A copy of this model with an empty (cold) NFS server cache.
+
+        Every cost constant -- including any customised :class:`NFSModel`
+        latencies and bandwidth -- is preserved; only the cache history is
+        dropped.  This is what an independent cold run of the same experiment
+        sees, and what ``share_nfs_cache=False`` sweeps use between CPU
+        counts.  The network model is stateless and is shared.
+        """
+        return replace(self, nfs=replace(self.nfs, _cache=set()))
 
     def _check_strategy(self, strategy: str) -> None:
         if strategy not in STRATEGY_NAMES:

@@ -1,12 +1,20 @@
 """Run portfolios against a backend and sweep cluster sizes.
 
-This is the top layer of the benchmark: given a portfolio (or a prepared job
-list), a transmission strategy, a scheduler and a backend, :func:`run_jobs`
-produces a :class:`RunReport`; :func:`sweep_cpu_counts` repeats the run over
-a list of cluster sizes on the simulated cluster and returns the
-:class:`~repro.core.speedup.SpeedupTable` that reproduces one column of the
-paper's tables, and :func:`compare_strategies` runs the sweep for the three
-transmission strategies to reproduce a full table.
+This used to be the top layer of the benchmark; it now hosts the canonical
+:class:`RunReport` plus **thin deprecation shims** -- :func:`run_jobs`,
+:func:`run_portfolio`, :func:`sweep_cpu_counts` and
+:func:`compare_strategies` delegate to the unified
+:class:`~repro.api.session.ValuationSession` facade, which is the preferred
+entry point for new code::
+
+    from repro.api import ValuationSession
+
+    session = ValuationSession(backend="simulated", strategy="serialized_load")
+    result = session.sweep(portfolio, cpu_counts=[2, 4, 8])
+
+The shims keep the historical signatures and return the unwrapped
+:class:`RunReport` / :class:`~repro.core.speedup.SpeedupTable` objects, so
+existing scripts and the whole seed test-suite keep working unchanged.
 """
 
 from __future__ import annotations
@@ -15,15 +23,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.cluster.backends.base import Job, WorkerBackend
-from repro.cluster.costmodel import CostModel, paper_cost_model
+from repro.cluster.costmodel import CostModel
 from repro.cluster.simcluster.comm import STRATEGY_NAMES, CommunicationModel
-from repro.cluster.simcluster.node import ClusterSpec
-from repro.cluster.simcluster.simulator import SimulatedClusterBackend
 from repro.core.portfolio import Portfolio
-from repro.core.scheduler import RobinHoodScheduler, Scheduler, ScheduleOutcome
+from repro.core.scheduler import Scheduler, ScheduleOutcome
 from repro.core.speedup import SpeedupTable
-from repro.core.strategies import TransmissionStrategy, get_strategy
-from repro.errors import SchedulingError
+from repro.core.strategies import TransmissionStrategy
 
 __all__ = ["RunReport", "run_jobs", "run_portfolio", "sweep_cpu_counts", "compare_strategies"]
 
@@ -105,16 +110,15 @@ def run_jobs(
     strategy: TransmissionStrategy | str = "serialized_load",
     scheduler: Scheduler | None = None,
 ) -> RunReport:
-    """Value a prepared job list on a backend and return the report."""
-    if isinstance(strategy, str):
-        strategy = get_strategy(strategy)
-    scheduler = scheduler or RobinHoodScheduler()
-    outcome = scheduler.run(jobs, backend, strategy)
-    if len(outcome.completed) != len(jobs):
-        raise SchedulingError(
-            f"scheduler returned {len(outcome.completed)} results for {len(jobs)} jobs"
-        )
-    return RunReport.from_outcome(outcome, jobs, strategy.name)
+    """Value a prepared job list on a backend and return the report.
+
+    .. deprecated:: 1.0
+        Thin shim over :meth:`repro.api.session.ValuationSession.run`.
+    """
+    from repro.api.session import ValuationSession
+
+    session = ValuationSession(backend=backend, strategy=strategy, scheduler=scheduler)
+    return session.run(jobs).report
 
 
 def run_portfolio(
@@ -131,13 +135,16 @@ def run_portfolio(
     ``attach_problems`` defaults to ``True`` for executing backends without a
     problem store (so workers can rebuild the problems from memory) and
     ``False`` otherwise.
+
+    .. deprecated:: 1.0
+        Thin shim over :meth:`repro.api.session.ValuationSession.run`.
     """
-    if attach_problems is None:
-        attach_problems = getattr(backend, "requires_payload", True) and store is None
-    jobs = portfolio.build_jobs(
-        cost_model=cost_model, store=store, attach_problems=attach_problems
+    from repro.api.session import ValuationSession
+
+    session = ValuationSession(
+        backend=backend, strategy=strategy, scheduler=scheduler, cost_model=cost_model
     )
-    return run_jobs(jobs, backend, strategy=strategy, scheduler=scheduler)
+    return session.run(portfolio, store=store, attach_problems=attach_problems).report
 
 
 def sweep_cpu_counts(
@@ -148,34 +155,40 @@ def sweep_cpu_counts(
     comm: CommunicationModel | None = None,
     share_nfs_cache: bool = True,
     label: str | None = None,
+    comm_factory: Callable[[], CommunicationModel] | None = None,
 ) -> SpeedupTable:
     """Simulate the same workload over several cluster sizes.
 
     Reproduces one column of the paper's tables: for each ``n_cpus`` a fresh
-    :class:`SimulatedClusterBackend` with ``n_cpus - 1`` workers is driven by
-    the scheduler, and the virtual makespans are collected into a
-    :class:`SpeedupTable`.
+    simulated cluster with ``n_cpus - 1`` workers is driven by the scheduler,
+    and the virtual makespans are collected into a :class:`SpeedupTable`.
 
     ``share_nfs_cache=True`` reuses the same :class:`CommunicationModel`
     (hence the same NFS server cache) across the sweep, as happened on the
     paper's physical cluster where successive experiments re-read the same
-    portfolio files; pass ``False`` to model independent cold runs.
+    portfolio files; pass ``False`` to model independent cold runs (built by
+    ``comm_factory`` when given, otherwise by copying ``comm`` with a cold
+    cache -- custom NFS settings are preserved either way).
+
+    .. deprecated:: 1.0
+        Thin shim over :meth:`repro.api.session.ValuationSession.sweep`.
     """
-    if not cpu_counts:
-        raise SchedulingError("cpu_counts must not be empty")
-    base_comm = comm if comm is not None else CommunicationModel()
-    times: dict[int, float] = {}
-    for n_cpus in cpu_counts:
-        run_comm = base_comm if share_nfs_cache else CommunicationModel(
-            network=base_comm.network
-        )
-        backend = SimulatedClusterBackend(
-            ClusterSpec.from_cpu_count(n_cpus), strategy=strategy, comm=run_comm
-        )
-        scheduler = scheduler_factory() if scheduler_factory else RobinHoodScheduler()
-        report = run_jobs(jobs, backend, strategy=strategy, scheduler=scheduler)
-        times[n_cpus] = report.total_time
-    return SpeedupTable.from_times(label or strategy, times)
+    from repro.api.session import ValuationSession
+
+    session = ValuationSession(
+        backend="simulated",
+        strategy=strategy,
+        scheduler=scheduler_factory,
+        comm=comm,
+        comm_factory=comm_factory,
+    )
+    return session.sweep(
+        jobs,
+        cpu_counts,
+        strategy=strategy,
+        share_nfs_cache=share_nfs_cache,
+        label=label,
+    ).table
 
 
 def compare_strategies(
@@ -192,17 +205,18 @@ def compare_strategies(
     Speedup-ratio column per strategy).  Each strategy gets its own
     communication model (hence its own NFS cache history), mirroring the
     paper where the three columns come from separate experiment campaigns.
+
+    .. deprecated:: 1.0
+        Thin shim over :meth:`repro.api.session.ValuationSession.compare`.
     """
-    tables: dict[str, SpeedupTable] = {}
-    for strategy in strategies:
-        comm = comm_factory() if comm_factory else CommunicationModel()
-        tables[strategy] = sweep_cpu_counts(
-            jobs,
-            cpu_counts,
-            strategy=strategy,
-            scheduler_factory=scheduler_factory,
-            comm=comm,
-            share_nfs_cache=share_nfs_cache,
-            label=strategy,
-        )
-    return tables
+    from repro.api.session import ValuationSession
+
+    session = ValuationSession(
+        backend="simulated", scheduler=scheduler_factory, comm_factory=comm_factory
+    )
+    return session.compare(
+        jobs,
+        cpu_counts,
+        strategies=strategies,
+        share_nfs_cache=share_nfs_cache,
+    ).tables

@@ -57,3 +57,9 @@ class SchedulingError(ReproError):
 
 class PortfolioError(ReproError):
     """Raised by portfolio builders and the risk layer on invalid inputs."""
+
+
+class ValuationError(ReproError):
+    """Raised by the :class:`~repro.api.session.ValuationSession` facade on
+    invalid session configurations or misuse of job handles (e.g. reading a
+    handle whose job failed, or gathering an empty batch)."""

@@ -1,0 +1,81 @@
+"""Tests of the named backend registry in ``repro.cluster.backends``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.backends import (
+    MultiprocessingBackend,
+    SequentialBackend,
+    WorkerBackend,
+    create_backend,
+    list_backends,
+    register_backend,
+)
+from repro.cluster.simcluster import SimulatedClusterBackend
+from repro.errors import ClusterError
+
+
+class TestRegistryContents:
+    def test_builtin_backends_registered(self):
+        names = list_backends()
+        assert {"local", "sequential", "multiprocessing", "simulated"} <= set(names)
+
+    def test_names_are_sorted(self):
+        assert list_backends() == sorted(list_backends())
+
+
+class TestCreateBackend:
+    def test_local_and_sequential_are_aliases(self):
+        for name in ("local", "sequential"):
+            backend = create_backend(name, n_workers=2)
+            assert isinstance(backend, SequentialBackend)
+            assert backend.n_workers == 2
+
+    def test_multiprocessing(self):
+        backend = create_backend("multiprocessing", n_workers=2)
+        try:
+            assert isinstance(backend, MultiprocessingBackend)
+            assert backend.n_workers == 2
+        finally:
+            backend.finalize()
+
+    def test_simulated_gets_strategy_and_size(self):
+        backend = create_backend("simulated", n_workers=3, strategy="nfs")
+        assert isinstance(backend, SimulatedClusterBackend)
+        assert backend.n_workers == 3
+        assert backend.strategy == "nfs"
+
+    def test_simulated_extra_options(self):
+        backend = create_backend("simulated", n_workers=1, execute=False, node_speed=2.0)
+        assert backend.cluster.n_workers == 1
+
+    def test_unknown_name_lists_known_backends(self):
+        with pytest.raises(ClusterError, match="local"):
+            create_backend("no_such_backend")
+
+    def test_each_call_builds_a_fresh_backend(self):
+        first = create_backend("local")
+        second = create_backend("local")
+        assert first is not second
+
+
+class TestRegisterBackend:
+    def test_decorator_registration_roundtrip(self):
+        from repro.cluster.backends import _BACKEND_REGISTRY
+
+        @register_backend("test_only_backend")
+        def make(n_workers=1, strategy="serialized_load", **options):
+            return SequentialBackend(n_workers=n_workers)
+
+        try:
+            assert "test_only_backend" in list_backends()
+            backend = create_backend("test_only_backend", n_workers=4)
+            assert isinstance(backend, WorkerBackend)
+            assert backend.n_workers == 4
+        finally:
+            _BACKEND_REGISTRY.pop("test_only_backend", None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ClusterError):
+            register_backend("", lambda **kw: SequentialBackend())

@@ -1,0 +1,111 @@
+"""Tests of the frozen configuration objects of the unified API."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api import BackendSpec, RunConfig, SweepConfig
+from repro.cluster.backends import SequentialBackend
+from repro.core.scheduler import ChunkedRobinHoodScheduler
+from repro.errors import ValuationError
+
+
+class TestBackendSpec:
+    def test_frozen(self):
+        spec = BackendSpec("local", 2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.name = "simulated"
+
+    def test_options_mapping_normalised_and_hashable(self):
+        spec = BackendSpec("multiprocessing", 2, options={"start_method": "fork"})
+        assert spec.options == (("start_method", "fork"),)
+        assert hash(spec)  # fully frozen specs can key caches
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValuationError):
+            BackendSpec("local", 0)
+
+    def test_coerce_string_validates_against_registry(self):
+        spec = BackendSpec.coerce("local", n_workers=3)
+        assert isinstance(spec, BackendSpec)
+        assert (spec.name, spec.n_workers) == ("local", 3)
+        with pytest.raises(ValuationError, match="registered backends"):
+            BackendSpec.coerce("warp_drive")
+
+    def test_coerce_passes_instances_through(self):
+        backend = SequentialBackend()
+        assert BackendSpec.coerce(backend) is backend
+
+    def test_coerce_rejects_options_for_instances(self):
+        with pytest.raises(ValuationError, match="already-built"):
+            BackendSpec.coerce(SequentialBackend(), options={"start_method": "spawn"})
+
+    def test_coerce_merges_options_into_existing_spec(self):
+        spec = BackendSpec("multiprocessing", 2, options={"start_method": "fork"})
+        merged = BackendSpec.coerce(spec, options={"start_method": "spawn"})
+        assert merged.options == (("start_method", "spawn"),)
+        untouched = BackendSpec.coerce(spec, options={"start_method": "fork"})
+        assert untouched is spec
+
+    def test_coerce_resizes_existing_spec(self):
+        spec = BackendSpec("simulated", 2)
+        resized = BackendSpec.coerce(spec, n_workers=7)
+        assert resized.n_workers == 7
+        assert resized.name == "simulated"
+        assert BackendSpec.coerce(spec, n_workers=2) is spec
+
+    def test_coerce_rejects_other_types(self):
+        with pytest.raises(ValuationError):
+            BackendSpec.coerce(42)
+
+    def test_create_builds_fresh_backends(self):
+        spec = BackendSpec("local", 2)
+        first, second = spec.create(), spec.create()
+        assert isinstance(first, SequentialBackend)
+        assert first is not second
+        assert first.n_workers == 2
+
+
+class TestRunConfig:
+    def test_defaults(self):
+        config = RunConfig()
+        assert config.strategy == "serialized_load"
+        assert config.scheduler is None
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValuationError):
+            RunConfig(strategy="carrier_pigeon")
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValuationError):
+            RunConfig(scheduler="fifo")
+
+    def test_scheduler_factory_builds_fresh_configured_instances(self):
+        config = RunConfig(
+            scheduler="chunked_robin_hood", scheduler_options={"chunk_size": 5}
+        )
+        factory = config.scheduler_factory()
+        first, second = factory(), factory()
+        assert isinstance(first, ChunkedRobinHoodScheduler)
+        assert first is not second
+        assert first.chunk_size == 5
+
+
+class TestSweepConfig:
+    def test_cpu_counts_coerced_to_tuple(self):
+        config = SweepConfig(cpu_counts=[2, 4, 8])
+        assert config.cpu_counts == (2, 4, 8)
+
+    def test_empty_cpu_counts_rejected(self):
+        with pytest.raises(ValuationError):
+            SweepConfig(cpu_counts=())
+
+    def test_single_cpu_rejected(self):
+        with pytest.raises(ValuationError):
+            SweepConfig(cpu_counts=(1, 2))
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValuationError):
+            SweepConfig(cpu_counts=(2, 4), strategy="osmosis")

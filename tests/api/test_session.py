@@ -1,0 +1,343 @@
+"""Tests of the :class:`ValuationSession` facade.
+
+The acceptance bar of the unified API: reproduce the quickstart price
+(10.4506), a full portfolio run and a Table-II-style strategy comparison
+through the session alone, with results identical to the legacy free
+functions the session replaced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BackendSpec,
+    ComparisonResult,
+    PriceResult,
+    RunConfig,
+    RunResult,
+    SweepConfig,
+    SweepResult,
+    ValuationSession,
+)
+from repro.cluster.backends import SequentialBackend
+from repro.cluster.costmodel import paper_cost_model
+from repro.cluster.simcluster import CommunicationModel, NFSModel
+from repro.core import compare_strategies, run_portfolio, sweep_cpu_counts
+from repro.core.portfolio import build_toy_portfolio
+from repro.errors import SchedulingError, ValuationError
+from repro.pricing import (
+    BlackScholesModel,
+    ClosedFormCall,
+    EuropeanCall,
+    PricingProblem,
+)
+
+BS_PARAMS = {"spot": 100.0, "rate": 0.05, "volatility": 0.2}
+CALL_PARAMS = {"strike": 100.0, "maturity": 1.0}
+
+
+def _call_problem(strike: float, label: str | None = None) -> PricingProblem:
+    problem = PricingProblem(label=label)
+    problem.set_asset("equity")
+    problem.set_model("BlackScholes1D", **BS_PARAMS)
+    problem.set_option("CallEuro", strike=strike, maturity=1.0)
+    problem.set_method("CF_Call")
+    return problem
+
+
+@pytest.fixture(scope="module")
+def toy_portfolio():
+    return build_toy_portfolio(n_options=60)
+
+
+@pytest.fixture(scope="module")
+def toy_jobs(toy_portfolio):
+    return toy_portfolio.build_jobs(cost_model=paper_cost_model())
+
+
+class TestPrice:
+    def test_quickstart_price_by_names(self):
+        session = ValuationSession(backend="simulated")
+        result = session.price(
+            model="BlackScholes1D", option="CallEuro", method="CF_Call",
+            model_params=BS_PARAMS, option_params=CALL_PARAMS,
+        )
+        assert isinstance(result, PriceResult)
+        assert round(result.price, 4) == 10.4506
+        assert result.delta == pytest.approx(0.6368, abs=1e-4)
+        assert result.ok
+
+    def test_price_from_instances(self):
+        session = ValuationSession()
+        result = session.price(
+            BlackScholesModel(**BS_PARAMS),
+            EuropeanCall(**CALL_PARAMS),
+            ClosedFormCall(),
+        )
+        assert round(result.price, 4) == 10.4506
+
+    def test_price_problem_keyword(self, simple_problem):
+        result = ValuationSession().price(problem=simple_problem)
+        assert round(result.price, 4) == 10.4506
+        assert result.label == "fixture_call"
+        assert result.method == "CF_Call"
+
+    def test_problem_excludes_names(self, simple_problem):
+        with pytest.raises(ValuationError):
+            ValuationSession().price(model="BlackScholes1D", problem=simple_problem)
+
+    def test_mixing_names_and_instances_rejected(self):
+        with pytest.raises(ValuationError, match="mix"):
+            ValuationSession().price(
+                BlackScholesModel(**BS_PARAMS), "CallEuro", "CF_Call"
+            )
+
+    def test_missing_parts_rejected(self):
+        with pytest.raises(ValuationError):
+            ValuationSession().price(model="BlackScholes1D")
+
+    def test_format_and_confidence_interval(self):
+        result = PriceResult(price=10.0, std_error=0.5, label="x")
+        low, high = result.confidence_interval
+        assert low < 10.0 < high
+        assert "price = 10" in result.format()
+        assert result.to_dict()["label"] == "x"
+
+
+class TestRun:
+    def test_portfolio_run_matches_legacy(self, toy_portfolio):
+        session = ValuationSession(backend="local", strategy="serialized_load")
+        result = session.run(toy_portfolio)
+        legacy = run_portfolio(
+            toy_portfolio, SequentialBackend(), strategy="serialized_load"
+        )
+        assert isinstance(result, RunResult)
+        assert result.ok and result.n_errors == 0
+        assert result.prices() == pytest.approx(legacy.prices())
+        assert result.value() == pytest.approx(
+            sum(
+                pos.quantity * result.prices()[i]
+                for i, pos in enumerate(toy_portfolio)
+            )
+        )
+
+    def test_run_job_list_on_simulated_cluster(self, toy_jobs):
+        session = ValuationSession(backend="simulated", n_workers=3)
+        result = session.run(toy_jobs)
+        assert result.n_jobs == len(toy_jobs)
+        assert result.n_workers == 3
+        assert result.total_time > 0
+        assert result.to_dict()["n_workers"] == 3
+        with pytest.raises(ValuationError):  # no portfolio to mark to market
+            result.value()
+
+    def test_run_with_config_object(self, toy_portfolio):
+        config = RunConfig(strategy="nfs", scheduler="chunked_robin_hood",
+                           scheduler_options={"chunk_size": 4})
+        session = ValuationSession(backend="simulated", n_workers=2)
+        result = session.run(toy_portfolio, config=config)
+        assert result.strategy == "nfs"
+        assert result.report.scheduler == "chunked_robin_hood"
+
+    def test_run_config_cost_model_drives_simulated_timings(self, toy_portfolio):
+        session = ValuationSession(backend="simulated", n_workers=2)
+        baseline = session.run(toy_portfolio)
+        scaled = session.run(
+            toy_portfolio,
+            config=RunConfig(cost_model=paper_cost_model().with_scale(1000.0)),
+        )
+        assert scaled.total_time > baseline.total_time * 100
+
+    def test_backend_instance_sessions_are_one_shot(self, toy_portfolio):
+        session = ValuationSession(backend=SequentialBackend())
+        assert session.backend_spec is None
+        session.run(toy_portfolio)
+        with pytest.raises(ValuationError, match="one"):
+            session.run(toy_portfolio)
+
+    def test_spec_sessions_are_reusable(self, toy_portfolio):
+        session = ValuationSession(backend="local")
+        first = session.run(toy_portfolio)
+        second = session.run(toy_portfolio)
+        assert first.prices() == pytest.approx(second.prices())
+
+    def test_with_options_derives_new_session(self, toy_portfolio):
+        base = ValuationSession(backend="local", strategy="serialized_load")
+        derived = base.with_options(strategy="nfs", backend="simulated")
+        assert derived.backend_spec.name == "simulated"
+        assert derived.strategy == "nfs"
+        assert base.backend_spec.name == "local"
+
+
+class TestSubmitMany:
+    def test_batch_prices_resolve_lazily(self):
+        session = ValuationSession(backend="local")
+        handles = session.submit_many(
+            [_call_problem(k, label=f"K{k:.0f}") for k in (90.0, 100.0, 110.0)]
+        )
+        assert session.n_pending == 3
+        assert not handles[0].done()
+        # reading any handle gathers the whole batch
+        assert handles[1].price() == pytest.approx(10.4506, abs=1e-4)
+        assert session.n_pending == 0
+        assert all(h.done() for h in handles)
+        assert handles[0].price() > handles[2].price()  # K90 call > K110 call
+        assert handles[0].error() is None
+
+    def test_gather_returns_run_result(self):
+        session = ValuationSession(backend="local")
+        session.submit_many([_call_problem(100.0)])
+        result = session.gather()
+        assert isinstance(result, RunResult)
+        assert result.n_jobs == 1 and result.ok
+
+    def test_gather_without_submissions_rejected(self):
+        with pytest.raises(ValuationError):
+            ValuationSession(backend="local").gather()
+
+    def test_non_problem_items_rejected(self):
+        with pytest.raises(ValuationError):
+            ValuationSession().submit_many([42])
+
+    def test_failed_gather_keeps_handles_pending_for_retry(self):
+        session = ValuationSession(backend="local")
+        incomplete = PricingProblem(label="incomplete")  # no model/option/method
+        (handle,) = session.submit_many([incomplete])
+        with pytest.raises(Exception) as first:
+            session.gather()  # building the job fails before execution
+        assert session.n_pending == 1  # the queue survives the failure
+        assert not handle.done()
+        # the retry reports the same root cause, not "no pending submissions"
+        with pytest.raises(type(first.value)):
+            session.gather()
+
+    def test_timing_only_backend_has_no_price(self):
+        session = ValuationSession(backend="simulated")
+        (handle,) = session.submit_many([_call_problem(100.0)])
+        assert handle.result() is None  # simulation advances virtual time only
+        with pytest.raises(ValuationError, match="no price"):
+            handle.price()
+
+
+class TestSweep:
+    def test_sweep_matches_legacy_sweep(self, toy_jobs):
+        session = ValuationSession(backend="simulated")
+        result = session.sweep(toy_jobs, [2, 4, 8])
+        legacy = sweep_cpu_counts(toy_jobs, [2, 4, 8], strategy="serialized_load")
+        assert isinstance(result, SweepResult)
+        assert result.times() == pytest.approx(legacy.times())
+        assert result.ratios() == pytest.approx(legacy.ratios())
+        assert result.label == "serialized_load"
+        assert result.best_cpu_count() in (2, 4, 8)
+        assert "Speedup" in result.format()
+
+    def test_sweep_accepts_portfolio(self, toy_portfolio):
+        result = ValuationSession().sweep(toy_portfolio, [2, 4])
+        assert result.cpu_counts() == [2, 4]
+
+    def test_sweep_with_config(self, toy_jobs):
+        config = SweepConfig(cpu_counts=(2, 4), strategy="nfs", label="tbl")
+        result = ValuationSession().sweep(toy_jobs, config=config)
+        assert result.label == "tbl"
+        assert result.cpu_counts() == [2, 4]
+
+    def test_empty_cpu_counts_raise_scheduling_error(self, toy_jobs):
+        with pytest.raises(SchedulingError):
+            ValuationSession().sweep(toy_jobs, [])
+
+    def test_warm_cache_artefact_preserved(self, toy_jobs):
+        session = ValuationSession()
+        shared = session.sweep(toy_jobs, [2, 4], strategy="nfs", share_nfs_cache=True)
+        cold = session.sweep(toy_jobs, [2, 4], strategy="nfs", share_nfs_cache=False)
+        assert shared.ratios()[4] > cold.ratios()[4]
+
+
+class TestNFSCacheSettingsFix:
+    """``share_nfs_cache=False`` used to silently drop customised NFS models."""
+
+    @staticmethod
+    def _slow_nfs_comm() -> CommunicationModel:
+        return CommunicationModel(
+            nfs=NFSModel(cold_latency=50e-3, warm_latency=10e-3, bandwidth=1e6)
+        )
+
+    def test_cold_runs_keep_custom_nfs_settings(self, toy_jobs):
+        default = ValuationSession().sweep(
+            toy_jobs, [2, 4], strategy="nfs", share_nfs_cache=False
+        )
+        custom = ValuationSession(comm=self._slow_nfs_comm()).sweep(
+            toy_jobs, [2, 4], strategy="nfs", share_nfs_cache=False
+        )
+        # the old implementation rebuilt a default CommunicationModel per CPU
+        # count, so both sweeps came out identical; the slow NFS must now be
+        # strictly slower at every cluster size
+        for n_cpus in (2, 4):
+            assert custom.times()[n_cpus] > default.times()[n_cpus] * 1.5
+
+    def test_comm_factory_threads_through_legacy_shim(self, toy_jobs):
+        calls: list[int] = []
+
+        def factory() -> CommunicationModel:
+            calls.append(1)
+            return self._slow_nfs_comm()
+
+        table = sweep_cpu_counts(
+            toy_jobs, [2, 4], strategy="nfs",
+            share_nfs_cache=False, comm_factory=factory,
+        )
+        assert len(calls) >= 2  # one fresh model per CPU count
+        default = sweep_cpu_counts(toy_jobs, [2, 4], strategy="nfs",
+                                   share_nfs_cache=False)
+        assert table.times()[2] > default.times()[2] * 1.5
+
+    def test_cold_copy_preserves_constants_and_clears_cache(self):
+        comm = self._slow_nfs_comm()
+        comm.nfs.read_time("/some/file", 1024)
+        assert comm.nfs.is_cached("/some/file")
+        cold = comm.cold_copy()
+        assert cold.nfs.cold_latency == comm.nfs.cold_latency
+        assert cold.nfs.bandwidth == comm.nfs.bandwidth
+        assert not cold.nfs.is_cached("/some/file")
+        assert cold.network is comm.network  # stateless, shared
+
+
+class TestCompare:
+    def test_compare_matches_legacy(self, toy_jobs):
+        session = ValuationSession()
+        result = session.compare(toy_jobs, [2, 4], strategies=("full_load", "nfs"))
+        legacy = compare_strategies(toy_jobs, [2, 4], strategies=("full_load", "nfs"))
+        assert isinstance(result, ComparisonResult)
+        assert set(result.strategies) == set(legacy)
+        for name in result.strategies:
+            assert result[name].times() == pytest.approx(legacy[name].times())
+        assert result.ok
+
+    def test_table_layout_and_lookup(self, toy_portfolio):
+        result = ValuationSession().compare(
+            toy_portfolio, [2, 4], strategies=("full_load", "serialized_load")
+        )
+        assert "full_load" in result.format()
+        assert result.fastest_strategy(4) == "serialized_load"
+        with pytest.raises(ValuationError):
+            result["nfs"]
+        with pytest.raises(ValuationError):
+            result.fastest_strategy(512)
+
+
+class TestSessionValidation:
+    def test_unknown_backend_name(self):
+        with pytest.raises(ValuationError):
+            ValuationSession(backend="abacus")
+
+    def test_unknown_strategy_name(self):
+        with pytest.raises(SchedulingError):
+            ValuationSession(strategy="osmosis")
+
+    def test_unknown_scheduler_name(self):
+        with pytest.raises(ValuationError):
+            ValuationSession(scheduler="fifo")
+
+    def test_backend_spec_accepted(self, toy_portfolio):
+        session = ValuationSession(backend=BackendSpec("local", 2))
+        assert session.run(toy_portfolio).ok

@@ -75,11 +75,18 @@ def test_more_workers_never_hurt_robin_hood(costs):
 
 @settings(max_examples=40, deadline=None)
 @given(costs=_costs, n_workers=_workers)
-def test_robin_hood_never_slower_than_static_blocks(costs, n_workers):
-    """Dynamic balancing dominates static partitioning up to small overheads."""
+def test_robin_hood_within_graham_bound_of_static_blocks(costs, n_workers):
+    """Greedy dispatch obeys Graham's list-scheduling bound vs any schedule.
+
+    Dynamic balancing is NOT always faster than static partitioning (e.g.
+    costs [0.5, 0.5, 1.0] on 2 workers: static isolates the expensive job
+    and finishes in 1.0, greedy dispatch finishes in 1.5), but it can never
+    exceed ``(2 - 1/m) * OPT`` and the static makespan is an upper bound of
+    OPT, so ``dynamic <= (2 - 1/m) * static`` up to communication overheads.
+    """
     dynamic = _run(RobinHoodScheduler(), costs, n_workers).total_time
     static = _run(StaticBlockScheduler(), costs, n_workers).total_time
-    assert dynamic <= static * 1.05 + 1e-3
+    assert dynamic <= static * (2.0 - 1.0 / n_workers) + 0.01 * len(costs) + 1e-3
 
 
 @settings(max_examples=40, deadline=None)

@@ -1,0 +1,68 @@
+"""Integration tests of the ``repro-bench sweep`` subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSweepParser:
+    def test_sweep_registered_with_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.portfolio == "toy"
+        assert args.cpus == [2, 4, 8, 16]
+        assert args.strategy == "serialized_load"
+        assert args.scheduler is None
+        assert args.cold_nfs_cache is False
+
+    def test_sweep_accepts_cpu_list_and_strategy(self):
+        args = build_parser().parse_args(
+            ["sweep", "--cpus", "2", "4", "--strategy", "nfs", "--cold-nfs-cache"]
+        )
+        assert args.cpus == [2, 4]
+        assert args.strategy == "nfs"
+        assert args.cold_nfs_cache is True
+
+
+class TestSweepExecution:
+    def test_sweep_prints_speedup_table(self, capsys):
+        code = main(
+            ["sweep", "--portfolio", "toy", "--positions", "30", "--cpus", "2", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Speedup table" in out
+        assert "toy/serialized_load" in out
+        # one row per CPU count plus the summary line
+        assert "fastest configuration:" in out
+        for n_cpus in ("2", "4"):
+            assert any(
+                line.strip().startswith(n_cpus) for line in out.splitlines()
+            ), f"missing row for {n_cpus} CPUs"
+
+    def test_sweep_with_scheduler_and_cold_cache(self, capsys):
+        code = main(
+            [
+                "sweep", "--portfolio", "toy", "--positions", "20",
+                "--cpus", "2", "4", "--strategy", "nfs",
+                "--scheduler", "chunked_robin_hood", "--cold-nfs-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "toy/nfs" in out
+
+    def test_sweep_rejects_unknown_scheduler(self, capsys):
+        from repro.errors import ValuationError
+
+        with pytest.raises(ValuationError):
+            main(["sweep", "--positions", "10", "--scheduler", "fifo"])
+
+    def test_list_shows_backend_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Backends:" in out
+        for name in ("local", "multiprocessing", "simulated"):
+            assert f"  {name}" in out
