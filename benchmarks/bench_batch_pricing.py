@@ -1,0 +1,162 @@
+"""Benchmark B1 -- shared-path batch pricing and the result cache.
+
+The realistic portfolio's Monte-Carlo slices are families of near-identical
+problems (same model, generator and time grid; only strikes/payoffs differ).
+This benchmark builds one such family -- ``N`` put options on the same
+10-dimensional basket, each nominally requiring its own 10^5-path simulation
+-- and values it three ways on the in-process backend:
+
+* **unbatched**: every position simulates its own path set (the pre-batch
+  behaviour);
+* **batched** (``batch=True``): the planner groups the family by simulation
+  signature and prices all members against one shared path set;
+* **cached**: a second batched run against a warm digest-keyed result cache.
+
+The prices must be *bit-identical* across all three runs (the shared paths
+are exactly the paths each member would simulate alone), the batched run must
+be at least ~5x faster, and the cached run must answer every position from
+the cache.  Results land in ``benchmarks/results/BENCH_batch_pricing.json``.
+
+Run standalone for the CI smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_batch_pricing.py --smoke
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(_ROOT), str(_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.conftest import write_bench_json  # noqa: E402
+from repro.api import ValuationSession  # noqa: E402
+from repro.core.portfolio import Portfolio, Position  # noqa: E402
+from repro.pricing import PricingProblem, flat_correlation, plan_batches  # noqa: E402
+
+#: full-profile family size and path count (the acceptance configuration)
+FULL_POSITIONS = 210
+FULL_PATHS = 100_000
+#: smoke-profile sizes for the CI check (seconds, not minutes)
+SMOKE_POSITIONS = 24
+SMOKE_PATHS = 4_000
+
+DIMENSION = 10
+MIN_SPEEDUP = 5.0
+
+
+def build_basket_family(n_positions: int, n_paths: int) -> Portfolio:
+    """``n_positions`` basket puts on one 10-d model: a single shared family."""
+    vols = [0.15 + 0.01 * (i % 10) for i in range(DIMENSION)]
+    corr = flat_correlation(DIMENSION, 0.3).tolist()
+    weights = [1.0 / DIMENSION] * DIMENSION
+    portfolio = Portfolio(name="batch_family")
+    for index in range(n_positions):
+        strike = 80.0 + 40.0 * index / max(n_positions - 1, 1)
+        problem = PricingProblem(label=f"basket_put_K{strike:.2f}")
+        problem.set_asset("equity")
+        problem.set_model(
+            "BlackScholesND",
+            spot=[100.0] * DIMENSION,
+            rate=0.045,
+            volatilities=vols,
+            correlation=corr,
+            dividends=0.0,
+        )
+        problem.set_option("BasketPutEuro", strike=strike, maturity=1.0, weights=weights)
+        problem.set_method(
+            "MC_European", n_paths=n_paths, n_steps=1, antithetic=True,
+            control_variate=True, seed=7,
+        )
+        portfolio.add(Position(problem=problem, category="basket_mc", label=problem.label))
+    return portfolio
+
+
+def run_batch_benchmark(n_positions: int, n_paths: int) -> dict:
+    """Time unbatched vs batched vs cached valuation of one family."""
+    portfolio = build_basket_family(n_positions, n_paths)
+    plan = plan_batches([position.problem for position in portfolio])
+
+    start = time.perf_counter()
+    unbatched = ValuationSession(backend="local").run(portfolio)
+    unbatched_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = ValuationSession(backend="local").run(portfolio, batch=True)
+    batched_s = time.perf_counter() - start
+
+    cached_session = ValuationSession(backend="local", cache=True)
+    cached_session.run(portfolio, batch=True)  # warm the cache
+    start = time.perf_counter()
+    cached = cached_session.run(portfolio, batch=True)
+    cached_s = time.perf_counter() - start
+    warm_lookups = n_positions  # the second run's lookups
+    warm_hits = sum(
+        1 for entry in cached.report.results.values()
+        if entry is not None and entry.get("cache_hit")
+    )
+
+    prices = unbatched.prices()
+    return {
+        "n_positions": n_positions,
+        "n_paths": n_paths,
+        "dimension": DIMENSION,
+        "n_groups": len(plan.groups),
+        "n_simulations_saved": plan.n_simulations_saved,
+        "unbatched_wall_s": round(unbatched_s, 4),
+        "batched_wall_s": round(batched_s, 4),
+        "cached_wall_s": round(cached_s, 4),
+        "speedup_batched": round(unbatched_s / batched_s, 2),
+        "speedup_cached": round(unbatched_s / cached_s, 2),
+        "bit_identical": prices == batched.prices() == cached.prices(),
+        "cache_hit_rate_warm": warm_hits / warm_lookups,
+        "portfolio_value": round(sum(prices.values()), 6),
+    }
+
+
+def test_batch_pricing_speedup(benchmark):
+    """>=200-position family: >=5x from shared paths, bit-identical prices."""
+    payload = benchmark.pedantic(
+        run_batch_benchmark, args=(FULL_POSITIONS, FULL_PATHS), rounds=1, iterations=1
+    )
+    write_bench_json("batch_pricing", payload)
+
+    assert payload["bit_identical"], "batched prices must match unbatched bit-for-bit"
+    assert payload["n_groups"] == 1, "one family must form one shared-simulation group"
+    assert payload["n_simulations_saved"] == FULL_POSITIONS - 1
+    assert payload["speedup_batched"] >= MIN_SPEEDUP
+    assert payload["cache_hit_rate_warm"] == 1.0
+    assert payload["speedup_cached"] >= payload["speedup_batched"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (CI smoke: tiny sizes, relaxed speedup bound)."""
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    n_positions = SMOKE_POSITIONS if smoke else FULL_POSITIONS
+    n_paths = SMOKE_PATHS if smoke else FULL_PATHS
+    payload = run_batch_benchmark(n_positions, n_paths)
+    name = "batch_pricing_smoke" if smoke else "batch_pricing"
+    path = write_bench_json(name, payload)
+    print(f"wrote {path}")
+    for key, value in payload.items():
+        print(f"  {key} = {value}")
+    if not payload["bit_identical"]:
+        print("FAIL: batched prices differ from unbatched prices", file=sys.stderr)
+        return 1
+    if payload["cache_hit_rate_warm"] != 1.0:
+        print("FAIL: warm cache run did not hit on every position", file=sys.stderr)
+        return 1
+    floor = 1.2 if smoke else MIN_SPEEDUP
+    if payload["speedup_batched"] < floor:
+        print(f"FAIL: batched speedup {payload['speedup_batched']} < {floor}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

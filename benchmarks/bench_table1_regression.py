@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_bench_json, write_result
 from repro.cluster.costmodel import paper_cost_model
 from repro.core import build_regression_portfolio, sweep_cpu_counts
 
@@ -48,11 +48,25 @@ def regression_jobs():
 def test_table1_regression_speedup(benchmark, regression_jobs):
     """Regenerate Table I and compare its shape with the published numbers."""
 
+    import time as time_module
+
     def regenerate():
         return sweep_cpu_counts(regression_jobs, TABLE1_CPUS, strategy="serialized_load",
                                 label="serialized load (Table I)")
 
-    table = benchmark(regenerate)
+    start = time_module.perf_counter()
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    wall_s = time_module.perf_counter() - start
+    write_bench_json(
+        "table1_regression",
+        {
+            "wall_s": round(wall_s, 4),
+            "n_jobs": len(regression_jobs),
+            "cpu_counts": TABLE1_CPUS,
+            "simulated_times_s": {str(n): table.row_for(n).time for n in TABLE1_CPUS},
+            "speedup_ratios": {str(n): table.row_for(n).ratio for n in TABLE1_CPUS},
+        },
+    )
 
     lines = [table.format(), "", "Paper reference (Table I):"]
     for n_cpus, (time, ratio) in PAPER_TABLE1.items():

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_bench_json, write_result
 from repro.cluster.costmodel import paper_cost_model
 from repro.core import build_toy_portfolio, compare_strategies, format_comparison_table
 
@@ -40,10 +40,26 @@ def toy_jobs():
 def test_table2_strategy_comparison(benchmark, toy_jobs):
     """Regenerate the full three-strategy Table II."""
 
+    import time as time_module
+
     def regenerate():
         return compare_strategies(toy_jobs, TABLE2_CPUS)
 
+    start = time_module.perf_counter()
     tables = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    wall_s = time_module.perf_counter() - start
+    write_bench_json(
+        "table2_toy_portfolio",
+        {
+            "wall_s": round(wall_s, 4),
+            "n_jobs": len(toy_jobs),
+            "cpu_counts": TABLE2_CPUS,
+            "simulated_times_s": {
+                strategy: {str(n): table.row_for(n).time for n in TABLE2_CPUS}
+                for strategy, table in tables.items()
+            },
+        },
+    )
 
     lines = [format_comparison_table(tables.values()), "", "Paper reference times (s):"]
     for strategy, rows in PAPER_TABLE2.items():

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_bench_json, write_result
 from repro.cluster.costmodel import paper_cost_model
 from repro.core import (
     build_realistic_portfolio,
@@ -44,10 +44,29 @@ def realistic_jobs():
 def test_table3_realistic_portfolio(benchmark, realistic_jobs):
     """Regenerate the full three-strategy Table III."""
 
+    import time as time_module
+
     def regenerate():
         return compare_strategies(realistic_jobs, TABLE3_CPUS)
 
+    start = time_module.perf_counter()
     tables = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    wall_s = time_module.perf_counter() - start
+    write_bench_json(
+        "table3_realistic_portfolio",
+        {
+            "wall_s": round(wall_s, 4),
+            "n_jobs": len(realistic_jobs),
+            "cpu_counts": TABLE3_CPUS,
+            "simulated_times_s": {
+                strategy: {str(n): table.row_for(n).time for n in TABLE3_CPUS}
+                for strategy, table in tables.items()
+            },
+            "paper_serialized_load_s": {
+                str(n): t for n, t in PAPER_TABLE3_SERIALIZED.items()
+            },
+        },
+    )
 
     lines = [format_comparison_table(tables.values()), "",
              "Paper reference (serialized load column):"]

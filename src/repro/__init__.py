@@ -90,6 +90,11 @@ _LAZY_EXPORTS = {
     # pricing (repro.pricing)
     "PricingProblem": "repro.pricing",
     "premia_create": "repro.pricing",
+    "ResultCache": "repro.pricing",
+    "problem_digest": "repro.pricing",
+    "ProblemBatch": "repro.pricing",
+    "plan_batches": "repro.pricing",
+    "price_problems": "repro.pricing",
     "list_models": "repro.pricing",
     "list_products": "repro.pricing",
     "list_methods": "repro.pricing",

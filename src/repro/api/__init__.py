@@ -10,6 +10,7 @@ backend selection) only exist here.
 """
 
 from repro.api.config import BackendSpec, RunConfig, SweepConfig
+from repro.pricing.cache import ResultCache
 from repro.api.results import (
     ComparisonResult,
     PriceResult,
@@ -25,6 +26,7 @@ __all__ = [
     "BackendSpec",
     "RunConfig",
     "SweepConfig",
+    "ResultCache",
     "ValuationResult",
     "PriceResult",
     "RunResult",

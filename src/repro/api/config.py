@@ -102,15 +102,30 @@ class BackendSpec:
 
 @dataclass(frozen=True)
 class RunConfig:
-    """How one portfolio (or job-list) valuation is executed."""
+    """How one portfolio (or job-list) valuation is executed.
+
+    ``batch=True`` turns on shared-path batch pricing: positions with equal
+    simulation signatures (see :mod:`repro.pricing.batch`) are coalesced into
+    :class:`~repro.pricing.batch.ProblemBatch` jobs that workers price
+    against one simulated path set.  ``cache`` overrides the session's
+    result-cache usage for this run (``None`` keeps the session default,
+    ``False`` bypasses the cache, ``True`` requires the session to have one).
+    ``batch_group_size`` caps how many positions one batch job may carry, so
+    large families still spread across parallel workers.
+    """
 
     strategy: str = "serialized_load"
     scheduler: str | None = None
     scheduler_options: tuple[tuple[str, Any], ...] = ()
     attach_problems: bool | None = None
     cost_model: Any | None = field(default=None, compare=False)
+    batch: bool = False
+    batch_group_size: int | None = None
+    cache: bool | None = None
 
     def __post_init__(self) -> None:
+        if self.batch_group_size is not None and self.batch_group_size < 2:
+            raise ValuationError("RunConfig.batch_group_size must be >= 2 when given")
         if self.strategy not in STRATEGIES:
             raise ValuationError(
                 f"unknown strategy {self.strategy!r}; known: {sorted(STRATEGIES)}"

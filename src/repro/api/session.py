@@ -25,6 +25,7 @@ shims delegating here, so both spellings stay equivalent.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.api.config import BackendSpec, RunConfig, SweepConfig
@@ -37,10 +38,32 @@ from repro.core.runner import RunReport
 from repro.core.scheduler import SCHEDULERS, RobinHoodScheduler, Scheduler
 from repro.core.strategies import TransmissionStrategy, get_strategy
 from repro.errors import SchedulingError, ValuationError
+from repro.pricing.batch import ProblemBatch, batch_digest, plan_batches
+from repro.pricing.cache import ResultCache, problem_digest
 from repro.pricing.engine import PricingProblem
 from repro.serial import serialize
 
 __all__ = ["ValuationSession", "JobHandle"]
+
+#: backend names whose workers execute payloads in this process tree and can
+#: therefore share an on-disk result cache via the ``cache_dir`` option
+_EXECUTING_BACKENDS = ("local", "sequential", "multiprocessing")
+
+
+def _coerce_cache(cache: "ResultCache | str | Path | bool | None") -> ResultCache | None:
+    """Normalise the session ``cache=`` option into a :class:`ResultCache`."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return ResultCache(directory=cache)
+    raise ValuationError(
+        f"cache must be a ResultCache, a directory path or a bool, "
+        f"got {type(cache).__name__}"
+    )
 
 #: sentinel distinguishing "not yet computed" from a ``None`` result
 _UNRESOLVED = object()
@@ -138,6 +161,13 @@ class ValuationSession:
     backend_options:
         Extra keyword options for the backend factory (e.g.
         ``{"start_method": "spawn"}`` for multiprocessing).
+    cache:
+        Digest-keyed result cache (see :mod:`repro.pricing.cache`).
+        ``True`` builds an in-memory LRU, a path string / :class:`~pathlib.Path`
+        builds a disk-backed cache (also shared with multiprocessing workers
+        through the backend's ``cache_dir`` option), a ready-made
+        :class:`~repro.pricing.cache.ResultCache` is used as given, and
+        ``None``/``False`` (default) disables caching.
     """
 
     def __init__(
@@ -151,6 +181,7 @@ class ValuationSession:
         comm: CommunicationModel | None = None,
         comm_factory: Callable[[], CommunicationModel] | None = None,
         backend_options: Mapping[str, Any] | None = None,
+        cache: ResultCache | str | Path | bool | None = None,
     ):
         coerced = BackendSpec.coerce(backend, n_workers=n_workers, options=backend_options)
         if isinstance(coerced, WorkerBackend):
@@ -165,6 +196,7 @@ class ValuationSession:
         self.cost_model = cost_model or paper_cost_model()
         self.comm = comm
         self.comm_factory = comm_factory
+        self._cache = _coerce_cache(cache)
         self._pending: list[tuple[PricingProblem, JobHandle, str]] = []
         self._next_job_id = 0
         self._validate()
@@ -183,6 +215,11 @@ class ValuationSession:
         """The spec used to build backends (``None`` for instance sessions)."""
         return self._backend_spec
 
+    @property
+    def cache(self) -> ResultCache | None:
+        """The session's result cache (``None`` when caching is disabled)."""
+        return self._cache
+
     def with_options(self, **changes: Any) -> "ValuationSession":
         """A new session sharing this one's choices, with ``changes`` applied."""
         current: dict[str, Any] = {
@@ -194,6 +231,7 @@ class ValuationSession:
             "cost_model": self.cost_model,
             "comm": self.comm,
             "comm_factory": self.comm_factory,
+            "cache": self._cache,
         }
         current.update(changes)
         return ValuationSession(**current)
@@ -211,7 +249,9 @@ class ValuationSession:
         chosen = strategy if strategy is not None else self.strategy
         return chosen if isinstance(chosen, str) else chosen.name
 
-    def _acquire_backend(self, strategy_name: str) -> WorkerBackend:
+    def _acquire_backend(
+        self, strategy_name: str, cache: ResultCache | None = None
+    ) -> WorkerBackend:
         if self._backend_instance is not None:
             if self._backend_consumed:
                 raise ValuationError(
@@ -225,6 +265,15 @@ class ValuationSession:
         extra: dict[str, Any] = {}
         if self._backend_spec.name == "simulated" and self.comm is not None:
             extra["comm"] = self.comm
+        if (
+            cache is not None
+            and cache.directory is not None
+            and self._backend_spec.name in _EXECUTING_BACKENDS
+            and "cache_dir" not in dict(self._backend_spec.options)
+        ):
+            # share the run's disk-backed cache with the workers (skipped
+            # when the run bypasses caching via cache=False)
+            extra["cache_dir"] = str(cache.directory)
         return self._backend_spec.create(strategy=strategy_name, **extra)
 
     # -- the engine --------------------------------------------------------------
@@ -313,8 +362,24 @@ class ValuationSession:
         return self.price_problem(built)
 
     def price_problem(self, problem: PricingProblem) -> PriceResult:
-        """Compute a fully specified problem in-process."""
-        result = problem.compute()
+        """Compute a fully specified problem in-process.
+
+        With a session cache, the problem digest is looked up first and a
+        fresh result is stored back, so repeated ``price(...)`` calls over
+        identical problems skip pricing entirely.
+        """
+        if self._cache is not None:
+            digest = problem_digest(problem)
+            cached = self._cache.get(digest)
+            if cached is not None:
+                problem._result = cached
+                return PriceResult.from_pricing(
+                    cached, label=problem.label, method=problem.method_name
+                )
+            result = problem.compute()
+            self._cache.put(digest, result)
+        else:
+            result = problem.compute()
         return PriceResult.from_pricing(
             result, label=problem.label, method=problem.method_name
         )
@@ -329,8 +394,20 @@ class ValuationSession:
         store: Any = None,
         attach_problems: bool | None = None,
         config: RunConfig | None = None,
+        batch: bool | None = None,
+        batch_group_size: int | None = None,
+        cache: bool | None = None,
     ) -> RunResult:
-        """Value a portfolio (or a prepared job list) on the session backend."""
+        """Value a portfolio (or a prepared job list) on the session backend.
+
+        ``batch=True`` coalesces positions with equal simulation signatures
+        into shared-path :class:`~repro.pricing.batch.ProblemBatch` jobs
+        (executing backends only); prices are bit-identical to the unbatched
+        run.  With a session cache (or ``cache=True`` routed through
+        :class:`~repro.api.config.RunConfig`), positions whose digest is
+        already stored skip dispatch entirely and fresh results are stored
+        back after the run.
+        """
         cost_model: CostModel | None = None
         if config is not None:
             strategy = strategy if strategy is not None else config.strategy
@@ -339,16 +416,186 @@ class ValuationSession:
             if attach_problems is None:
                 attach_problems = config.attach_problems
             cost_model = config.cost_model
+            if batch is None:
+                batch = config.batch
+            if batch_group_size is None:
+                batch_group_size = config.batch_group_size
+            if cache is None:
+                cache = config.cache
+        batch = bool(batch)
+        run_cache = self._resolve_run_cache(cache)
         strategy_name = self._strategy_name(strategy)
-        backend = self._acquire_backend(strategy_name)
+        if batch and strategy_name == "nfs":
+            raise ValuationError(
+                "batch=True cannot be combined with the nfs strategy: "
+                "coalesced batch jobs have no per-position problem files"
+            )
+        backend = self._acquire_backend(strategy_name, cache=run_cache)
+        executing = getattr(backend, "requires_payload", True)
+        if batch and not executing:
+            raise ValuationError(
+                "batch=True needs an executing backend (local/multiprocessing); "
+                "the simulated backend prices jobs from the cost model and "
+                "never runs the shared-path engine"
+            )
         if isinstance(source, Portfolio):
+            if batch and attach_problems is None and store is None:
+                attach_problems = True  # batch planning needs the problems
             jobs = self._portfolio_jobs(source, backend, store, attach_problems, cost_model)
             portfolio: Portfolio | None = source
+            problem_by_id = {
+                job.job_id: position.problem for job, position in zip(jobs, source)
+            }
         else:
             jobs = list(source)
             portfolio = None
-        report = self._execute_jobs(jobs, backend, strategy, scheduler)
+            problem_by_id = {
+                job.job_id: job.problem for job in jobs if job.problem is not None
+            }
+        n_jobs_total = len(jobs)
+
+        # cache pass: positions already priced never reach the backend
+        cached_results: dict[int, dict[str, Any]] = {}
+        digests: dict[int, str] = {}
+        if run_cache is not None and executing:
+            for job in jobs:
+                problem = problem_by_id.get(job.job_id)
+                if problem is None:
+                    continue
+                digest = problem_digest(problem)
+                digests[job.job_id] = digest
+                hit = run_cache.get(digest)
+                if hit is not None:
+                    entry = hit.as_dict()
+                    entry["cache_hit"] = True
+                    cached_results[job.job_id] = entry
+            if cached_results:
+                jobs = [job for job in jobs if job.job_id not in cached_results]
+
+        batch_members: dict[int, tuple[int, ...]] = {}
+        if batch:
+            jobs, batch_members = self._coalesce_jobs(jobs, problem_by_id, batch_group_size)
+
+        if jobs or not cached_results:
+            report = self._execute_jobs(jobs, backend, strategy, scheduler)
+        else:
+            # every position was answered from the cache: nothing to dispatch
+            stats = backend.finalize()
+            report = RunReport(
+                n_jobs=0,
+                n_workers=stats.n_workers,
+                strategy=strategy_name,
+                scheduler="cache",
+                total_time=stats.total_time,
+                master_busy=stats.master_busy,
+                worker_busy=dict(stats.worker_busy),
+                bytes_sent=stats.bytes_sent,
+            )
+        if batch_members:
+            report = self._expand_batch_report(report, batch_members)
+        if cached_results:
+            report.results.update(cached_results)
+            report.n_jobs = n_jobs_total
+        if run_cache is not None and executing:
+            self._store_run_results(run_cache, report, digests)
         return RunResult(report=report, portfolio=portfolio)
+
+    # -- batch & cache helpers ---------------------------------------------------
+    def _resolve_run_cache(self, cache: bool | None) -> ResultCache | None:
+        if cache is False:
+            return None
+        if cache is True and self._cache is None:
+            raise ValuationError(
+                "cache=True was requested but the session has no result cache; "
+                "construct the session with cache=True / a directory / a ResultCache"
+            )
+        return self._cache
+
+    def _coalesce_jobs(
+        self,
+        jobs: list[Job],
+        problem_by_id: Mapping[int, PricingProblem],
+        batch_group_size: int | None,
+    ) -> tuple[list[Job], dict[int, tuple[int, ...]]]:
+        """Merge shared-simulation jobs into :class:`ProblemBatch` super-jobs."""
+        plan = plan_batches(
+            [problem_by_id.get(job.job_id) for job in jobs],
+            max_group_size=batch_group_size,
+        )
+        group_by_first: dict[int, Any] = {g.indices[0]: g for g in plan.groups}
+        grouped = {index for group in plan.groups for index in group.indices}
+        out: list[Job] = []
+        members_map: dict[int, tuple[int, ...]] = {}
+        for index, job in enumerate(jobs):
+            group = group_by_first.get(index)
+            if group is not None:
+                member_jobs = [jobs[i] for i in group.indices]
+                problems = [problem_by_id[j.job_id] for j in member_jobs]
+                bundle = ProblemBatch(problems, keys=[j.job_id for j in member_jobs])
+                costs = [j.compute_cost for j in member_jobs]
+                peak = max(costs)
+                super_job = Job(
+                    job_id=job.job_id,
+                    path=f"/virtual/batch/{batch_digest(bundle)[:16]}.pb",
+                    file_size=sum(j.file_size for j in member_jobs),
+                    # one shared simulation plus cheap per-member payoff sweeps
+                    compute_cost=peak + 0.02 * (sum(costs) - peak),
+                    category=job.category,
+                    problem=bundle,
+                )
+                out.append(super_job)
+                members_map[job.job_id] = tuple(j.job_id for j in member_jobs)
+            elif index not in grouped:
+                out.append(job)
+        return out, members_map
+
+    def _expand_batch_report(
+        self, report: RunReport, batch_members: Mapping[int, tuple[int, ...]]
+    ) -> RunReport:
+        """Rewrite a report over super-jobs into per-position results."""
+        results: dict[int, dict[str, Any] | None] = {}
+        member_errors: dict[int, str] = {}
+        for job_id, result in report.results.items():
+            members = batch_members.get(job_id)
+            if members is None:
+                results[job_id] = result
+            elif isinstance(result, dict) and result.get("batch"):
+                for key, entry in result["results"].items():
+                    if isinstance(entry, dict) and "error" in entry:
+                        results[int(key)] = None
+                        member_errors[int(key)] = entry["error"]
+                    else:
+                        results[int(key)] = entry
+            else:  # failed (or payload-less) batch job: propagate to members
+                for member in members:
+                    results[member] = None
+        errors: dict[int, str] = dict(member_errors)
+        for job_id, message in report.errors.items():
+            members = batch_members.get(job_id)
+            if members is None:
+                errors[job_id] = message
+            else:
+                for member in members:
+                    errors[member] = message
+        report.results = results
+        report.errors = errors
+        report.n_jobs += sum(len(members) - 1 for members in batch_members.values())
+        return report
+
+    @staticmethod
+    def _store_run_results(
+        run_cache: ResultCache, report: RunReport, digests: Mapping[int, str]
+    ) -> None:
+        for job_id, result in report.results.items():
+            if (
+                result is None
+                or result.get("cache_hit")
+                or result.get("price") is None
+                or job_id in report.errors
+                or job_id not in digests
+            ):
+                continue
+            run_cache.put(digests[job_id], result)
 
     # -- batch submission --------------------------------------------------------
     def submit_many(
@@ -400,7 +647,7 @@ class ValuationSession:
             for problem, handle, category in pending
         ]
         strategy_name = self._strategy_name(None)
-        backend = self._acquire_backend(strategy_name)
+        backend = self._acquire_backend(strategy_name, cache=self._cache)
         report = self._execute_jobs(jobs, backend, None)
         self._pending = []
         for _, handle, _category in pending:

@@ -72,6 +72,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_portfolio_args(run)
     run.add_argument("--workers", type=int, default=2, help="worker processes")
     run.add_argument("--strategy", default="serialized_load")
+    run.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="group same-simulation positions and price them against shared "
+        "path sets (--no-batch prices every position independently)",
+    )
+    run.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the digest-keyed result cache for this run",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="back the result cache with an on-disk store shared by the "
+        "workers (implies --cache)",
+    )
+    run.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="value the portfolio N times (with --cache the repeats are "
+        "answered from the cache; useful to measure hit rates)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="simulate one portfolio over a list of CPU counts"
@@ -183,16 +209,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api import ValuationSession
 
     portfolio = _build_cli_portfolio(args)
+    cache: object = args.cache_dir if args.cache_dir else bool(args.cache)
     session = ValuationSession(
-        backend="multiprocessing", strategy=args.strategy, n_workers=args.workers
+        backend="multiprocessing",
+        strategy=args.strategy,
+        n_workers=args.workers,
+        cache=cache,
     )
-    result = session.run(portfolio)
-    report = result.report
-    print(
-        f"valued {report.n_jobs} positions on {report.n_workers} workers "
-        f"in {report.total_time:.2f}s ({len(report.errors)} errors)"
-    )
+    repeats = max(1, args.repeat)
+    for iteration in range(repeats):
+        result = session.run(portfolio, batch=args.batch)
+        report = result.report
+        prefix = f"[{iteration + 1}/{repeats}] " if repeats > 1 else ""
+        print(
+            f"{prefix}valued {report.n_jobs} positions on {report.n_workers} workers "
+            f"in {report.total_time:.2f}s ({len(report.errors)} errors, "
+            f"batch={'on' if args.batch else 'off'})"
+        )
     print(f"portfolio value = {result.value():.2f}")
+    if session.cache is not None:
+        stats = session.cache.stats
+        print(
+            f"cache: {stats.hits} hits / {stats.lookups} lookups "
+            f"(hit rate {stats.hit_rate:.0%}, {stats.evictions} evictions)"
+        )
     return 0
 
 

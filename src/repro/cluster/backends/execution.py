@@ -12,6 +12,17 @@ three code paths as the paper's slave script (Fig. 4):
 After rebuilding the problem the worker calls ``compute()`` and returns the
 result as a plain dictionary, which is what ``MPI_Send_Obj(L(1)(3), 0, ...)``
 ships back in the paper's script.
+
+Two extensions ride on the same payload plumbing:
+
+* a payload may decode to a :class:`~repro.pricing.batch.ProblemBatch` -- a
+  whole shared-simulation family shipped as one message; the worker prices
+  every member against one path set and returns a ``{"batch": True,
+  "results": {...}}`` dictionary which the session expands back into
+  per-position results;
+* an optional worker-side :class:`~repro.pricing.cache.ResultCache` answers
+  digest hits without pricing (hits are marked ``"cache_hit": True`` so hit
+  rates can be reported).
 """
 
 from __future__ import annotations
@@ -21,15 +32,25 @@ from typing import Any
 
 from repro.cluster.backends.base import PAYLOAD_PATH, PAYLOAD_PROBLEM, PAYLOAD_SERIAL
 from repro.errors import ClusterError
+from repro.pricing.batch import ProblemBatch
+from repro.pricing.cache import ResultCache, problem_digest
 from repro.pricing.engine import PricingProblem
 from repro.serial import Serial
 from repro.serial import load as load_problem_file
 
-__all__ = ["materialize_problem", "execute_payload"]
+__all__ = ["materialize_problem", "execute_payload", "make_worker_cache"]
 
 
-def materialize_problem(kind: str, payload: Any) -> PricingProblem:
-    """Rebuild a :class:`PricingProblem` from a transmitted payload."""
+def make_worker_cache(cache_dir: str | None) -> ResultCache | None:
+    """Build the disk-backed worker cache for a ``cache_dir`` option."""
+    if not cache_dir:
+        return None
+    return ResultCache(directory=cache_dir)
+
+
+def materialize_problem(kind: str, payload: Any) -> PricingProblem | ProblemBatch:
+    """Rebuild a :class:`PricingProblem` (or a whole :class:`ProblemBatch`)
+    from a transmitted payload."""
     if kind == PAYLOAD_PROBLEM:
         problem = payload
     elif kind == PAYLOAD_SERIAL:
@@ -41,15 +62,18 @@ def materialize_problem(kind: str, payload: Any) -> PricingProblem:
         problem = load_problem_file(payload)
     else:
         raise ClusterError(f"unknown payload kind {kind!r}")
-    if not isinstance(problem, PricingProblem):
+    if not isinstance(problem, (PricingProblem, ProblemBatch)):
         raise ClusterError(
-            f"payload decoded to {type(problem).__name__}, expected a PricingProblem"
+            f"payload decoded to {type(problem).__name__}, expected a "
+            f"PricingProblem or a ProblemBatch"
         )
     return problem
 
 
-def execute_payload(kind: str, payload: Any) -> tuple[dict[str, Any] | None, float, str | None]:
-    """Rebuild and compute a problem.
+def execute_payload(
+    kind: str, payload: Any, cache: ResultCache | None = None
+) -> tuple[dict[str, Any] | None, float, str | None]:
+    """Rebuild and compute a problem (or a shared-simulation batch).
 
     Returns ``(result_dict, compute_seconds, error_message)``; errors are
     captured rather than raised so a single bad problem does not bring the
@@ -58,7 +82,25 @@ def execute_payload(kind: str, payload: Any) -> tuple[dict[str, Any] | None, flo
     start = time.perf_counter()
     try:
         problem = materialize_problem(kind, payload)
+        if isinstance(problem, ProblemBatch):
+            member_results = problem.compute(cache=cache)
+            elapsed = time.perf_counter() - start
+            result = {
+                "batch": True,
+                "n_members": len(problem),
+                "results": {str(key): entry for key, entry in member_results.items()},
+            }
+            return result, elapsed, None
+        if cache is not None:
+            cached = cache.get(problem_digest(problem))
+            if cached is not None:
+                elapsed = time.perf_counter() - start
+                entry = cached.as_dict()
+                entry["cache_hit"] = True
+                return entry, elapsed, None
         result = problem.compute()
+        if cache is not None:
+            cache.put(problem_digest(problem), result)
         elapsed = time.perf_counter() - start
         return result.as_dict(), elapsed, None
     except Exception as exc:  # noqa: BLE001 - worker must survive bad jobs

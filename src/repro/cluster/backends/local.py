@@ -17,7 +17,7 @@ from repro.cluster.backends.base import (
     PreparedMessage,
     WorkerBackend,
 )
-from repro.cluster.backends.execution import execute_payload
+from repro.cluster.backends.execution import execute_payload, make_worker_cache
 from repro.errors import ClusterError
 
 __all__ = ["SequentialBackend"]
@@ -28,12 +28,15 @@ class SequentialBackend(WorkerBackend):
 
     ``n_workers`` pretends to be the requested pool size so that schedulers
     behave identically, but every dispatch executes synchronously.
+    ``cache_dir`` (optional) points at a shared on-disk result cache checked
+    before each computation (see :mod:`repro.pricing.cache`).
     """
 
-    def __init__(self, n_workers: int = 1):
+    def __init__(self, n_workers: int = 1, cache_dir: str | None = None):
         if n_workers < 1:
             raise ClusterError("n_workers must be >= 1")
         self._n_workers = int(n_workers)
+        self._cache = make_worker_cache(cache_dir)
         self._pending: list[CompletedJob] = []
         self._start = time.perf_counter()
         self._n_jobs = 0
@@ -51,7 +54,7 @@ class SequentialBackend(WorkerBackend):
     def dispatch(self, worker_id: int, job: Job, message: PreparedMessage) -> None:
         if not 0 <= worker_id < self._n_workers:
             raise ClusterError(f"invalid worker id {worker_id}")
-        result, elapsed, error = execute_payload(message.kind, message.payload)
+        result, elapsed, error = execute_payload(message.kind, message.payload, cache=self._cache)
         self._busy[worker_id] += elapsed
         self._bytes_sent += message.nbytes
         self._n_jobs += 1

@@ -26,7 +26,7 @@ from repro.cluster.backends.base import (
     PreparedMessage,
     WorkerBackend,
 )
-from repro.cluster.backends.execution import execute_payload
+from repro.cluster.backends.execution import execute_payload, make_worker_cache
 from repro.errors import ClusterError
 
 __all__ = ["MultiprocessingBackend", "worker_main"]
@@ -34,20 +34,25 @@ __all__ = ["MultiprocessingBackend", "worker_main"]
 _STOP = "__stop__"
 
 
-def worker_main(worker_id: int, task_queue: Any, result_queue: Any) -> None:
+def worker_main(
+    worker_id: int, task_queue: Any, result_queue: Any, cache_dir: str | None = None
+) -> None:
     """Slave loop: receive payloads, price them, send results back.
 
     The loop mirrors the slave part of the paper's Fig. 4 script: it blocks
     on its queue, treats an empty job name (our ``_STOP`` sentinel) as the
     signal to stop working, and otherwise rebuilds the problem, computes it
-    and returns the results to the master.
+    and returns the results to the master.  With a ``cache_dir`` every
+    worker opens the same on-disk result cache, so repeated problems are
+    answered without pricing.
     """
+    cache = make_worker_cache(cache_dir)
     while True:
         item = task_queue.get()
         if item == _STOP:
             break
         job_id, kind, payload = item
-        result, elapsed, error = execute_payload(kind, payload)
+        result, elapsed, error = execute_payload(kind, payload, cache=cache)
         result_queue.put((job_id, worker_id, result, elapsed, error))
 
 
@@ -61,9 +66,17 @@ class MultiprocessingBackend(WorkerBackend):
     start_method:
         ``multiprocessing`` start method (``"fork"`` by default on Linux;
         ``"spawn"`` is safer on macOS/Windows but slower to start).
+    cache_dir:
+        Optional shared on-disk result-cache directory opened by every
+        worker (see :mod:`repro.pricing.cache`).
     """
 
-    def __init__(self, n_workers: int = 2, start_method: str | None = None):
+    def __init__(
+        self,
+        n_workers: int = 2,
+        start_method: str | None = None,
+        cache_dir: str | None = None,
+    ):
         if n_workers < 1:
             raise ClusterError("n_workers must be >= 1")
         self._n_workers = int(n_workers)
@@ -73,7 +86,7 @@ class MultiprocessingBackend(WorkerBackend):
         self._processes = [
             ctx.Process(
                 target=worker_main,
-                args=(i, self._task_queues[i], self._result_queue),
+                args=(i, self._task_queues[i], self._result_queue, cache_dir),
                 daemon=True,
             )
             for i in range(self._n_workers)

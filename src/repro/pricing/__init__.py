@@ -14,6 +14,21 @@ tuples:
 """
 
 from repro.pricing import analytics
+from repro.pricing.batch import (
+    BatchPlan,
+    ProblemBatch,
+    SimulationSignature,
+    plan_batches,
+    price_problems,
+    simulation_signature,
+)
+from repro.pricing.cache import (
+    CacheStats,
+    ResultCache,
+    model_digest,
+    problem_digest,
+    stable_digest,
+)
 from repro.pricing.engine import (
     ASSET_CLASSES,
     PricingProblem,
@@ -99,6 +114,18 @@ __all__ = [
     "list_methods",
     "compatible_methods",
     "ASSET_CLASSES",
+    # batch pricing & result cache
+    "BatchPlan",
+    "ProblemBatch",
+    "SimulationSignature",
+    "plan_batches",
+    "price_problems",
+    "simulation_signature",
+    "CacheStats",
+    "ResultCache",
+    "model_digest",
+    "problem_digest",
+    "stable_digest",
     # models
     "Model",
     "BlackScholesModel",

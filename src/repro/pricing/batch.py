@@ -1,0 +1,337 @@
+"""Shared-path batch pricing: plan, group and evaluate problem families.
+
+The paper's realistic portfolio is dominated by huge *families* of
+near-identical problems -- 525 puts on the same 40-dimensional basket, 1025
+calls under the same local-volatility model -- each priced by Monte-Carlo
+with the same model, generator and time grid.  Priced one by one, the path
+simulation (by far the dominant cost) is repeated once per position; priced
+as a family, the paths can be simulated **once** and every member payoff
+evaluated against the shared path array.
+
+This module provides the planning layer on top of
+:meth:`~repro.pricing.methods.montecarlo.MonteCarloEuropean.price_many`:
+
+* :func:`simulation_signature` -- the grouping key: model parameters, rng
+  kind/seed, antithetic flag, path counts/batching and the effective time
+  grid.  Problems with equal signatures consume identical random-number
+  streams, so the shared paths are *bit-identical* to the paths each problem
+  would simulate alone;
+* :func:`plan_batches` -- partition a problem list into shared-simulation
+  groups and left-over singletons, preserving input order;
+* :class:`ProblemBatch` -- a serializable bundle of grouped problems that
+  cluster workers price as one unit (registered with the XDR codec registry,
+  so it ships over every transmission strategy that serializes problems);
+* :func:`price_problems` -- the one-call convenience: plan, price groups via
+  the shared-path engine, price singletons individually, return results in
+  input order.
+
+Grouping applies when (and only when) two problems use the *same* model
+parameters, a shared-simulation-capable method (``MC_European``) with equal
+parameters, and products inducing the same time grid and sampling mode.
+Everything else -- closed forms, PDEs, trees, Longstaff-Schwartz, mixed
+grids -- falls back to per-problem pricing, so batch mode is always safe to
+enable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import PricingError
+from repro.pricing.cache import problem_digest, stable_digest
+from repro.pricing.engine import PricingProblem
+from repro.pricing.methods.base import PricingResult
+from repro.pricing.methods.montecarlo import MonteCarloEuropean
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pricing.cache import ResultCache
+
+__all__ = [
+    "SimulationSignature",
+    "simulation_signature",
+    "BatchGroup",
+    "BatchPlan",
+    "plan_batches",
+    "ProblemBatch",
+    "price_problems",
+]
+
+
+@dataclass(frozen=True)
+class SimulationSignature:
+    """Everything that determines the simulated path set of one problem.
+
+    Two problems with equal signatures use bit-equal model parameters and
+    **fully equal method parameters** (rng kind/seed, antithetic flag, path
+    counts/batching, control variate, barrier correction, ... -- the whole
+    ``method.to_params()`` dictionary, folded into ``method_digest``), and
+    induce the same effective time grid and sampling mode.  They therefore
+    draw identical random numbers through identical model sampling calls --
+    only their payoff evaluation differs.
+    """
+
+    model_digest: str
+    method_name: str
+    method_digest: str
+    mode: str  # "paths" (full path simulation) or "terminal" (exact law)
+    n_steps: int
+    maturity: float
+
+
+def simulation_signature(problem: PricingProblem) -> SimulationSignature | None:
+    """The problem's shared-simulation grouping key, or ``None``.
+
+    ``None`` means the problem cannot take part in shared-path pricing (not a
+    Monte-Carlo European method, incomplete problem, unsupported pair); it is
+    then priced individually by the fallback path of :func:`price_problems`.
+    """
+    if not problem.is_complete:
+        return None
+    method = problem.method
+    if not isinstance(method, MonteCarloEuropean):
+        return None
+    model, product = problem.model, problem.product
+    if not method.supports(model, product):
+        return None
+    n_steps = method._effective_steps(model, product)
+    mode = "paths" if (product.path_dependent or n_steps > 1) else "terminal"
+    return SimulationSignature(
+        model_digest=model.param_digest(),
+        method_name=method.method_name,
+        method_digest=stable_digest(method.to_params()),
+        mode=mode,
+        n_steps=n_steps,
+        maturity=product.maturity,
+    )
+
+
+@dataclass(frozen=True)
+class BatchGroup:
+    """One shared-simulation group of a :class:`BatchPlan` (input indices)."""
+
+    signature: SimulationSignature
+    indices: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Partition of a problem list into shared groups and singletons."""
+
+    groups: tuple[BatchGroup, ...]
+    singles: tuple[int, ...]
+
+    @property
+    def n_grouped(self) -> int:
+        return sum(len(group) for group in self.groups)
+
+    @property
+    def n_simulations_saved(self) -> int:
+        """Path simulations avoided versus per-problem pricing."""
+        return sum(len(group) - 1 for group in self.groups)
+
+
+def plan_batches(
+    problems: Sequence[PricingProblem | None],
+    min_group_size: int = 2,
+    max_group_size: int | None = None,
+) -> BatchPlan:
+    """Group ``problems`` by simulation signature.
+
+    ``None`` entries (jobs without an in-memory problem) and problems without
+    a signature become singletons.  Groups smaller than ``min_group_size``
+    degrade to singletons (a one-member "group" would only add overhead);
+    ``max_group_size`` splits huge families into several groups so a parallel
+    backend can spread them over workers -- splitting never changes any price
+    because members are statistically independent read-only consumers of the
+    shared paths.
+    """
+    if min_group_size < 2:
+        raise PricingError("min_group_size must be >= 2")
+    if max_group_size is not None and max_group_size < min_group_size:
+        raise PricingError("max_group_size must be >= min_group_size")
+    by_signature: dict[SimulationSignature, list[int]] = {}
+    singles: list[int] = []
+    for index, problem in enumerate(problems):
+        signature = None if problem is None else simulation_signature(problem)
+        if signature is None:
+            singles.append(index)
+        else:
+            by_signature.setdefault(signature, []).append(index)
+
+    groups: list[BatchGroup] = []
+    for signature, indices in by_signature.items():
+        if len(indices) < min_group_size:
+            singles.extend(indices)
+            continue
+        chunk = max_group_size or len(indices)
+        for start in range(0, len(indices), chunk):
+            part = indices[start : start + chunk]
+            if len(part) < min_group_size:
+                singles.extend(part)
+            else:
+                groups.append(BatchGroup(signature=signature, indices=tuple(part)))
+    groups.sort(key=lambda group: group.indices[0])
+    return BatchPlan(groups=tuple(groups), singles=tuple(sorted(singles)))
+
+
+class ProblemBatch:
+    """A bundle of problems sharing one simulation signature.
+
+    The batch is what the master ships to a worker in batch mode: one message
+    carrying a whole family.  ``compute()`` prices every member against the
+    shared path set and returns one :class:`PricingResult` per member, in
+    member order.  The class round-trips through the XDR serializer (codec
+    registered in :mod:`repro.serial`), so every transmission strategy that
+    serializes problems can carry batches unchanged.
+    """
+
+    def __init__(self, problems: Sequence[PricingProblem], keys: Sequence[int] | None = None):
+        problems = list(problems)
+        if len(problems) < 1:
+            raise PricingError("a ProblemBatch needs at least one problem")
+        if keys is None:
+            keys = list(range(len(problems)))
+        keys = [int(key) for key in keys]
+        if len(keys) != len(problems):
+            raise PricingError("ProblemBatch keys must match the problems one-to-one")
+        reference = simulation_signature(problems[0])
+        if reference is None:
+            raise PricingError(
+                "ProblemBatch members must support shared-path simulation "
+                "(Monte-Carlo European problems with a simulation signature)"
+            )
+        for problem in problems[1:]:
+            if simulation_signature(problem) != reference:
+                raise PricingError(
+                    "all ProblemBatch members must share one simulation signature"
+                )
+        self.problems = problems
+        self.keys = keys
+        self.signature = reference
+
+    def __len__(self) -> int:
+        return len(self.problems)
+
+    @property
+    def label(self) -> str:
+        return f"batch[{len(self.problems)}]@{self.signature.model_digest[:12]}"
+
+    # -- pricing -----------------------------------------------------------------
+    def compute(self, cache: "ResultCache | None" = None) -> dict[int, dict[str, Any]]:
+        """Price all members and return ``{key: result_dict}``.
+
+        With a ``cache``, members whose digest is already stored are answered
+        from the cache and **excluded from the simulation** -- dropping
+        members never changes the other members' prices, because each payoff
+        is an independent read-only consumer of the shared paths.  Freshly
+        computed results are written back to the cache.
+
+        If the shared pass fails (e.g. one member's payoff produces a
+        non-finite price), the batch degrades to per-member pricing so a
+        single bad member cannot fail its whole family: healthy members
+        still return results, the bad one returns an ``{"error": ...}``
+        entry (matching what an unbatched run would have reported).
+        """
+        out: dict[int, dict[str, Any]] = {}
+        pending: list[tuple[int, PricingProblem]] = []
+        for key, problem in zip(self.keys, self.problems):
+            cached = cache.get(problem_digest(problem)) if cache is not None else None
+            if cached is not None:
+                problem._result = cached
+                entry = cached.as_dict()
+                entry["cache_hit"] = True
+                out[key] = entry
+            else:
+                pending.append((key, problem))
+        if not pending:
+            return out
+        method = pending[0][1].method
+        model = pending[0][1].model
+        try:
+            results = method.price_many(model, [p.product for _, p in pending])
+        except Exception:  # noqa: BLE001 - isolate the failing member below
+            results = None
+        if results is not None:
+            for (key, problem), result in zip(pending, results):
+                problem._result = result
+                if cache is not None:
+                    cache.put(problem_digest(problem), result)
+                out[key] = result.as_dict()
+            return out
+        # shared pass failed: price members individually so only the bad
+        # one(s) error (bit-identical either way -- same seeds, same code)
+        for key, problem in pending:
+            try:
+                result = problem.compute()
+            except Exception as exc:  # noqa: BLE001 - per-member error capture
+                out[key] = {"error": f"{type(exc).__name__}: {exc}"}
+                continue
+            if cache is not None:
+                cache.put(problem_digest(problem), result)
+            out[key] = result.as_dict()
+        return out
+
+    # -- serialization ----------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "problems": [problem.to_dict() for problem in self.problems],
+            "keys": list(self.keys),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ProblemBatch":
+        problems = [PricingProblem.from_dict(entry) for entry in data["problems"]]
+        return cls(problems, keys=data.get("keys"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ProblemBatch(n={len(self.problems)}, signature={self.signature.mode!r})"
+
+
+def batch_digest(batch: ProblemBatch) -> str:
+    """Stable digest of a whole batch (used for virtual job paths)."""
+    return stable_digest([problem_digest(problem) for problem in batch.problems])
+
+
+def price_problems(
+    problems: Sequence[PricingProblem],
+    min_group_size: int = 2,
+    max_group_size: int | None = None,
+    cache: "ResultCache | None" = None,
+) -> list[PricingResult]:
+    """Price ``problems`` with shared-path grouping, in input order.
+
+    Grouped members go through the shared-path engine; singletons fall back
+    to ``problem.compute()``.  Every result is also stored on its problem
+    (``problem.get_method_results()`` works afterwards), and prices are
+    bit-identical to per-problem pricing for any grouping.
+    """
+    problems = list(problems)
+    plan = plan_batches(problems, min_group_size=min_group_size,
+                        max_group_size=max_group_size)
+    results: dict[int, PricingResult] = {}
+    for group in plan.groups:
+        batch = ProblemBatch([problems[i] for i in group.indices], keys=list(group.indices))
+        for key, entry in batch.compute(cache=cache).items():
+            if "error" in entry:
+                # match unbatched semantics: computing this problem raises
+                raise PricingError(
+                    f"problem {problems[key].label or key!r} failed in a "
+                    f"shared-path batch: {entry['error']}"
+                )
+            # compute() stored the full PricingResult on each member problem
+            results[key] = problems[key].get_method_results()
+    for index in plan.singles:
+        problem = problems[index]
+        cached = cache.get(problem_digest(problem)) if cache is not None else None
+        if cached is not None:
+            problem._result = cached
+            results[index] = cached
+        else:
+            results[index] = problem.compute()
+            if cache is not None:
+                cache.put(problem_digest(problem), results[index])
+    return [results[index] for index in range(len(problems))]

@@ -1,0 +1,262 @@
+"""Content-addressed result caching for pricing problems.
+
+A pricing problem is fully described by the plain parameter dictionaries of
+its ``(model, option, method)`` triple -- exactly what the :mod:`repro.serial`
+layer ships across the cluster.  This module derives a **stable SHA-256
+digest** from that description (:func:`problem_digest`) and keeps computed
+:class:`~repro.pricing.methods.base.PricingResult` objects in a
+digest-keyed store (:class:`ResultCache`):
+
+* an in-memory LRU (bounded by ``max_entries``), and
+* an optional on-disk JSON store (one ``<digest>.json`` file per result),
+  shared between processes -- the multiprocessing workers open the same
+  directory, so a warm sweep skips pricing entirely.
+
+Digests are *content* addresses: two problems built independently, or round
+tripped through ``to_params()`` / ``from_params()`` / the XDR serializer,
+produce the same digest.  Methods whose results depend on anything outside
+``to_params()`` (wall-clock, global state) must not be cached; everything in
+the library keys its randomness on an explicit ``seed`` parameter, so results
+are deterministic functions of the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import PricingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pricing.engine import PricingProblem
+    from repro.pricing.methods.base import PricingResult
+
+__all__ = [
+    "stable_digest",
+    "model_digest",
+    "problem_digest",
+    "CacheStats",
+    "ResultCache",
+]
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to plain JSON types with a deterministic layout."""
+    if isinstance(value, dict):
+        return {str(key): _canonical(value[key]) for key in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [_canonical(item) for item in value.tolist()]
+    if isinstance(value, (np.bool_, bool)):
+        return bool(value)
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        # repr round-trips doubles exactly, so 0.1 rebuilt from params
+        # hashes identically to the original 0.1
+        return float(value)
+    if value is None or isinstance(value, str):
+        return value
+    raise PricingError(
+        f"cannot build a stable digest from a {type(value).__name__} value"
+    )
+
+
+def stable_digest(value: Any) -> str:
+    """SHA-256 hex digest of a canonical JSON rendering of ``value``.
+
+    Accepts anything made of dicts with sortable keys, lists/tuples, NumPy
+    arrays/scalars, numbers, strings and ``None``.  The digest is stable
+    across processes, sessions and ``to_params`` round-trips.
+    """
+    payload = json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def model_digest(model: Any) -> str:
+    """Stable digest of a model (name + parameters)."""
+    return stable_digest({"model": model.model_name, "params": model.to_params()})
+
+
+def problem_digest(problem: "PricingProblem") -> str:
+    """Stable digest of a fully specified pricing problem (memoized).
+
+    Keyed on the ``(model, option, method)`` names and ``to_params()``
+    dictionaries -- the same description the serializer writes to problem
+    files, so a problem loaded from disk digests identically to the one that
+    produced the file.  The model leg reuses the memoized
+    :meth:`~repro.pricing.models.base.Model.param_digest` (models carry the
+    bulk of the parameters -- e.g. a 40x40 correlation matrix), and the full
+    digest is cached on the problem until one of its legs is replaced.
+    """
+    cached = problem.__dict__.get("_digest_cache")
+    if cached is not None:
+        return cached
+    model, product, method = problem.model, problem.product, problem.method
+    digest = stable_digest(
+        {
+            "model": model.param_digest(),
+            "option": {"name": product.option_name, "params": product.to_params()},
+            "method": {"name": method.method_name, "params": method.to_params()},
+        }
+    )
+    problem.__dict__["_digest_cache"] = digest
+    return digest
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "puts": self.puts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Digest-keyed store of pricing results (in-memory LRU + optional disk).
+
+    Parameters
+    ----------
+    max_entries:
+        Bound on the in-memory LRU; the least recently used entry is evicted
+        when the bound is exceeded.  The disk store (when configured) is not
+        bounded -- one small JSON file per result.
+    directory:
+        Optional directory for the on-disk JSON store.  Results evicted from
+        memory remain readable from disk; several processes may share one
+        directory (files are written atomically via ``os.replace``).
+    """
+
+    max_entries: int = 4096
+    directory: str | Path | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise PricingError("ResultCache.max_entries must be >= 1")
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- core mapping ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries or self._disk_path(digest) is not None
+
+    def get(self, digest: str) -> "PricingResult | None":
+        """Return the cached result for ``digest`` or ``None`` on a miss."""
+        from repro.pricing.methods.base import PricingResult
+
+        entry = self._entries.get(digest)
+        if entry is None:
+            entry = self._read_disk(digest)
+            if entry is not None:
+                self.stats.disk_hits += 1
+                self._remember(digest, entry, write_disk=False)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(digest)
+        self.stats.hits += 1
+        return PricingResult.from_dict(entry)
+
+    def put(self, digest: str, result: "PricingResult | dict[str, Any]") -> None:
+        """Store ``result`` (a :class:`PricingResult` or its ``as_dict()``)."""
+        entry = dict(result) if isinstance(result, dict) else result.as_dict()
+        entry.pop("cache_hit", None)  # transport marker, not part of the result
+        if entry.get("price") is None:
+            raise PricingError("refusing to cache a result without a price")
+        self.stats.puts += 1
+        self._remember(digest, entry, write_disk=True)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (disk files are left in place)."""
+        self._entries.clear()
+
+    # -- problem-level convenience -------------------------------------------------
+    def get_problem(self, problem: "PricingProblem") -> "PricingResult | None":
+        """Cache lookup keyed on :func:`problem_digest`."""
+        return self.get(problem_digest(problem))
+
+    def put_problem(self, problem: "PricingProblem", result: "PricingResult") -> None:
+        self.put(problem_digest(problem), result)
+
+    # -- internals ----------------------------------------------------------------
+    def _remember(self, digest: str, entry: dict[str, Any], write_disk: bool) -> None:
+        self._entries[digest] = entry
+        self._entries.move_to_end(digest)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        if write_disk and self.directory is not None:
+            self._write_disk(digest, entry)
+
+    def _disk_file(self, digest: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return Path(self.directory) / f"{digest}.json"
+
+    def _disk_path(self, digest: str) -> Path | None:
+        path = self._disk_file(digest)
+        if path is not None and path.exists():
+            return path
+        return None
+
+    def _read_disk(self, digest: str) -> dict[str, Any] | None:
+        path = self._disk_path(digest)
+        if path is None:
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):  # pragma: no cover - corrupt file
+            return None
+
+    def _write_disk(self, digest: str, entry: dict[str, Any]) -> None:
+        import os
+
+        path = self._disk_file(digest)
+        assert path is not None
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(entry))
+        os.replace(tmp, path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        where = f", directory={str(self.directory)!r}" if self.directory else ""
+        return (
+            f"ResultCache(entries={len(self._entries)}/{self.max_entries}{where}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

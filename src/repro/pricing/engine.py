@@ -227,6 +227,7 @@ class PricingProblem:
             self._model_params = params
             self._model = _build_model(name, params)
         self._result = None
+        self._digest_cache = None  # invalidate the memoized problem digest
         return self
 
     def set_option(self, name: str | Product, **params: Any) -> "PricingProblem":
@@ -239,6 +240,7 @@ class PricingProblem:
             self._product_params = params
             self._product = _build_product(name, params)
         self._result = None
+        self._digest_cache = None  # invalidate the memoized problem digest
         return self
 
     def set_method(self, name: str | PricingMethod, **params: Any) -> "PricingProblem":
@@ -251,6 +253,7 @@ class PricingProblem:
             self._method_params = params
             self._method = _build_method(name, params)
         self._result = None
+        self._digest_cache = None  # invalidate the memoized problem digest
         return self
 
     @classmethod

@@ -18,11 +18,13 @@ is known in every risk-neutral model of the library).
 
 from __future__ import annotations
 
-from typing import Any
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 import numpy as np
 
-from repro.errors import PricingError
+from repro.errors import IncompatibleMethodError, PricingError
 from repro.pricing.methods.base import PricingMethod, PricingResult
 from repro.pricing.models.base import Model, MultiAssetModel
 from repro.pricing.models.black_scholes import BlackScholesModel
@@ -32,6 +34,22 @@ from repro.pricing.products.basket import BasketOption
 from repro.pricing.rng import AntitheticGenerator, create_generator
 
 __all__ = ["MonteCarloEuropean"]
+
+
+@dataclass
+class _MemberState:
+    """Per-product accumulators of one shared-path pricing pass."""
+
+    product: Product
+    product_adj: Product
+    use_cv: bool
+    discount: float
+    sum_payoff: float = 0.0
+    sum_payoff2: float = 0.0
+    sum_control: float = 0.0
+    sum_control2: float = 0.0
+    sum_cross: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
 
 #: Broadie-Glasserman-Kou continuity-correction constant for discretely
 #: monitored barriers: ``beta = -zeta(1/2) / sqrt(2 pi)``.
@@ -178,68 +196,150 @@ class MonteCarloEuropean(PricingMethod):
 
     # -- pricing -----------------------------------------------------------------
     def _price(self, model: Model, product: Product) -> PricingResult:
-        n_steps = self._effective_steps(model, product)
-        product_adj = self._adjusted_product(model, product, n_steps)
-        discount = model.discount_factor(product.maturity)
-        use_cv = self.control_variate and not product.path_dependent
+        # single-product pricing is the one-member case of the shared-path
+        # engine, so batched portfolio pricing is bit-identical by construction
+        return self._price_shared(model, [product])[0]
+
+    def shares_simulation(self, model: Model, a: Product, b: Product) -> bool:
+        """Whether ``a`` and ``b`` can be priced against one shared path set.
+
+        Two products share the simulation when they induce the same effective
+        time grid and the same sampling mode (full paths vs exact terminal
+        law); the payoffs themselves are free to differ.
+        """
+        if self._effective_steps(model, a) != self._effective_steps(model, b):
+            return False
+        if a.maturity != b.maturity:
+            return False
+        n_steps = self._effective_steps(model, a)
+        return (a.path_dependent or n_steps > 1) == (b.path_dependent or n_steps > 1)
+
+    def price_many(self, model: Model, products: Sequence[Product]) -> list[PricingResult]:
+        """Price several products against **one** shared simulated path set.
+
+        All products must be supported under ``model`` and share the same
+        simulation grid (see :meth:`shares_simulation`); the
+        :mod:`repro.pricing.batch` planner guarantees this by grouping on the
+        simulation signature.  Each returned :class:`PricingResult` is
+        bit-identical to what :meth:`price` would return for that product
+        alone -- the paths are a deterministic function of (model, rng kind,
+        seed, batching), which every member reproduces independently.
+        """
+        products = list(products)
+        if not products:
+            return []
+        for product in products:
+            self.check_supports(model, product)
+        start = time.perf_counter()
+        results = self._price_shared(model, products)
+        elapsed = time.perf_counter() - start
+        share = elapsed / len(results)
+        for product, result in zip(products, results):
+            result.elapsed = share
+            result.method_name = self.method_name
+            if not np.isfinite(result.price):
+                raise IncompatibleMethodError(
+                    f"method {self.method_name!r} produced a non-finite price for "
+                    f"{product.option_name!r} under {model.model_name!r}"
+                )
+        return results
+
+    def _price_shared(self, model: Model, products: list[Product]) -> list[PricingResult]:
+        n_steps = self._effective_steps(model, products[0])
+        maturity = products[0].maturity
+        mode_paths = products[0].path_dependent or n_steps > 1
+        for product in products[1:]:
+            if not self.shares_simulation(model, products[0], product):
+                raise PricingError(
+                    "products in a shared-path batch must induce the same "
+                    "simulation grid and sampling mode"
+                )
+        members = [
+            _MemberState(
+                product=product,
+                product_adj=self._adjusted_product(model, product, n_steps),
+                use_cv=self.control_variate and not product.path_dependent,
+                discount=model.discount_factor(product.maturity),
+            )
+            for product in products
+        ]
 
         n_total = self.n_paths
         if self.antithetic and n_total % 2:
             n_total += 1
 
-        # accumulate first and second moments batch by batch
-        sum_payoff = 0.0
-        sum_payoff2 = 0.0
-        sum_control = 0.0
-        sum_control2 = 0.0
-        sum_cross = 0.0
         n_done = 0
         n_samples = 0
-
         rng = self._make_rng(dimension=max(model.dimension, 1))
-        times = np.linspace(0.0, product.maturity, n_steps + 1)
+        times = np.linspace(0.0, maturity, n_steps + 1)
 
+        # simulate batch by batch (bounding memory) and evaluate every
+        # member's payoff against the same path array
         while n_done < n_total:
             batch = min(self.batch_size, n_total - n_done)
-            if self.antithetic and batch % 2:
-                batch += 1
-            if product_adj.path_dependent or n_steps > 1:
+            if self.antithetic:
+                # keep antithetic pairs inside one batch; n_total is even, so
+                # flooring (rather than padding past batch_size) never stalls
+                # and the memory bound is respected even for odd batch sizes
+                batch -= batch % 2
+            if mode_paths:
                 paths = model.simulate_paths(rng, batch, times)
-                payoffs = product_adj.path_payoff(paths, times)
                 terminal = paths[:, -1] if paths.ndim == 2 else paths[:, -1, :]
             else:
-                terminal = model.sample_terminal(rng, batch, product.maturity)
-                payoffs = product_adj.terminal_payoff(terminal)
-            payoffs = np.asarray(payoffs, dtype=float)
-            if use_cv:
-                control = self._control_value(model, terminal, product_adj)
-            else:
-                control = None
-            if self.antithetic:
-                # average each antithetic pair so that the variance estimate
-                # reflects the actual (pairwise-coupled) estimator
-                half = batch // 2
-                payoffs = 0.5 * (payoffs[:half] + payoffs[half:])
+                paths = None
+                terminal = model.sample_terminal(rng, batch, maturity)
+            half = batch // 2
+            for member in members:
+                if mode_paths:
+                    payoffs = member.product_adj.path_payoff(paths, times)
+                else:
+                    payoffs = member.product_adj.terminal_payoff(terminal)
+                payoffs = np.asarray(payoffs, dtype=float)
+                if member.use_cv:
+                    control = self._control_value(model, terminal, member.product_adj)
+                else:
+                    control = None
+                if self.antithetic:
+                    # average each antithetic pair so that the variance
+                    # estimate reflects the actual (pairwise-coupled) estimator
+                    payoffs = 0.5 * (payoffs[:half] + payoffs[half:])
+                    if control is not None:
+                        control = 0.5 * (control[:half] + control[half:])
+                member.sum_payoff += payoffs.sum()
+                member.sum_payoff2 += (payoffs**2).sum()
                 if control is not None:
-                    control = 0.5 * (control[:half] + control[half:])
-            sum_payoff += payoffs.sum()
-            sum_payoff2 += (payoffs**2).sum()
-            if control is not None:
-                sum_control += control.sum()
-                sum_control2 += (control**2).sum()
-                sum_cross += (payoffs * control).sum()
+                    member.sum_control += control.sum()
+                    member.sum_control2 += (control**2).sum()
+                    member.sum_cross += (payoffs * control).sum()
             n_done += batch
-            n_samples += len(payoffs)
+            n_samples += half if self.antithetic else batch
 
+        # exact sample accounting: the estimator consumed n_samples
+        # (pair-averaged) samples, i.e. n_paths_used simulated paths -- no
+        # padded phantom paths are ever reported
+        n_paths_used = 2 * n_samples if self.antithetic else n_samples
+        return [
+            self._finalize_member(model, member, n_samples, n_paths_used, n_steps)
+            for member in members
+        ]
+
+    def _finalize_member(
+        self,
+        model: Model,
+        member: _MemberState,
+        n_samples: int,
+        n_paths_used: int,
+        n_steps: int,
+    ) -> PricingResult:
         n = n_samples
-        mean_payoff = sum_payoff / n
-        var_payoff = max(sum_payoff2 / n - mean_payoff**2, 0.0)
+        mean_payoff = member.sum_payoff / n
+        var_payoff = max(member.sum_payoff2 / n - mean_payoff**2, 0.0)
 
-        if use_cv:
-            mean_control = sum_control / n
-            var_control = max(sum_control2 / n - mean_control**2, 0.0)
-            cov = sum_cross / n - mean_payoff * mean_control
-            expected_control = self._control_expectation(model, product)
+        if member.use_cv:
+            mean_control = member.sum_control / n
+            var_control = max(member.sum_control2 / n - mean_control**2, 0.0)
+            cov = member.sum_cross / n - mean_payoff * mean_control
+            expected_control = self._control_expectation(model, member.product)
             if var_control > 1e-14:
                 beta = cov / var_control
                 adjusted_mean = mean_payoff - beta * (mean_control - expected_control)
@@ -253,16 +353,17 @@ class MonteCarloEuropean(PricingMethod):
             adjusted_mean = mean_payoff
             adjusted_var = var_payoff
 
-        price = discount * adjusted_mean
-        std_error = discount * np.sqrt(adjusted_var / n)
+        price = member.discount * adjusted_mean
+        std_error = member.discount * np.sqrt(adjusted_var / n)
         half_width = 1.96 * std_error
         return PricingResult(
             price=float(price),
             std_error=float(std_error),
             confidence_interval=(float(price - half_width), float(price + half_width)),
-            n_evaluations=n_done * max(n_steps, 1),
+            n_evaluations=n_paths_used * max(n_steps, 1),
             extra={
-                "n_paths": n_done,
+                "n_paths": n_paths_used,
+                "n_paths_requested": self.n_paths,
                 "n_steps": n_steps,
                 "control_variate_beta": float(beta),
                 "antithetic": self.antithetic,

@@ -113,11 +113,32 @@ class Model(abc.ABC):
         return True
 
     def __hash__(self) -> int:  # models are used as dict keys in caches
-        items = []
-        for key, value in sorted(self.to_params().items()):
-            arr = np.asarray(value, dtype=float)
-            items.append((key, arr.tobytes()))
-        return hash((self.model_name, tuple(items)))
+        # memoized: serializing every parameter array via tobytes() on each
+        # call is far too slow for the hot batch/cache lookups, and models
+        # are treated as immutable once constructed
+        cached = self.__dict__.get("_hash_cache")
+        if cached is None:
+            items = []
+            for key, value in sorted(self.to_params().items()):
+                arr = np.asarray(value, dtype=float)
+                items.append((key, arr.tobytes()))
+            cached = hash((self.model_name, tuple(items)))
+            self.__dict__["_hash_cache"] = cached
+        return cached
+
+    def param_digest(self) -> str:
+        """Memoized stable SHA-256 digest of (model name, parameters).
+
+        Shared by the batch planner (grouping key) and the result cache
+        (content address); see :mod:`repro.pricing.cache`.
+        """
+        cached = self.__dict__.get("_digest_cache")
+        if cached is None:
+            from repro.pricing.cache import model_digest
+
+            cached = model_digest(self)
+            self.__dict__["_digest_cache"] = cached
+        return cached
 
     def __repr__(self) -> str:
         params = ", ".join(f"{k}={v!r}" for k, v in self.to_params().items())
@@ -153,22 +174,33 @@ class DiffusionModel1D(Model):
             return paths
         normals = rng.normals((n_paths, n_steps))
         drift = self.rate - self.dividend
+        dts = np.diff(times)
+        sqrt_dts = np.sqrt(dts)  # hoisted: one vectorized sqrt for the grid
         for k in range(n_steps):
-            dt = times[k + 1] - times[k]
             s = paths[:, k]
             sigma = self.local_volatility(times[k], s)
             paths[:, k + 1] = s * np.exp(
-                (drift - 0.5 * sigma**2) * dt + sigma * np.sqrt(dt) * normals[:, k]
+                (drift - 0.5 * sigma**2) * dts[k] + sigma * sqrt_dts[k] * normals[:, k]
             )
         return paths
 
     def sample_terminal(
         self, rng: RandomGenerator, n_paths: int, maturity: float
     ) -> np.ndarray:
-        # generic fallback: Euler path with ~100 steps per year
+        # generic fallback: Euler scheme with ~100 steps per year, streamed --
+        # only the current spot slice is held in memory instead of the full
+        # (n_paths, n_steps + 1) path matrix whose last column was all the
+        # caller wanted
         n_steps = max(16, int(np.ceil(100 * maturity)))
-        times = np.linspace(0.0, maturity, n_steps + 1)
-        return self.simulate_paths(rng, n_paths, times)[:, -1]
+        dt = maturity / n_steps
+        sqrt_dt = float(np.sqrt(dt))
+        drift = self.rate - self.dividend
+        s = np.full(n_paths, float(self.spot))
+        for k in range(n_steps):
+            z = rng.normals((n_paths,))
+            sigma = self.local_volatility(k * dt, s)
+            s *= np.exp((drift - 0.5 * sigma**2) * dt + sigma * sqrt_dt * z)
+        return s
 
 
 class MultiAssetModel(Model):

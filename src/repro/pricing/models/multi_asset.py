@@ -108,10 +108,11 @@ class MultiAssetBlackScholesModel(MultiAssetModel):
         paths = np.empty((n_paths, n_steps + 1, d))
         paths[:, 0, :] = np.asarray(self.spot)[None, :]
         log_s = np.log(np.asarray(self.spot, dtype=float))[None, :].repeat(n_paths, axis=0)
+        drift_rate = self.rate - self.dividend_vector - 0.5 * self.volatilities**2
+        sqrt_dts = np.sqrt(dts)  # hoisted out of the step loop
         for k, dt in enumerate(dts):
             z = rng.correlated_normals(n_paths, self.correlation)
-            drift = (self.rate - self.dividend_vector - 0.5 * self.volatilities**2) * dt
-            log_s = log_s + drift[None, :] + self.volatilities * np.sqrt(dt) * z
+            log_s = log_s + (drift_rate * dt)[None, :] + self.volatilities * sqrt_dts[k] * z
             paths[:, k + 1, :] = np.exp(log_s)
         return paths
 

@@ -7,11 +7,14 @@ object with optional compression (:mod:`repro.serial.serial`) and the
 (:mod:`repro.serial.store`).
 
 Importing this package registers the codecs for
-:class:`~repro.pricing.engine.PricingProblem` and
-:class:`~repro.pricing.methods.base.PricingResult`, so pricing problems can
-be saved, loaded and shipped across the cluster out of the box.
+:class:`~repro.pricing.engine.PricingProblem`,
+:class:`~repro.pricing.methods.base.PricingResult` and
+:class:`~repro.pricing.batch.ProblemBatch`, so pricing problems -- and whole
+shared-simulation batches of them -- can be saved, loaded and shipped across
+the cluster out of the box.
 """
 
+from repro.pricing.batch import ProblemBatch
 from repro.pricing.engine import PricingProblem
 from repro.pricing.methods.base import PricingResult
 from repro.serial import xdr
@@ -31,6 +34,12 @@ register_codec(
     PricingResult,
     lambda result: result.as_dict(),
     PricingResult.from_dict,
+)
+register_codec(
+    "ProblemBatch",
+    ProblemBatch,
+    lambda batch: batch.to_dict(),
+    ProblemBatch.from_dict,
 )
 
 __all__ = [

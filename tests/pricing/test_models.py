@@ -281,3 +281,52 @@ def test_model_registry_contains_all_models():
     assert expected == set(MODEL_CLASSES)
     for name, cls in MODEL_CLASSES.items():
         assert cls.model_name == name
+
+
+class TestModelHashMemoization:
+    def test_hash_is_cached(self, bs_model):
+        first = hash(bs_model)
+        assert bs_model.__dict__["_hash_cache"] == first
+        assert hash(bs_model) == first
+
+    def test_equal_models_hash_equal(self):
+        a = BlackScholesModel(spot=100.0, rate=0.05, volatility=0.2)
+        b = BlackScholesModel(spot=100.0, rate=0.05, volatility=0.2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_param_digest_is_stable_and_cached(self, basket_model):
+        digest = basket_model.param_digest()
+        assert basket_model.param_digest() == digest
+        rebuilt = MultiAssetBlackScholesModel.from_params(basket_model.to_params())
+        assert rebuilt.param_digest() == digest
+
+    def test_param_digest_differs_across_params(self):
+        a = BlackScholesModel(spot=100.0, rate=0.05, volatility=0.2)
+        b = BlackScholesModel(spot=100.0, rate=0.05, volatility=0.21)
+        assert a.param_digest() != b.param_digest()
+
+
+class TestStreamedTerminalFallback:
+    """The generic DiffusionModel1D.sample_terminal Euler fallback."""
+
+    def _model(self, skew=0.0, term=0.0):
+        return SmileLocalVolModel(
+            spot=100.0, rate=0.05, base_volatility=0.2, skew=skew, term=term
+        )
+
+    def test_shape_and_determinism(self):
+        model = self._model(skew=0.3, term=0.1)
+        a = model.sample_terminal(PseudoRandomGenerator(3), 2_000, 1.0)
+        b = model.sample_terminal(PseudoRandomGenerator(3), 2_000, 1.0)
+        assert a.shape == (2_000,)
+        assert np.array_equal(a, b)
+        assert np.all(a > 0)
+
+    def test_martingale_property(self):
+        # skew = term = 0 reduces to Black-Scholes: discounted terminal mean
+        # must match the forward within Monte-Carlo error
+        model = self._model()
+        terminal = model.sample_terminal(PseudoRandomGenerator(11), 60_000, 1.0)
+        forward = float(model.forward(1.0))
+        assert np.mean(terminal) == pytest.approx(forward, rel=0.01)
