@@ -56,6 +56,18 @@ def main(n_workers: int = 3) -> None:
                 f"value {value:.2f} (|diff| {drift:.2e}) errors={result.n_errors}"
             )
 
+        # streaming collection: results land in completion order while the
+        # final RunResult stays submission-ordered and bit-identical to run()
+        streamed = session.stream(portfolio, store=store)
+        n_priced = sum(1 for _ in streamed)
+        streaming_result = streamed.result()
+        streamed_value = streaming_result.value()
+        print(
+            f"streamed {n_priced}/{len(portfolio)} positions incrementally; "
+            f"value {streamed_value:.2f} "
+            f"(|diff vs sequential| {abs(streamed_value - reference_value):.2e})"
+        )
+
 
 if __name__ == "__main__":
     workers = int(sys.argv[1]) if len(sys.argv) > 1 else 3

@@ -40,7 +40,8 @@ def unified_session_api() -> None:
     )
     print(f"session price: {result.price:.4f} (delta {result.delta:.4f})")
 
-    # batch submission: queue several strikes, value them as one campaign
+    # futures-based submission: queue several strikes, stream the results in
+    # as the master collects them (completion order, not submission order)
     problems = []
     for strike in (90.0, 100.0, 110.0):
         p = PricingProblem(label=f"call_K{strike:.0f}")
@@ -49,8 +50,10 @@ def unified_session_api() -> None:
         p.set_option("CallEuro", strike=strike, maturity=1.0)
         p.set_method("CF_Call")
         problems.append(p)
-    handles = session.submit_many(problems)
-    prices = ", ".join(f"{h.label}={h.price():.4f}" for h in handles)
+    futures = session.submit_many(problems)       # -> JobSet of PricingFuture
+    for future in futures.as_completed():
+        print(f"  collected {future.label}: {future.price():.4f}")
+    prices = ", ".join(f"{f.label}={f.price():.4f}" for f in futures)
     print(f"batched strikes: {prices}")
 
 

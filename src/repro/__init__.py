@@ -79,6 +79,11 @@ _LAZY_EXPORTS = {
     # unified API (repro.api)
     "ValuationSession": "repro.api",
     "JobHandle": "repro.api",
+    "PricingFuture": "repro.api",
+    "JobSet": "repro.api",
+    "StreamingRun": "repro.api",
+    "StreamProgress": "repro.api",
+    "CancelToken": "repro.api",
     "BackendSpec": "repro.api",
     "RunConfig": "repro.api",
     "SweepConfig": "repro.api",

@@ -1,16 +1,29 @@
 """``repro.api`` -- the unified, typed entry point of the package.
 
 One facade (:class:`ValuationSession`) plus immutable configuration values
-(:class:`BackendSpec`, :class:`RunConfig`, :class:`SweepConfig`) and a
+(:class:`BackendSpec`, :class:`RunConfig`, :class:`SweepConfig`), a
 normalized result hierarchy (:class:`PriceResult`, :class:`RunResult`,
-:class:`SweepResult`, :class:`ComparisonResult`).  Everything the legacy
-free functions in :mod:`repro.core.runner` did is reachable from here, and
-new capabilities (batching via :meth:`ValuationSession.submit_many`, named
-backend selection) only exist here.
+:class:`SweepResult`, :class:`ComparisonResult`) and the streaming job
+lifecycle (:class:`PricingFuture`, :class:`JobSet`, :class:`StreamingRun`,
+:class:`CancelToken`).  Everything the legacy free functions in
+:mod:`repro.core.runner` did is reachable from here, and new capabilities
+(futures via :meth:`ValuationSession.submit_many`, completion-order
+streaming via :meth:`ValuationSession.stream`, named backend selection)
+only exist here.
 """
 
 from repro.api.config import BackendSpec, RunConfig, SweepConfig
 from repro.pricing.cache import ResultCache
+from repro.api.futures import (
+    ALL_COMPLETED,
+    FIRST_COMPLETED,
+    FIRST_EXCEPTION,
+    CancelToken,
+    JobSet,
+    PricingFuture,
+    StreamingRun,
+    StreamProgress,
+)
 from repro.api.results import (
     ComparisonResult,
     PriceResult,
@@ -23,6 +36,14 @@ from repro.api.session import JobHandle, ValuationSession
 __all__ = [
     "ValuationSession",
     "JobHandle",
+    "PricingFuture",
+    "JobSet",
+    "StreamingRun",
+    "StreamProgress",
+    "CancelToken",
+    "ALL_COMPLETED",
+    "FIRST_COMPLETED",
+    "FIRST_EXCEPTION",
     "BackendSpec",
     "RunConfig",
     "SweepConfig",

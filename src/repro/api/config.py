@@ -112,6 +112,13 @@ class RunConfig:
     ``False`` bypasses the cache, ``True`` requires the session to have one).
     ``batch_group_size`` caps how many positions one batch job may carry, so
     large families still spread across parallel workers.
+
+    Two streaming-lifecycle hooks ride along (excluded from equality/hash,
+    like ``cost_model``): ``progress`` is called once per collected position
+    with a :class:`~repro.api.futures.StreamProgress`; ``cancel`` is a
+    :class:`~repro.api.futures.CancelToken` that withdraws still-queued
+    positions when fired (in-flight jobs finish; withdrawn positions are
+    marked cancelled in the run result).
     """
 
     strategy: str = "serialized_load"
@@ -122,6 +129,8 @@ class RunConfig:
     batch: bool = False
     batch_group_size: int | None = None
     cache: bool | None = None
+    progress: Callable[..., None] | None = field(default=None, compare=False)
+    cancel: Any | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.batch_group_size is not None and self.batch_group_size < 2:
@@ -149,12 +158,20 @@ class RunConfig:
 
 @dataclass(frozen=True)
 class SweepConfig:
-    """How a CPU-count sweep over the simulated cluster is executed."""
+    """How a CPU-count sweep over the simulated cluster is executed.
+
+    ``batch=True`` coalesces shared-simulation families before sweeping, so
+    the paper's tables can be regenerated "with batching" (the batch-aware
+    cost model charges one shared path simulation per family plus a
+    per-member payoff sweep).
+    """
 
     cpu_counts: tuple[int, ...] = (2, 4, 8, 16)
     strategy: str = "serialized_load"
     share_nfs_cache: bool = True
     label: str | None = None
+    batch: bool = False
+    batch_group_size: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "cpu_counts", tuple(self.cpu_counts))
@@ -166,3 +183,5 @@ class SweepConfig:
             raise ValuationError(
                 f"unknown strategy {self.strategy!r}; known: {sorted(STRATEGIES)}"
             )
+        if self.batch_group_size is not None and self.batch_group_size < 2:
+            raise ValuationError("SweepConfig.batch_group_size must be >= 2 when given")

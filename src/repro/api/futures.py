@@ -1,0 +1,630 @@
+"""First-class futures over the streaming master loop.
+
+The paper's master collects results *incrementally* -- ``MPI_Probe`` on any
+source, then ``MPI_Recv_Obj`` -- but until this module the public API was
+batch-synchronous: every submission resolved through one blocking gather.
+This module is the user-facing half of the streaming redesign:
+
+* :class:`PricingFuture` -- the deferred result of one submitted problem,
+  with the ``concurrent.futures``-style surface (``done()``, ``result()``,
+  ``exception()``, ``cancel()``, done-callbacks).  Reading one future pumps
+  the master loop only until *that* job is collected -- never a full-batch
+  gather;
+* :class:`JobSet` -- an ordered collection of futures supporting
+  :meth:`~JobSet.as_completed` iteration and :meth:`~JobSet.wait` with the
+  usual ``return_when`` policies;
+* :class:`StreamingRun` -- what :meth:`ValuationSession.stream` returns: an
+  iterable of :class:`~repro.api.results.PriceResult` in completion order
+  that still reassembles a deterministic, submission-ordered
+  :class:`~repro.api.results.RunResult` at the end;
+* :class:`CancelToken` -- cooperative cancellation threaded through
+  :class:`~repro.api.config.RunConfig`: queued jobs are withdrawn, in-flight
+  jobs finish, the run result marks the withdrawn positions as cancelled.
+
+The machinery underneath (:class:`_StreamCore`) drives one
+:class:`~repro.core.scheduler.ScheduleStream` and routes every collected
+event -- plain results, expanded :class:`~repro.pricing.batch.ProblemBatch`
+members, worker errors -- to the right future.  Cache hits never enter the
+stream at all: their futures are born resolved.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
+
+from repro.api.results import PriceResult
+from repro.errors import (
+    CollectTimeoutError,
+    FutureTimeoutError,
+    JobCancelledError,
+    ValuationError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.results import RunResult
+    from repro.cluster.backends.base import CompletedJob, Job
+    from repro.core.scheduler import ScheduleStream
+
+__all__ = [
+    "PricingFuture",
+    "JobSet",
+    "StreamingRun",
+    "CancelToken",
+    "StreamProgress",
+    "ALL_COMPLETED",
+    "FIRST_COMPLETED",
+    "FIRST_EXCEPTION",
+]
+
+#: ``JobSet.wait`` policies (same spellings as :mod:`concurrent.futures`)
+ALL_COMPLETED = "ALL_COMPLETED"
+FIRST_COMPLETED = "FIRST_COMPLETED"
+FIRST_EXCEPTION = "FIRST_EXCEPTION"
+
+_PENDING = "pending"
+_DONE = "done"
+_CANCELLED = "cancelled"
+
+
+class CancelToken:
+    """Cooperative cancellation flag shared between caller and run.
+
+    Pass one through ``RunConfig(cancel=token)`` (or directly to
+    :meth:`ValuationSession.stream`); calling :meth:`cancel` from a callback
+    or another piece of the program withdraws every job still queued
+    master-side.  Jobs already on a worker run to completion -- the paper's
+    protocol has no way to interrupt a slave mid-computation.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"CancelToken(cancelled={self._cancelled})"
+
+
+@dataclass(frozen=True)
+class StreamProgress:
+    """One progress tick, handed to ``RunConfig.progress`` per collection."""
+
+    done: int
+    total: int
+    job_id: int
+    label: str | None = None
+    result: PriceResult | None = None
+    error: str | None = None
+    cancelled: bool = False
+
+
+class PricingFuture:
+    """Deferred result of one problem flowing through the streaming pipeline.
+
+    Futures are created in one of three states:
+
+    * *unsubmitted* -- queued by :meth:`ValuationSession.submit_many`;
+      nothing executes until the first ``result()``/``wait`` pumps the
+      session, which starts the campaign lazily;
+    * *streaming* -- attached to a live :class:`_StreamCore`; reading the
+      future collects results **only until this job answers**, leaving the
+      rest of the batch in flight;
+    * *resolved* -- born done (cache hits) or collected.
+    """
+
+    __slots__ = (
+        "job_id",
+        "label",
+        "method",
+        "_core",
+        "_starter",
+        "_state",
+        "_result",
+        "_error",
+        "_callbacks",
+    )
+
+    def __init__(
+        self,
+        job_id: int,
+        label: str | None = None,
+        method: str | None = None,
+        starter: Callable[[], None] | None = None,
+    ):
+        self.job_id = job_id
+        self.label = label
+        self.method = method
+        self._core: _StreamCore | None = None
+        self._starter = starter
+        self._state = _PENDING
+        self._result: dict[str, Any] | None = None
+        self._error: str | None = None
+        self._callbacks: list[Callable[["PricingFuture"], None]] = []
+
+    # -- state inspection --------------------------------------------------------
+    def done(self) -> bool:
+        """Whether the future is resolved (successfully, failed or cancelled)."""
+        return self._state in (_DONE, _CANCELLED)
+
+    def running(self) -> bool:
+        """Whether the job was handed to a live backend and is unresolved."""
+        return self._state == _PENDING and self._core is not None
+
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    # -- cancellation ------------------------------------------------------------
+    def cancel(self) -> bool:
+        """Try to withdraw the job; ``False`` once it reached a worker.
+
+        An unsubmitted future cancels unconditionally (it never built a job);
+        a streaming one only while it is still queued master-side.
+        """
+        if self._state == _CANCELLED:
+            return True
+        if self._state == _DONE:
+            return False
+        if self._core is not None and not self._core.cancel_job(self.job_id):
+            return False
+        self._mark_cancelled()
+        return True
+
+    def _mark_cancelled(self) -> None:
+        if self._state != _PENDING:
+            return
+        self._state = _CANCELLED
+        self._fire_callbacks()
+
+    # -- resolution --------------------------------------------------------------
+    def _ensure_pumpable(self) -> None:
+        if self._state != _PENDING:
+            return
+        if self._core is None and self._starter is not None:
+            # not cleared on failure: a failed campaign start (e.g. an
+            # incomplete problem breaking job building) must be retryable
+            # with the same root-cause exception
+            self._starter()
+        if self._core is not None:
+            self._starter = None
+        elif self._state == _PENDING:
+            raise ValuationError(
+                f"future for job {self.job_id} is not attached to a run; "
+                f"was its session discarded before gathering?"
+            )
+
+    def result(self, timeout: float | None = None) -> dict[str, Any] | None:
+        """The worker's result dictionary (``None`` for timing-only backends).
+
+        Pumps the master loop until *this* job is collected -- other jobs of
+        the same campaign keep streaming in the background.  Raises
+        :class:`~repro.errors.JobCancelledError` if the future was cancelled,
+        :class:`~repro.errors.FutureTimeoutError` if no result arrived within
+        ``timeout`` seconds (retryable), and :class:`ValuationError` if the
+        job failed on the worker.
+        """
+        if self._state == _CANCELLED:
+            raise JobCancelledError(f"job {self.job_id} was cancelled")
+        if self._state != _DONE:
+            self._ensure_pumpable()
+            if self._state == _PENDING:
+                assert self._core is not None
+                self._core.pump_until(self, timeout)
+        if self._state == _CANCELLED:
+            raise JobCancelledError(f"job {self.job_id} was cancelled")
+        if self._error is not None:
+            raise ValuationError(f"job {self.job_id} failed: {self._error}")
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The exception the job would raise from :meth:`result`, or ``None``."""
+        try:
+            self.result(timeout)
+        except (JobCancelledError, ValuationError) as exc:
+            if isinstance(exc, FutureTimeoutError):
+                raise
+            return exc
+        return None
+
+    def price(self) -> float:
+        """Shortcut to the job's price; raises if the run was timing-only."""
+        result = self.result()
+        if result is None or "price" not in result:
+            raise ValuationError(
+                f"job {self.job_id} returned no price (timing-only backend?)"
+            )
+        return result["price"]
+
+    def error(self) -> str | None:
+        """The worker-side error message, or ``None`` (resolves the future)."""
+        try:
+            self.result()
+        except JobCancelledError:
+            return "cancelled"
+        except ValuationError:
+            pass
+        return self._error
+
+    def price_result(self) -> PriceResult | None:
+        """The resolved result as a :class:`PriceResult` (``None`` if priceless)."""
+        if not self.done() or self._error is not None or self._state == _CANCELLED:
+            return None
+        if self._result is None or "price" not in self._result:
+            return None
+        return PriceResult.from_dict(
+            self._result, label=self.label, method=self.method, job_id=self.job_id
+        )
+
+    # -- callbacks ---------------------------------------------------------------
+    def add_done_callback(self, fn: Callable[["PricingFuture"], None]) -> None:
+        """Call ``fn(future)`` when the future resolves (now, if it already has)."""
+        if self.done():
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def _resolve(self, result: dict[str, Any] | None, error: str | None) -> None:
+        if self._state != _PENDING:
+            return
+        self._result = result
+        self._error = error
+        self._state = _DONE
+        self._fire_callbacks()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        state = self._state if self._error is None else "error"
+        return f"PricingFuture(job_id={self.job_id}, label={self.label!r}, {state})"
+
+
+class JobSet(Sequence):
+    """An ordered, indexable collection of :class:`PricingFuture`.
+
+    Supports everything a list of futures would, plus streaming iteration:
+    :meth:`as_completed` yields futures in the order the cluster answers,
+    :meth:`wait` blocks under the usual ``concurrent.futures`` policies.
+    Duplicate submissions (deduplicated by problem digest) appear as the
+    *same* future object at several positions.
+    """
+
+    def __init__(self, futures: Sequence[PricingFuture]):
+        self._futures = list(futures)
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return JobSet(self._futures[index])
+        return self._futures[index]
+
+    def __iter__(self) -> Iterator[PricingFuture]:
+        return iter(self._futures)
+
+    @property
+    def n_done(self) -> int:
+        return sum(1 for future in self._unique() if future.done())
+
+    def _unique(self) -> list[PricingFuture]:
+        seen: set[int] = set()
+        unique: list[PricingFuture] = []
+        for future in self._futures:
+            if id(future) not in seen:
+                seen.add(id(future))
+                unique.append(future)
+        return unique
+
+    def as_completed(self, timeout: float | None = None) -> Iterator[PricingFuture]:
+        """Yield every future exactly once, in completion order.
+
+        Futures that are already resolved (cache hits, earlier pumping) come
+        first; the rest stream in as the master collects them.  ``timeout``
+        bounds the *total* wait, raising
+        :class:`~repro.errors.FutureTimeoutError` with the stragglers still
+        pending (retryable).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        pending = self._unique()
+        while pending:
+            ready = [future for future in pending if future.done()]
+            for future in ready:
+                pending.remove(future)
+                yield future
+            if not pending:
+                return
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise FutureTimeoutError(
+                        f"{len(pending)} job(s) still pending after {timeout}s"
+                    )
+            head = pending[0]
+            head._ensure_pumpable()
+            if head._core is not None and not head.done():
+                head._core.pump(remaining)
+
+    def wait(
+        self,
+        timeout: float | None = None,
+        return_when: str = ALL_COMPLETED,
+    ) -> tuple[list[PricingFuture], list[PricingFuture]]:
+        """Block until the policy is met; return ``(done, not_done)`` lists."""
+        if return_when not in (ALL_COMPLETED, FIRST_COMPLETED, FIRST_EXCEPTION):
+            raise ValuationError(
+                f"unknown return_when {return_when!r}; use ALL_COMPLETED, "
+                f"FIRST_COMPLETED or FIRST_EXCEPTION"
+            )
+
+        def _satisfied(done_futures: list[PricingFuture]) -> bool:
+            if not done_futures:
+                return False
+            if return_when == FIRST_COMPLETED:
+                return True
+            if return_when == FIRST_EXCEPTION:
+                return any(
+                    future.cancelled() or future._error is not None
+                    for future in done_futures
+                ) or len(done_futures) == len(self._unique())
+            return len(done_futures) == len(self._unique())
+
+        done_list: list[PricingFuture] = []
+        try:
+            for future in self.as_completed(timeout):
+                done_list.append(future)
+                if _satisfied(done_list):
+                    break
+        except FutureTimeoutError:
+            pass
+        not_done = [future for future in self._unique() if not future.done()]
+        done_list = [future for future in self._unique() if future.done()]
+        return done_list, not_done
+
+    def cancel(self) -> int:
+        """Cancel every future still cancellable; returns how many were."""
+        return sum(1 for future in self._unique() if future.cancel())
+
+    def results(self) -> list[dict[str, Any] | None]:
+        """Every result in submission order (pumps to completion; may raise)."""
+        return [future.result() for future in self._futures]
+
+    def prices(self) -> list[float]:
+        """Every price in submission order (pumps to completion; may raise)."""
+        return [future.price() for future in self._futures]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"JobSet({len(self._futures)} futures, {self.n_done} done)"
+
+
+class _StreamCore:
+    """Routes one :class:`ScheduleStream`'s events to their futures.
+
+    The session builds a core per campaign with the member map of coalesced
+    :class:`~repro.pricing.batch.ProblemBatch` super-jobs, the progress
+    callback and the cancellation token; the core owns nothing else -- final
+    report assembly stays in the session via ``finalize_cb``.
+    """
+
+    def __init__(
+        self,
+        stream: "ScheduleStream | None",
+        futures: Mapping[int, PricingFuture],
+        batch_members: Mapping[int, tuple[int, ...]] | None = None,
+        total: int | None = None,
+        progress: Callable[[StreamProgress], None] | None = None,
+        cancel: CancelToken | None = None,
+        finalize_cb: Callable[..., "RunResult"] | None = None,
+    ):
+        self._stream = stream
+        self._futures = dict(futures)
+        self._batch_members = dict(batch_members or {})
+        self._progress = progress
+        self._cancel = cancel
+        self._finalize_cb = finalize_cb
+        self._run_result: "RunResult | None" = None
+        self._total = total if total is not None else len(self._futures)
+        self._n_reported = 0
+        # cache hits were resolved before the stream existed: report them
+        for future in list(self._futures.values()):
+            if future.done():
+                self._n_reported += 1
+                self._report(future)
+
+    # -- bookkeeping -------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        return self._stream is None or self._stream.remaining == 0
+
+    @property
+    def finished(self) -> bool:
+        """Whether the campaign was fully assembled (backend finalized)."""
+        return self._run_result is not None
+
+    def attach(self, futures: Mapping[int, PricingFuture]) -> None:
+        for future in futures.values():
+            future._core = self
+
+    def _report(self, future: PricingFuture, cancelled: bool = False) -> None:
+        if self._progress is None:
+            return
+        self._progress(
+            StreamProgress(
+                done=self._n_reported,
+                total=self._total,
+                job_id=future.job_id,
+                label=future.label,
+                result=future.price_result(),
+                error=future._error,
+                cancelled=cancelled,
+            )
+        )
+
+    def _resolve_future(
+        self, job_id: int, result: dict[str, Any] | None, error: str | None
+    ) -> list[PricingFuture]:
+        future = self._futures.get(job_id)
+        if future is None or future.done():
+            return []
+        future._resolve(result, error)
+        self._n_reported += 1
+        self._report(future)
+        return [future]
+
+    def _resolve_completed(self, done: "CompletedJob") -> list[PricingFuture]:
+        members = self._batch_members.get(done.job_id)
+        if members is None:
+            return self._resolve_future(done.job_id, done.result, done.error)
+        resolved: list[PricingFuture] = []
+        result = done.result
+        if isinstance(result, dict) and result.get("batch"):
+            entries = result.get("results", {})
+            for member in members:
+                entry = entries.get(str(member), entries.get(member))
+                if isinstance(entry, dict) and "error" in entry:
+                    resolved += self._resolve_future(member, None, entry["error"])
+                else:
+                    resolved += self._resolve_future(member, entry, None)
+        else:
+            # failed (or payload-less) batch job: propagate to every member
+            for member in members:
+                resolved += self._resolve_future(member, result, done.error)
+        return resolved
+
+    # -- cancellation ------------------------------------------------------------
+    def cancel_job(self, job_id: int) -> bool:
+        if self._stream is None:
+            return False
+        # a batch member cannot be withdrawn alone: its super-job may carry
+        # siblings that were not cancelled
+        for members in self._batch_members.values():
+            if job_id in members:
+                return False
+        return self._stream.cancel_job(job_id)
+
+    def _apply_cancel_token(self) -> None:
+        if self._cancel is None or not self._cancel.cancelled:
+            return
+        if self._stream is None:
+            return
+        for job in self._stream.cancel_pending():
+            for member in self._batch_members.get(job.job_id, (job.job_id,)):
+                future = self._futures.get(member)
+                if future is not None and not future.done():
+                    future._mark_cancelled()
+                    self._n_reported += 1
+                    self._report(future, cancelled=True)
+
+    # -- pumping -----------------------------------------------------------------
+    def pump(self, timeout: float | None = None) -> list[PricingFuture]:
+        """Collect one event from the stream; return the futures it resolved."""
+        self._apply_cancel_token()
+        if self.exhausted:
+            return []
+        assert self._stream is not None
+        try:
+            done = self._stream.collect_next(timeout)
+        except CollectTimeoutError as exc:
+            raise FutureTimeoutError(str(exc)) from exc
+        resolved = self._resolve_completed(done)
+        if self.exhausted and self._finalize_cb is not None:
+            # the last event was just collected: stop the workers and
+            # finalize the backend now, so campaigns drained through
+            # futures/iteration alone never leak worker processes
+            self.finish()
+        return resolved
+
+    def pump_until(self, future: PricingFuture, timeout: float | None = None) -> None:
+        """Pump the stream until ``future`` resolves -- never a full gather."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not future.done():
+            if self.exhausted:
+                raise ValuationError(
+                    f"stream exhausted but job {future.job_id} never resolved"
+                )
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise FutureTimeoutError(
+                        f"job {future.job_id} still pending after {timeout}s"
+                    )
+            self.pump(remaining)
+
+    def drain(self) -> None:
+        while not self.exhausted:
+            self.pump()
+
+    def finish(self) -> "RunResult":
+        """Drain the stream and assemble the final submission-ordered result."""
+        if self._run_result is not None:
+            return self._run_result
+        self.drain()
+        if self._run_result is not None:
+            # the drain's last pump auto-finished the campaign already
+            return self._run_result
+        outcome = None
+        cancelled: list["Job"] = []
+        if self._stream is not None:
+            outcome = self._stream.finish()
+            cancelled = self._stream.cancelled_jobs
+        assert self._finalize_cb is not None
+        self._run_result = self._finalize_cb(outcome, cancelled)
+        return self._run_result
+
+
+class StreamingRun:
+    """A live streaming valuation, as returned by :meth:`ValuationSession.stream`.
+
+    Iterating yields one :class:`~repro.api.results.PriceResult` per position
+    **in completion order** (positions that failed or carry no price -- the
+    simulated backend is timing-only -- are counted but not yielded).  After
+    iteration, :meth:`result` returns the deterministic, submission-ordered
+    :class:`~repro.api.results.RunResult`; calling :meth:`result` early
+    simply drains the rest synchronously.
+    """
+
+    def __init__(self, core: _StreamCore, jobs: JobSet):
+        self._core = core
+        self._jobs = jobs
+
+    @property
+    def jobs(self) -> JobSet:
+        """The underlying futures, for ``as_completed``/``wait`` access."""
+        return self._jobs
+
+    @property
+    def n_total(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def n_done(self) -> int:
+        return self._jobs.n_done
+
+    def __iter__(self) -> Iterator[PriceResult]:
+        for future in self._jobs.as_completed():
+            result = future.price_result()
+            if result is not None:
+                yield result
+
+    def cancel(self) -> int:
+        """Withdraw every position still queued master-side."""
+        return self._jobs.cancel()
+
+    def result(self) -> "RunResult":
+        """Drain outstanding work and return the submission-ordered result."""
+        return self._core.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"StreamingRun({self.n_done}/{self.n_total} collected)"

@@ -61,6 +61,8 @@ class PriceResult(ValuationResult):
     delta: float | None = None
     label: str | None = None
     method: str | None = None
+    #: submission-order job id, set on results streamed out of a portfolio run
+    job_id: int | None = None
     raw: "PricingResult | None" = field(default=None, compare=False, repr=False)
 
     @classmethod
@@ -74,6 +76,24 @@ class PriceResult(ValuationResult):
             label=label,
             method=method,
             raw=result,
+        )
+
+    @classmethod
+    def from_dict(
+        cls,
+        result: dict[str, Any],
+        label: str | None = None,
+        method: str | None = None,
+        job_id: int | None = None,
+    ) -> "PriceResult":
+        """Build from a worker's plain result dictionary (streaming path)."""
+        return cls(
+            price=result["price"],
+            std_error=result.get("std_error"),
+            delta=result.get("delta"),
+            label=label,
+            method=method,
+            job_id=job_id,
         )
 
     @property
@@ -105,6 +125,7 @@ class PriceResult(ValuationResult):
             "delta": self.delta,
             "label": self.label,
             "method": self.method,
+            "job_id": self.job_id,
         }
 
 

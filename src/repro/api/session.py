@@ -1,10 +1,9 @@
 """The :class:`ValuationSession` facade -- one typed entry point for the stack.
 
 The paper's workflow is *build a Premia-style problem, serialize it,
-distribute it over a master/worker cluster, collect speedup tables*.  Before
-this module, each step was a separate free function with positional
-backend/strategy/scheduler plumbing; a session bundles the choices once and
-exposes the whole workflow as methods::
+distribute it over a master/worker cluster, collect speedup tables*.  A
+session bundles the backend/strategy/scheduler choices once and exposes the
+whole workflow as methods::
 
     from repro.api import ValuationSession
 
@@ -15,9 +14,20 @@ exposes the whole workflow as methods::
                                           "volatility": 0.2},
                             option_params={"strike": 100, "maturity": 1.0})
     run     = session.run(portfolio)                       # -> RunResult
+    for price in session.stream(portfolio):                # completion order
+        ...
     sweep   = session.sweep(portfolio, cpu_counts=[2, 4, 8])  # -> SweepResult
     tables  = session.compare(portfolio, cpu_counts=[2, 4])   # -> ComparisonResult
-    handles = session.submit_many(problems)                # -> [JobHandle, ...]
+    futures = session.submit_many(problems)                # -> JobSet of futures
+
+Since the streaming redesign, **every execution path flows through the
+incremental master loop** (:class:`~repro.core.scheduler.ScheduleStream`):
+``submit_many`` returns real :class:`~repro.api.futures.PricingFuture`
+objects whose ``result()`` pumps the loop only until that job answers,
+``stream`` yields results in completion order, and the synchronous ``run``
+is a thin drain over the same pipeline.  Cache hits resolve their futures
+immediately; coalesced :class:`~repro.pricing.batch.ProblemBatch` super-jobs
+resolve every member future when the batch is collected.
 
 The legacy free functions in :mod:`repro.core.runner` still exist as thin
 shims delegating here, so both spellings stay equivalent.
@@ -25,10 +35,19 @@ shims delegating here, so both spellings stay equivalent.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.api.config import BackendSpec, RunConfig, SweepConfig
+from repro.api.futures import (
+    CancelToken,
+    JobSet,
+    PricingFuture,
+    StreamingRun,
+    StreamProgress,
+    _StreamCore,
+)
 from repro.api.results import ComparisonResult, PriceResult, RunResult, SweepResult
 from repro.cluster.backends import Job, WorkerBackend, create_backend
 from repro.cluster.costmodel import CostModel, paper_cost_model
@@ -44,6 +63,9 @@ from repro.pricing.engine import PricingProblem
 from repro.serial import serialize
 
 __all__ = ["ValuationSession", "JobHandle"]
+
+#: backward-compatible name: handles *are* futures since the streaming redesign
+JobHandle = PricingFuture
 
 #: backend names whose workers execute payloads in this process tree and can
 #: therefore share an on-disk result cache via the ``cache_dir`` option
@@ -65,64 +87,25 @@ def _coerce_cache(cache: "ResultCache | str | Path | bool | None") -> ResultCach
         f"got {type(cache).__name__}"
     )
 
-#: sentinel distinguishing "not yet computed" from a ``None`` result
-_UNRESOLVED = object()
 
+@dataclass
+class _RunPlan:
+    """Everything one campaign needs, prepared before anything executes."""
 
-class JobHandle:
-    """Deferred result of one problem submitted with :meth:`ValuationSession.submit_many`.
-
-    Handles resolve lazily: reading :meth:`result` (or :meth:`error`) on an
-    unresolved handle triggers :meth:`ValuationSession.gather` on the owning
-    session, which values every pending submission as one batch.
-    """
-
-    __slots__ = ("job_id", "label", "_session", "_result", "_error")
-
-    def __init__(self, job_id: int, label: str | None, session: "ValuationSession"):
-        self.job_id = job_id
-        self.label = label
-        self._session = session
-        self._result: Any = _UNRESOLVED
-        self._error: str | None = None
-
-    def done(self) -> bool:
-        """Whether the batch containing this handle has been executed."""
-        return self._result is not _UNRESOLVED
-
-    def result(self) -> dict[str, Any] | None:
-        """The worker's result dictionary (``None`` for timing-only backends).
-
-        Raises :class:`ValuationError` if the job failed on the worker.
-        """
-        if not self.done():
-            self._session.gather()
-        if self._error is not None:
-            raise ValuationError(f"job {self.job_id} failed: {self._error}")
-        return self._result
-
-    def price(self) -> float:
-        """Shortcut to the job's price; raises if the run was timing-only."""
-        result = self.result()
-        if result is None or "price" not in result:
-            raise ValuationError(
-                f"job {self.job_id} returned no price (timing-only backend?)"
-            )
-        return result["price"]
-
-    def error(self) -> str | None:
-        """The worker-side error message, or ``None``."""
-        if not self.done():
-            self._session.gather()
-        return self._error
-
-    def _resolve(self, result: dict[str, Any] | None, error: str | None) -> None:
-        self._result = result
-        self._error = error
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
-        state = "pending" if not self.done() else ("error" if self._error else "done")
-        return f"JobHandle(job_id={self.job_id}, label={self.label!r}, {state})"
+    backend: WorkerBackend
+    executing: bool
+    strategy_name: str
+    #: jobs to dispatch (cache hits removed, batches coalesced)
+    jobs: list[Job]
+    #: submission-ordered ids of every position (pre-coalescing, pre-cache)
+    original_ids: list[int]
+    n_total: int
+    problem_by_id: dict[int, PricingProblem]
+    cached_results: dict[int, dict[str, Any]] = field(default_factory=dict)
+    digests: dict[int, str] = field(default_factory=dict)
+    batch_members: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    run_cache: ResultCache | None = None
+    portfolio: Portfolio | None = None
 
 
 class ValuationSession:
@@ -146,7 +129,9 @@ class ValuationSession:
         ``None`` (Robin-Hood), a scheduler name from
         :data:`~repro.core.scheduler.SCHEDULERS`, a
         :class:`~repro.core.scheduler.Scheduler` instance, or a zero-argument
-        factory returning fresh schedulers.
+        factory returning fresh schedulers.  Streaming (``stream``,
+        ``submit_many``) needs a scheduler with incremental collection --
+        currently Robin-Hood, the default.
     cost_model:
         :class:`~repro.cluster.costmodel.CostModel` used to estimate per-job
         compute costs when building jobs from portfolios / submissions
@@ -197,7 +182,9 @@ class ValuationSession:
         self.comm = comm
         self.comm_factory = comm_factory
         self._cache = _coerce_cache(cache)
-        self._pending: list[tuple[PricingProblem, JobHandle, str]] = []
+        self._pending: list[tuple[PricingProblem, PricingFuture, str]] = []
+        self._pending_by_digest: dict[str, PricingFuture] = {}
+        self._active_cores: list[_StreamCore] = []
         self._next_job_id = 0
         self._validate()
 
@@ -276,7 +263,7 @@ class ValuationSession:
             extra["cache_dir"] = str(cache.directory)
         return self._backend_spec.create(strategy=strategy_name, **extra)
 
-    # -- the engine --------------------------------------------------------------
+    # -- the synchronous engine (non-streaming schedulers, sweeps) ---------------
     def _execute_jobs(
         self,
         jobs: Sequence[Job],
@@ -284,10 +271,11 @@ class ValuationSession:
         strategy: str | TransmissionStrategy | None,
         scheduler: Scheduler | None = None,
     ) -> RunReport:
-        """Dispatch ``jobs``, check completeness and normalise the report.
+        """Dispatch ``jobs`` run-to-completion, check and normalise the report.
 
-        This is the single execution path of the whole package: the legacy
-        :func:`repro.core.runner.run_jobs` delegates here.
+        Sweeps and the non-streaming schedulers (static block, chunked) go
+        through here; everything else flows through the streaming pipeline of
+        :meth:`_make_core`.
         """
         chosen = strategy if strategy is not None else self.strategy
         strategy_obj = get_strategy(chosen) if isinstance(chosen, str) else chosen
@@ -384,6 +372,189 @@ class ValuationSession:
             result, label=problem.label, method=problem.method_name
         )
 
+    # -- campaign preparation ----------------------------------------------------
+    def _prepare_plan(
+        self,
+        jobs: list[Job],
+        problem_by_id: dict[int, PricingProblem],
+        *,
+        strategy_name: str,
+        batch: bool,
+        batch_group_size: int | None,
+        run_cache: ResultCache | None,
+        backend: WorkerBackend,
+        portfolio: Portfolio | None,
+        cost_model: CostModel | None = None,
+    ) -> _RunPlan:
+        """Apply the cache pass and batch coalescing to a prepared job list."""
+        if not jobs:
+            raise SchedulingError("cannot schedule an empty job list")
+        executing = getattr(backend, "requires_payload", True)
+        if batch and strategy_name == "nfs" and executing:
+            raise ValuationError(
+                "batch=True cannot be combined with the nfs strategy on an "
+                "executing backend: coalesced batch jobs have no per-position "
+                "problem files"
+            )
+        plan = _RunPlan(
+            backend=backend,
+            executing=executing,
+            strategy_name=strategy_name,
+            jobs=list(jobs),
+            original_ids=[job.job_id for job in jobs],
+            n_total=len(jobs),
+            problem_by_id=problem_by_id,
+            run_cache=run_cache,
+            portfolio=portfolio,
+        )
+
+        # cache pass: positions already priced never reach the backend
+        if run_cache is not None and executing:
+            for job in plan.jobs:
+                problem = problem_by_id.get(job.job_id)
+                if problem is None:
+                    continue
+                digest = problem_digest(problem)
+                plan.digests[job.job_id] = digest
+                hit = run_cache.get(digest)
+                if hit is not None:
+                    entry = hit.as_dict()
+                    entry["cache_hit"] = True
+                    plan.cached_results[job.job_id] = entry
+            if plan.cached_results:
+                plan.jobs = [
+                    job for job in plan.jobs if job.job_id not in plan.cached_results
+                ]
+
+        if batch:
+            plan.jobs, plan.batch_members = self._coalesce_jobs(
+                plan.jobs, problem_by_id, batch_group_size,
+                cost_model or self.cost_model,
+            )
+        return plan
+
+    def _make_core(
+        self,
+        plan: _RunPlan,
+        scheduler: Scheduler,
+        strategy: str | TransmissionStrategy | None,
+        progress: Callable[[StreamProgress], None] | None = None,
+        cancel: CancelToken | None = None,
+    ) -> tuple[_StreamCore, JobSet]:
+        """Build the streaming core and fresh futures for a prepared plan."""
+        futures: dict[int, PricingFuture] = {}
+        for job_id in plan.original_ids:
+            problem = plan.problem_by_id.get(job_id)
+            futures[job_id] = PricingFuture(
+                job_id,
+                label=getattr(problem, "label", None),
+                method=getattr(problem, "method_name", None),
+            )
+        core = self._attach_campaign(
+            plan, futures, runner=scheduler, strategy=strategy,
+            progress=progress, cancel=cancel,
+        )
+        return core, JobSet([futures[job_id] for job_id in plan.original_ids])
+
+    def _assemble_run_result(
+        self,
+        plan: _RunPlan,
+        dispatched: list[Job],
+        outcome: Any,
+        cancelled_jobs: list[Job],
+    ) -> RunResult:
+        """Fold a drained stream back into a deterministic :class:`RunResult`."""
+        if outcome is not None:
+            if len(outcome.completed) + len(cancelled_jobs) != len(dispatched):
+                raise SchedulingError(
+                    f"stream collected {len(outcome.completed)} results for "
+                    f"{len(dispatched)} dispatched jobs "
+                    f"({len(cancelled_jobs)} cancelled)"
+                )
+            report = RunReport.from_outcome(outcome, dispatched, plan.strategy_name)
+        else:
+            # every position was answered from the cache: nothing to dispatch
+            stats = plan.backend.finalize()
+            report = RunReport(
+                n_jobs=0,
+                n_workers=stats.n_workers,
+                strategy=plan.strategy_name,
+                scheduler="cache",
+                total_time=stats.total_time,
+                master_busy=stats.master_busy,
+                worker_busy=dict(stats.worker_busy),
+                bytes_sent=stats.bytes_sent,
+            )
+        return self._postprocess_report(report, plan, cancelled_jobs)
+
+    def _postprocess_report(
+        self, report: RunReport, plan: _RunPlan, cancelled_jobs: Sequence[Job] = ()
+    ) -> RunResult:
+        """Expand batches, merge cache hits, mark cancellations, fix ordering."""
+        if plan.batch_members:
+            report = self._expand_batch_report(report, plan.batch_members)
+        for job in cancelled_jobs:
+            for member in plan.batch_members.get(job.job_id, (job.job_id,)):
+                report.results[member] = None
+                report.errors[member] = "cancelled before dispatch"
+        if plan.cached_results:
+            report.results.update(plan.cached_results)
+            report.n_jobs = plan.n_total
+        # deterministic submission ordering, whatever order results landed in
+        report.results = {
+            job_id: report.results[job_id]
+            for job_id in plan.original_ids
+            if job_id in report.results
+        }
+        report.errors = {
+            job_id: report.errors[job_id]
+            for job_id in plan.original_ids
+            if job_id in report.errors
+        }
+        if plan.run_cache is not None and plan.executing:
+            self._store_run_results(plan.run_cache, report, plan.digests)
+        return RunResult(report=report, portfolio=plan.portfolio)
+
+    def _source_plan(
+        self,
+        source: Portfolio | Sequence[Job],
+        *,
+        strategy_name: str,
+        batch: bool,
+        batch_group_size: int | None,
+        run_cache: ResultCache | None,
+        store: Any,
+        attach_problems: bool | None,
+        cost_model: CostModel | None,
+    ) -> _RunPlan:
+        """Build the campaign plan for a portfolio or prepared job list."""
+        backend = self._acquire_backend(strategy_name, cache=run_cache)
+        if isinstance(source, Portfolio):
+            if batch and attach_problems is None and store is None:
+                attach_problems = True  # batch execution ships the problems
+            jobs = self._portfolio_jobs(source, backend, store, attach_problems, cost_model)
+            portfolio: Portfolio | None = source
+            problem_by_id = {
+                job.job_id: position.problem for job, position in zip(jobs, source)
+            }
+        else:
+            jobs = list(source)
+            portfolio = None
+            problem_by_id = {
+                job.job_id: job.problem for job in jobs if job.problem is not None
+            }
+        return self._prepare_plan(
+            jobs,
+            problem_by_id,
+            strategy_name=strategy_name,
+            batch=batch,
+            batch_group_size=batch_group_size,
+            run_cache=run_cache,
+            backend=backend,
+            portfolio=portfolio,
+            cost_model=cost_model,
+        )
+
     # -- portfolio runs ----------------------------------------------------------
     def run(
         self,
@@ -397,16 +568,21 @@ class ValuationSession:
         batch: bool | None = None,
         batch_group_size: int | None = None,
         cache: bool | None = None,
+        progress: Callable[[StreamProgress], None] | None = None,
+        cancel: CancelToken | None = None,
     ) -> RunResult:
         """Value a portfolio (or a prepared job list) on the session backend.
 
-        ``batch=True`` coalesces positions with equal simulation signatures
-        into shared-path :class:`~repro.pricing.batch.ProblemBatch` jobs
-        (executing backends only); prices are bit-identical to the unbatched
-        run.  With a session cache (or ``cache=True`` routed through
-        :class:`~repro.api.config.RunConfig`), positions whose digest is
-        already stored skip dispatch entirely and fresh results are stored
-        back after the run.
+        A thin synchronous wrapper over the streaming core: the whole
+        campaign is streamed through the incremental master loop and drained
+        to completion.  ``batch=True`` coalesces positions with equal
+        simulation signatures into shared-path
+        :class:`~repro.pricing.batch.ProblemBatch` jobs; prices are
+        bit-identical to the unbatched run (on the simulated backend the
+        batch-aware cost model prices one shared simulation per group).
+        ``progress`` is called once per collected position; ``cancel`` (a
+        :class:`CancelToken`) withdraws still-queued positions, which the
+        result marks as ``"cancelled before dispatch"`` errors.
         """
         cost_model: CostModel | None = None
         if config is not None:
@@ -422,83 +598,100 @@ class ValuationSession:
                 batch_group_size = config.batch_group_size
             if cache is None:
                 cache = config.cache
+            if progress is None:
+                progress = config.progress
+            if cancel is None:
+                cancel = config.cancel
         batch = bool(batch)
         run_cache = self._resolve_run_cache(cache)
         strategy_name = self._strategy_name(strategy)
-        if batch and strategy_name == "nfs":
-            raise ValuationError(
-                "batch=True cannot be combined with the nfs strategy: "
-                "coalesced batch jobs have no per-position problem files"
+        runner = scheduler or self._new_scheduler()
+        if not getattr(runner, "supports_streaming", False):
+            # legacy run-to-completion path for static/chunked scheduling
+            if progress is not None or cancel is not None:
+                raise ValuationError(
+                    f"progress/cancel need a streaming scheduler; "
+                    f"{runner.name!r} runs to completion"
+                )
+            plan = self._source_plan(
+                source,
+                strategy_name=strategy_name,
+                batch=batch,
+                batch_group_size=batch_group_size,
+                run_cache=run_cache,
+                store=store,
+                attach_problems=attach_problems,
+                cost_model=cost_model,
             )
-        backend = self._acquire_backend(strategy_name, cache=run_cache)
-        executing = getattr(backend, "requires_payload", True)
-        if batch and not executing:
-            raise ValuationError(
-                "batch=True needs an executing backend (local/multiprocessing); "
-                "the simulated backend prices jobs from the cost model and "
-                "never runs the shared-path engine"
-            )
-        if isinstance(source, Portfolio):
-            if batch and attach_problems is None and store is None:
-                attach_problems = True  # batch planning needs the problems
-            jobs = self._portfolio_jobs(source, backend, store, attach_problems, cost_model)
-            portfolio: Portfolio | None = source
-            problem_by_id = {
-                job.job_id: position.problem for job, position in zip(jobs, source)
-            }
-        else:
-            jobs = list(source)
-            portfolio = None
-            problem_by_id = {
-                job.job_id: job.problem for job in jobs if job.problem is not None
-            }
-        n_jobs_total = len(jobs)
+            if not plan.jobs:  # every position answered from the cache
+                return self._assemble_run_result(plan, [], None, [])
+            report = self._execute_jobs(plan.jobs, plan.backend, strategy, runner)
+            return self._postprocess_report(report, plan)
+        plan = self._source_plan(
+            source,
+            strategy_name=strategy_name,
+            batch=batch,
+            batch_group_size=batch_group_size,
+            run_cache=run_cache,
+            store=store,
+            attach_problems=attach_problems,
+            cost_model=cost_model,
+        )
+        core, _ = self._make_core(plan, runner, strategy, progress, cancel)
+        return core.finish()
 
-        # cache pass: positions already priced never reach the backend
-        cached_results: dict[int, dict[str, Any]] = {}
-        digests: dict[int, str] = {}
-        if run_cache is not None and executing:
-            for job in jobs:
-                problem = problem_by_id.get(job.job_id)
-                if problem is None:
-                    continue
-                digest = problem_digest(problem)
-                digests[job.job_id] = digest
-                hit = run_cache.get(digest)
-                if hit is not None:
-                    entry = hit.as_dict()
-                    entry["cache_hit"] = True
-                    cached_results[job.job_id] = entry
-            if cached_results:
-                jobs = [job for job in jobs if job.job_id not in cached_results]
+    def stream(
+        self,
+        source: Portfolio | Sequence[Job],
+        *,
+        strategy: str | TransmissionStrategy | None = None,
+        store: Any = None,
+        attach_problems: bool | None = None,
+        config: RunConfig | None = None,
+        batch: bool | None = None,
+        batch_group_size: int | None = None,
+        cache: bool | None = None,
+        progress: Callable[[StreamProgress], None] | None = None,
+        cancel: CancelToken | None = None,
+    ) -> StreamingRun:
+        """Value a portfolio incrementally, yielding results as they land.
 
-        batch_members: dict[int, tuple[int, ...]] = {}
-        if batch:
-            jobs, batch_members = self._coalesce_jobs(jobs, problem_by_id, batch_group_size)
-
-        if jobs or not cached_results:
-            report = self._execute_jobs(jobs, backend, strategy, scheduler)
-        else:
-            # every position was answered from the cache: nothing to dispatch
-            stats = backend.finalize()
-            report = RunReport(
-                n_jobs=0,
-                n_workers=stats.n_workers,
-                strategy=strategy_name,
-                scheduler="cache",
-                total_time=stats.total_time,
-                master_busy=stats.master_busy,
-                worker_busy=dict(stats.worker_busy),
-                bytes_sent=stats.bytes_sent,
-            )
-        if batch_members:
-            report = self._expand_batch_report(report, batch_members)
-        if cached_results:
-            report.results.update(cached_results)
-            report.n_jobs = n_jobs_total
-        if run_cache is not None and executing:
-            self._store_run_results(run_cache, report, digests)
-        return RunResult(report=report, portfolio=portfolio)
+        Returns a :class:`~repro.api.futures.StreamingRun`: iterate it for
+        one :class:`PriceResult` per position **in completion order** (the
+        paper's master collecting from any source), then call
+        :meth:`~repro.api.futures.StreamingRun.result` for the deterministic
+        submission-ordered :class:`RunResult` -- bit-identical to what the
+        synchronous :meth:`run` returns for the same inputs.  The underlying
+        :class:`~repro.api.futures.JobSet` is reachable as ``.jobs`` for
+        ``as_completed()`` / ``wait()`` access to individual futures.
+        """
+        if config is not None:
+            strategy = strategy if strategy is not None else config.strategy
+            if attach_problems is None:
+                attach_problems = config.attach_problems
+            if batch is None:
+                batch = config.batch
+            if batch_group_size is None:
+                batch_group_size = config.batch_group_size
+            if cache is None:
+                cache = config.cache
+            if progress is None:
+                progress = config.progress
+            if cancel is None:
+                cancel = config.cancel
+        runner = self._new_scheduler()
+        plan = self._source_plan(
+            source,
+            strategy_name=self._strategy_name(strategy),
+            batch=bool(batch),
+            batch_group_size=batch_group_size,
+            run_cache=self._resolve_run_cache(cache),
+            store=store,
+            attach_problems=attach_problems,
+            cost_model=config.cost_model if config is not None else None,
+        )
+        core, jobs = self._make_core(plan, runner, strategy, progress, cancel)
+        return StreamingRun(core, jobs)
 
     # -- batch & cache helpers ---------------------------------------------------
     def _resolve_run_cache(self, cache: bool | None) -> ResultCache | None:
@@ -516,8 +709,10 @@ class ValuationSession:
         jobs: list[Job],
         problem_by_id: Mapping[int, PricingProblem],
         batch_group_size: int | None,
+        cost_model: CostModel | None = None,
     ) -> tuple[list[Job], dict[int, tuple[int, ...]]]:
         """Merge shared-simulation jobs into :class:`ProblemBatch` super-jobs."""
+        model = cost_model or self.cost_model
         plan = plan_batches(
             [problem_by_id.get(job.job_id) for job in jobs],
             max_group_size=batch_group_size,
@@ -532,14 +727,14 @@ class ValuationSession:
                 member_jobs = [jobs[i] for i in group.indices]
                 problems = [problem_by_id[j.job_id] for j in member_jobs]
                 bundle = ProblemBatch(problems, keys=[j.job_id for j in member_jobs])
-                costs = [j.compute_cost for j in member_jobs]
-                peak = max(costs)
                 super_job = Job(
                     job_id=job.job_id,
                     path=f"/virtual/batch/{batch_digest(bundle)[:16]}.pb",
                     file_size=sum(j.file_size for j in member_jobs),
                     # one shared simulation plus cheap per-member payoff sweeps
-                    compute_cost=peak + 0.02 * (sum(costs) - peak),
+                    compute_cost=model.estimate_batch_jobs(
+                        [j.compute_cost for j in member_jobs]
+                    ),
                     category=job.category,
                     problem=bundle,
                 )
@@ -597,64 +792,206 @@ class ValuationSession:
                 continue
             run_cache.put(digests[job_id], result)
 
-    # -- batch submission --------------------------------------------------------
+    # -- futures-based submission ------------------------------------------------
     def submit_many(
         self,
         problems: Iterable[PricingProblem],
         *,
         category: str = "submitted",
-    ) -> list[JobHandle]:
-        """Queue problems for batched valuation; returns one handle per problem.
+    ) -> JobSet:
+        """Queue problems for valuation; returns a :class:`JobSet` of futures.
 
-        Nothing executes until :meth:`gather` runs (explicitly, or implicitly
-        through the first ``handle.result()`` call), so many ``submit_many``
-        calls coalesce into a single master/worker campaign.
+        Nothing executes until a future is read (or :meth:`gather` runs):
+        the first ``result()`` starts the campaign and pumps the master loop
+        **only until that job answers** -- never a full-batch gather.
+        Several ``submit_many`` calls before the first read coalesce into a
+        single master/worker campaign.
+
+        Duplicate submissions of the same problem (equal
+        :func:`~repro.pricing.cache.problem_digest`) are deduplicated: the
+        same :class:`PricingFuture` object is returned for every duplicate
+        and the problem is priced once.
         """
-        handles: list[JobHandle] = []
+        futures: list[PricingFuture] = []
         for problem in problems:
             if not isinstance(problem, PricingProblem):
                 raise ValuationError(
                     f"submit_many expects PricingProblem items, got {type(problem).__name__}"
                 )
-            handle = JobHandle(self._next_job_id, problem.label, self)
+            digest: str | None
+            try:
+                digest = problem_digest(problem)
+            except Exception:
+                digest = None  # incomplete problems fail later, at job build
+            existing = self._pending_by_digest.get(digest) if digest else None
+            if existing is not None and not existing.done():
+                futures.append(existing)
+                continue
+            future = PricingFuture(
+                self._next_job_id,
+                label=problem.label,
+                method=getattr(problem, "method_name", None),
+                starter=self._start_pending_campaign,
+            )
             self._next_job_id += 1
-            self._pending.append((problem, handle, category))
-            handles.append(handle)
-        return handles
+            self._pending.append((problem, future, category))
+            if digest is not None:
+                self._pending_by_digest[digest] = future
+            futures.append(future)
+        return JobSet(futures)
 
     @property
     def n_pending(self) -> int:
-        """Number of submitted problems not yet gathered."""
+        """Number of submitted problems whose campaign has not started yet."""
         return len(self._pending)
 
-    def gather(self) -> RunResult:
-        """Value every pending submission as one batch and resolve the handles."""
+    def _start_pending_campaign(self) -> None:
+        """Turn the pending submissions into one campaign (lazy)."""
         if not self._pending:
-            raise ValuationError("no pending submissions to gather")
-        # keep the queue intact until the batch succeeds: a failure while
-        # building jobs or running them leaves the handles pending, with the
-        # real exception propagating, instead of stranding them unresolved
-        pending = list(self._pending)
+            return
+        # keep the queue intact until the campaign launches: a failure while
+        # building jobs leaves the futures pending, with the real exception
+        # propagating, instead of stranding them unresolved
+        pending = [
+            (problem, future, category)
+            for problem, future, category in self._pending
+            if not future.cancelled()
+        ]
+        if not pending:
+            # everything was cancelled before anything executed
+            self._pending = []
+            self._pending_by_digest = {}
+            return
         jobs = [
             Job(
-                job_id=handle.job_id,
-                path=f"/virtual/session/{handle.job_id:06d}.pb",
+                job_id=future.job_id,
+                path=f"/virtual/session/{future.job_id:06d}.pb",
                 file_size=serialize(problem).nbytes + 4,
                 compute_cost=self.cost_model.estimate(problem),
                 category=category,
                 problem=problem,
             )
-            for problem, handle, category in pending
+            for problem, future, category in pending
         ]
         strategy_name = self._strategy_name(None)
+        runner = self._new_scheduler()
         backend = self._acquire_backend(strategy_name, cache=self._cache)
-        report = self._execute_jobs(jobs, backend, None)
+        problem_by_id = {future.job_id: problem for problem, future, _ in pending}
+        plan = self._prepare_plan(
+            jobs,
+            problem_by_id,
+            strategy_name=strategy_name,
+            batch=False,
+            batch_group_size=None,
+            run_cache=self._cache,
+            backend=backend,
+            portfolio=None,
+        )
+        futures = {future.job_id: future for _, future, _ in pending}
+        if getattr(runner, "supports_streaming", False):
+            core = self._attach_campaign(plan, futures, runner=runner)
+        else:
+            # non-streaming schedulers (static block, chunked) value the
+            # whole campaign run-to-completion, resolving every future at
+            # once -- the historical gather semantics
+            core = self._run_campaign_synchronously(plan, futures, runner)
         self._pending = []
-        for _, handle, _category in pending:
-            handle._resolve(
-                report.results.get(handle.job_id), report.errors.get(handle.job_id)
+        self._pending_by_digest = {}
+        self._active_cores = [
+            live for live in self._active_cores if not live.finished
+        ]
+        self._active_cores.append(core)
+
+    def _run_campaign_synchronously(
+        self,
+        plan: _RunPlan,
+        futures: dict[int, PricingFuture],
+        runner: Scheduler,
+    ) -> _StreamCore:
+        """Value a campaign with a run-to-completion scheduler."""
+        if plan.jobs:
+            report = self._execute_jobs(plan.jobs, plan.backend, None, runner)
+            result = self._postprocess_report(report, plan)
+        else:
+            result = self._assemble_run_result(plan, [], None, [])
+        core = _StreamCore(None, futures, total=plan.n_total)
+        core.attach(futures)
+        for job_id, future in futures.items():
+            future._resolve(
+                result.report.results.get(job_id), result.report.errors.get(job_id)
             )
-        return RunResult(report=report)
+        core._run_result = result
+        return core
+
+    def _attach_campaign(
+        self,
+        plan: _RunPlan,
+        futures: dict[int, PricingFuture],
+        runner: Scheduler | None = None,
+        strategy: str | TransmissionStrategy | None = None,
+        progress: Callable[[StreamProgress], None] | None = None,
+        cancel: CancelToken | None = None,
+    ) -> _StreamCore:
+        """Wire futures onto a prepared plan and open the schedule stream."""
+        runner = runner or self._new_scheduler()
+        if not getattr(runner, "supports_streaming", False):
+            raise SchedulingError(
+                f"scheduler {runner.name!r} does not support streaming "
+                f"collection; use robin_hood (the default)"
+            )
+        # cache hits resolve immediately -- they never enter the stream
+        for job_id, entry in plan.cached_results.items():
+            futures[job_id]._resolve(entry, None)
+        chosen = strategy if strategy is not None else plan.strategy_name
+        strategy_obj = get_strategy(chosen) if isinstance(chosen, str) else chosen
+        dispatched = list(plan.jobs)
+        stream = (
+            runner.stream(dispatched, plan.backend, strategy_obj)
+            if dispatched
+            else None
+        )
+
+        def _finalize(outcome: Any, cancelled_jobs: list[Job]) -> RunResult:
+            return self._assemble_run_result(plan, dispatched, outcome, cancelled_jobs)
+
+        core = _StreamCore(
+            stream,
+            futures,
+            batch_members=plan.batch_members,
+            total=plan.n_total,
+            progress=progress,
+            cancel=cancel,
+            finalize_cb=_finalize,
+        )
+        core.attach(futures)
+        if stream is None:
+            # nothing to dispatch (every position answered from the cache):
+            # finalize the backend right away instead of waiting for a
+            # result()/gather() that may never come
+            core.finish()
+        return core
+
+    def gather(self) -> RunResult:
+        """Drain every submitted problem and return the campaign's result.
+
+        Starts the pending campaign if none is live, then drains the active
+        streams to completion.  With several interleaved campaigns, the
+        result of the most recent one is returned (every campaign is still
+        drained, so all futures resolve).
+        """
+        if not self._pending and not self._active_cores:
+            raise ValuationError("no pending submissions to gather")
+        self._start_pending_campaign()
+        if not self._active_cores:
+            raise ValuationError(
+                "every pending submission was cancelled before gathering"
+            )
+        result: RunResult | None = None
+        for core in self._active_cores:
+            result = core.finish()
+        self._active_cores = []
+        assert result is not None
+        return result
 
     # -- sweeps and comparisons --------------------------------------------------
     def sweep(
@@ -668,6 +1005,8 @@ class ValuationSession:
         comm: CommunicationModel | None = None,
         comm_factory: Callable[[], CommunicationModel] | None = None,
         config: SweepConfig | None = None,
+        batch: bool | None = None,
+        batch_group_size: int | None = None,
     ) -> SweepResult:
         """Simulate the same workload over several cluster sizes.
 
@@ -678,6 +1017,10 @@ class ValuationSession:
         an independent cold run built by ``comm_factory`` when provided, or
         by :meth:`CommunicationModel.cold_copy` otherwise -- either way any
         customised NFS settings are preserved.
+
+        ``batch=True`` coalesces shared-simulation families with the
+        batch-aware cost model (one shared path simulation plus per-member
+        payoff sweeps), regenerating the paper's tables "with batching".
         """
         if config is not None:
             cpu_counts = cpu_counts if cpu_counts is not None else config.cpu_counts
@@ -685,12 +1028,16 @@ class ValuationSession:
             if share_nfs_cache is None:
                 share_nfs_cache = config.share_nfs_cache
             label = label or config.label
+            if batch is None:
+                batch = config.batch
+            if batch_group_size is None:
+                batch_group_size = config.batch_group_size
         if share_nfs_cache is None:
             share_nfs_cache = True
         if not cpu_counts:
             raise SchedulingError("cpu_counts must not be empty")
         strategy_name = self._strategy_name(strategy)
-        jobs = self._sweep_jobs(source)
+        jobs = self._sweep_jobs(source, batch=bool(batch), batch_group_size=batch_group_size)
         comm_factory = comm_factory or self.comm_factory
         base_comm = comm if comm is not None else self.comm
         if base_comm is None:
@@ -718,15 +1065,18 @@ class ValuationSession:
         strategies: Sequence[str] = STRATEGY_NAMES,
         share_nfs_cache: bool = True,
         comm_factory: Callable[[], CommunicationModel] | None = None,
+        batch: bool = False,
+        batch_group_size: int | None = None,
     ) -> ComparisonResult:
         """Run the CPU-count sweep for several transmission strategies.
 
         Reproduces the full layout of the paper's Tables II and III.  Each
         strategy gets its own communication model (its own NFS cache
-        history), built by ``comm_factory`` when provided.
+        history), built by ``comm_factory`` when provided.  ``batch=True``
+        regenerates the tables with shared-simulation batching.
         """
         comm_factory = comm_factory or self.comm_factory
-        jobs = self._sweep_jobs(source)
+        jobs = self._sweep_jobs(source, batch=batch, batch_group_size=batch_group_size)
         tables: dict[str, Any] = {}
         for strategy in strategies:
             comm = comm_factory() if comm_factory else CommunicationModel()
@@ -741,10 +1091,25 @@ class ValuationSession:
             ).table
         return ComparisonResult(tables)
 
-    def _sweep_jobs(self, source: Portfolio | Sequence[Job]) -> list[Job]:
+    def _sweep_jobs(
+        self,
+        source: Portfolio | Sequence[Job],
+        batch: bool = False,
+        batch_group_size: int | None = None,
+    ) -> list[Job]:
         if isinstance(source, Portfolio):
-            return source.build_jobs(cost_model=self.cost_model)
-        return list(source)
+            jobs = source.build_jobs(cost_model=self.cost_model)
+            problem_by_id = {
+                job.job_id: position.problem for job, position in zip(jobs, source)
+            }
+        else:
+            jobs = list(source)
+            problem_by_id = {
+                job.job_id: job.problem for job in jobs if job.problem is not None
+            }
+        if batch:
+            jobs, _members = self._coalesce_jobs(jobs, problem_by_id, batch_group_size)
+        return jobs
 
     def _simulated_backend(
         self, n_cpus: int, strategy_name: str, comm: CommunicationModel

@@ -67,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="CPU counts to simulate (default: the paper's counts)",
         )
         cmd.add_argument("--strategy", default=None, help="restrict to one strategy")
+        cmd.add_argument(
+            "--batch",
+            action="store_true",
+            help="regenerate the table with shared-simulation batching "
+            "(coalesced families cost one path simulation plus per-member "
+            "payoff sweeps in the simulated cluster)",
+        )
 
     run = sub.add_parser("run", help="value a scaled-down portfolio locally")
     _add_portfolio_args(run)
@@ -98,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="value the portfolio N times (with --cache the repeats are "
         "answered from the cache; useful to measure hit rates)",
     )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-position completion as results land (count + "
+        "running mean std-error), built on session.stream",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="simulate one portfolio over a list of CPU counts"
@@ -120,6 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cold-nfs-cache",
         action="store_true",
         help="give every CPU count an independent cold NFS cache",
+    )
+    sweep.add_argument(
+        "--batch",
+        action="store_true",
+        help="coalesce shared-simulation families before sweeping",
     )
     return parser
 
@@ -188,7 +206,8 @@ def _cmd_table(table: str, args: argparse.Namespace) -> int:
         cpus = args.cpus or [2, 4, 6, 8, 10, 16, 32, 64, 96, 128, 160, 192, 224, 256]
         portfolio = build_regression_portfolio(profile="paper")
         result = session.sweep(
-            portfolio, cpus, strategy=args.strategy or "serialized_load"
+            portfolio, cpus, strategy=args.strategy or "serialized_load",
+            batch=args.batch,
         )
         print(result.format())
         return 0
@@ -200,9 +219,40 @@ def _cmd_table(table: str, args: argparse.Namespace) -> int:
         cpus = args.cpus or [2, 4, 6, 8, 10, 16, 32, 64, 96, 128, 160, 192, 224, 256, 320, 384, 512]
         portfolio = build_realistic_portfolio(profile="paper")
     strategies = [args.strategy] if args.strategy else ["full_load", "nfs", "serialized_load"]
-    comparison = session.compare(portfolio, cpus, strategies=strategies)
+    comparison = session.compare(portfolio, cpus, strategies=strategies, batch=args.batch)
+    if args.batch:
+        print(f"({table} regenerated with shared-simulation batching)")
     print(comparison.format())
     return 0
+
+
+def _run_with_progress(session, portfolio, batch: bool):
+    """Stream a portfolio run, rendering per-position completion lines.
+
+    Results land in completion order (the paper's master collecting from any
+    source); each tick shows the collected count and the running mean
+    standard error over the Monte-Carlo positions seen so far.
+    """
+    streamed = session.stream(portfolio, batch=batch)
+    total = streamed.n_total
+    count = 0
+    se_sum = 0.0
+    se_count = 0
+    for price in streamed:
+        count += 1
+        if price.std_error is not None:
+            se_sum += price.std_error
+            se_count += 1
+        mean_se = f"{se_sum / se_count:.6f}" if se_count else "-"
+        label = price.label or f"job {price.job_id}"
+        print(
+            f"\r  [{count}/{total}] {label:<28.28s} price={price.price:>10.4f} "
+            f"mean stderr={mean_se}",
+            end="",
+            flush=True,
+        )
+    print()
+    return streamed.result()
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -218,7 +268,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     repeats = max(1, args.repeat)
     for iteration in range(repeats):
-        result = session.run(portfolio, batch=args.batch)
+        if args.progress:
+            result = _run_with_progress(session, portfolio, batch=args.batch)
+        else:
+            result = session.run(portfolio, batch=args.batch)
         report = result.report
         prefix = f"[{iteration + 1}/{repeats}] " if repeats > 1 else ""
         print(

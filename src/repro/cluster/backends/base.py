@@ -144,16 +144,37 @@ class WorkerBackend(abc.ABC):
         """
 
     @abc.abstractmethod
-    def collect(self) -> CompletedJob:
+    def collect(self, timeout: float | None = None) -> CompletedJob:
         """Block until any worker returns a result and return it.
 
         Mirrors ``MPI_Probe(-1, -1, ...)`` followed by ``MPI_Recv_Obj``.
-        Raises :class:`ClusterError` if no job is in flight.
+        Raises :class:`ClusterError` if no job is in flight, or (for real
+        backends) if no result arrives within ``timeout`` seconds.  Backends
+        whose results are immediate in their own clock -- the sequential
+        backend, the virtual-time simulator -- ignore ``timeout``.
         """
 
     @abc.abstractmethod
     def finalize(self) -> BackendStats:
         """Stop all workers and return aggregate statistics."""
+
+    # -- incremental collection --------------------------------------------------
+    def poll(self) -> bool:
+        """Whether :meth:`collect` would return immediately (``MPI_Iprobe``).
+
+        ``True`` means a completed result is ready for collection *now*; for
+        the simulated cluster "now" is virtual time, so any in-flight job is
+        collectable (collecting advances the virtual clock to its completion).
+        Never blocks.  The conservative default (``False``) keeps third-party
+        backends correct -- streaming then degrades to blocking collection.
+        """
+        return False
+
+    def try_collect(self) -> CompletedJob | None:
+        """Collect one result if ready, else return ``None``.  Never blocks."""
+        if self.poll():
+            return self.collect()
+        return None
 
     # -- optional hooks ---------------------------------------------------------
     def on_run_start(self, n_jobs: int) -> None:

@@ -69,10 +69,13 @@ class SequentialBackend(WorkerBackend):
             )
         )
 
-    def collect(self) -> CompletedJob:
+    def collect(self, timeout: float | None = None) -> CompletedJob:
         if not self._pending:
             raise ClusterError("no job in flight")
         return self._pending.pop(0)
+
+    def poll(self) -> bool:
+        return bool(self._pending)
 
     def finalize(self) -> BackendStats:
         self._finalized = True

@@ -17,6 +17,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_module
 import time
+from collections import deque
 from typing import Any
 
 from repro.cluster.backends.base import (
@@ -27,7 +28,7 @@ from repro.cluster.backends.base import (
     WorkerBackend,
 )
 from repro.cluster.backends.execution import execute_payload, make_worker_cache
-from repro.errors import ClusterError
+from repro.errors import ClusterError, CollectTimeoutError
 
 __all__ = ["MultiprocessingBackend", "worker_main"]
 
@@ -97,6 +98,9 @@ class MultiprocessingBackend(WorkerBackend):
         self._n_jobs = 0
         self._bytes_sent = 0
         self._busy: dict[int, float] = {i: 0.0 for i in range(self._n_workers)}
+        #: results already pulled off the shared queue by :meth:`poll` but not
+        #: yet handed to the master through :meth:`collect`
+        self._ready: deque[tuple[int, int, Any, float, str | None]] = deque()
         self._start = time.perf_counter()
         self._finalized = False
 
@@ -120,14 +124,17 @@ class MultiprocessingBackend(WorkerBackend):
     def collect(self, timeout: float | None = 300.0) -> CompletedJob:
         if self._in_flight == 0:
             raise ClusterError("no job in flight")
-        try:
-            job_id, worker_id, result, elapsed, error = self._result_queue.get(
-                timeout=timeout
-            )
-        except queue_module.Empty as exc:
-            raise ClusterError(
-                f"timed out after {timeout}s waiting for a worker result"
-            ) from exc
+        if self._ready:
+            job_id, worker_id, result, elapsed, error = self._ready.popleft()
+        else:
+            try:
+                job_id, worker_id, result, elapsed, error = self._result_queue.get(
+                    timeout=timeout
+                )
+            except queue_module.Empty as exc:
+                raise CollectTimeoutError(
+                    f"timed out after {timeout}s waiting for a worker result"
+                ) from exc
         self._in_flight -= 1
         self._busy[worker_id] += elapsed
         return CompletedJob(
@@ -138,6 +145,17 @@ class MultiprocessingBackend(WorkerBackend):
             collected_at=time.perf_counter() - self._start,
             error=error,
         )
+
+    def poll(self) -> bool:
+        if self._in_flight == 0:
+            return False
+        # drain whatever the workers have already pushed, without blocking
+        while True:
+            try:
+                self._ready.append(self._result_queue.get_nowait())
+            except queue_module.Empty:
+                break
+        return bool(self._ready)
 
     def finalize(self) -> BackendStats:
         if not self._finalized:

@@ -21,7 +21,7 @@ Tables I-III.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.pricing.engine import PricingProblem
@@ -92,6 +92,11 @@ class CostModel:
     american_monte_carlo: float = 2.5e-8
     #: global multiplier (useful to emulate slower/faster nodes)
     scale: float = 1.0
+    #: fraction of a shared-simulation member's cost that is payoff
+    #: evaluation rather than path simulation; a coalesced
+    #: :class:`~repro.pricing.batch.ProblemBatch` job costs one full member
+    #: (the shared simulation) plus this fraction of every other member
+    batch_payoff_fraction: float = 0.02
 
     _FAMILY_FIELDS = (
         "closed_form",
@@ -118,6 +123,25 @@ class CostModel:
     def with_scale(self, scale: float) -> "CostModel":
         """Return a copy with a different global scale factor."""
         return replace(self, scale=scale)
+
+    def estimate_batch_jobs(self, member_costs: list[float]) -> float:
+        """Cost of a shared-simulation batch job from its members' solo costs.
+
+        The family simulates its path set **once** -- the most expensive
+        member pays full price -- and every other member only re-evaluates
+        its payoff against the shared paths, modelled as
+        ``batch_payoff_fraction`` of its solo cost.  This is what makes the
+        simulated cluster batch-aware: Tables II/III regenerate "with
+        batching" by coalescing jobs whose compute cost comes from here.
+        """
+        if not member_costs:
+            raise ValueError("estimate_batch_jobs needs at least one member cost")
+        peak = max(member_costs)
+        return peak + self.batch_payoff_fraction * (sum(member_costs) - peak)
+
+    def estimate_batch(self, problems: list[PricingProblem]) -> float:
+        """Estimated compute time of pricing ``problems`` as one shared batch."""
+        return self.estimate_batch_jobs([self.estimate(p) for p in problems])
 
     def calibrate(self, problems: list[PricingProblem], measured: list[float]) -> "CostModel":
         """Refit the per-family rates from measured execution times.
@@ -147,7 +171,7 @@ class CostModel:
 
     def as_dict(self) -> dict[str, Any]:
         return {name: getattr(self, name) for name in
-                ("overhead", "scale", *self._FAMILY_FIELDS)}
+                ("overhead", "scale", "batch_payoff_fraction", *self._FAMILY_FIELDS)}
 
 
 def paper_cost_model() -> CostModel:

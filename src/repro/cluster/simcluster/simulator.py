@@ -27,7 +27,7 @@ virtual-time accounting -- useful for end-to-end tests on small portfolios.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.cluster.backends.base import (
@@ -228,7 +228,12 @@ class SimulatedClusterBackend(WorkerBackend):
             start = done
         self._worker_free[worker_id] = start
 
-    def collect(self) -> CompletedJob:
+    def poll(self) -> bool:
+        # in virtual time the next completion event is always "ready":
+        # collecting it advances the master clock to the completion instant
+        return self._in_flight > 0
+
+    def collect(self, timeout: float | None = None) -> CompletedJob:
         if self._in_flight == 0:
             raise ClusterError("no job in flight")
         event = self._events.pop()

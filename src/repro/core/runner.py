@@ -80,14 +80,22 @@ class RunReport:
     ) -> "RunReport":
         category_by_id = {job.job_id: job.category for job in jobs}
         category_times: dict[str, float] = {}
-        results: dict[int, dict[str, Any] | None] = {}
-        errors: dict[int, str] = {}
+        by_id: dict[int, Any] = {}
         for completed in outcome.completed:
             category = category_by_id.get(completed.job_id, "generic")
             category_times[category] = category_times.get(category, 0.0) + completed.compute_time
-            results[completed.job_id] = completed.result
+            by_id[completed.job_id] = completed
+        # results are keyed in *submission* order, whatever order the workers
+        # answered in, so reports are deterministic across backends and runs
+        results: dict[int, dict[str, Any] | None] = {}
+        errors: dict[int, str] = {}
+        for job in jobs:
+            completed = by_id.get(job.job_id)
+            if completed is None:
+                continue
+            results[job.job_id] = completed.result
             if completed.error is not None:
-                errors[completed.job_id] = completed.error
+                errors[job.job_id] = completed.error
         return cls(
             n_jobs=len(jobs),
             n_workers=outcome.stats.n_workers,

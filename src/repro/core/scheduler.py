@@ -27,8 +27,9 @@ simulated cluster.
 from __future__ import annotations
 
 import abc
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.cluster.backends.base import BackendStats, CompletedJob, Job, WorkerBackend
 from repro.cluster.simcluster.comm import CommunicationModel
@@ -39,6 +40,7 @@ from repro.errors import SchedulingError
 
 __all__ = [
     "ScheduleOutcome",
+    "ScheduleStream",
     "Scheduler",
     "RobinHoodScheduler",
     "StaticBlockScheduler",
@@ -83,10 +85,156 @@ def _check_jobs(jobs: Sequence[Job]) -> None:
         seen.add(job.job_id)
 
 
+class ScheduleStream:
+    """Pull-driven incremental form of the paper's master loop (Fig. 4).
+
+    The historical schedulers ran to completion: dispatch everything, collect
+    everything, hand back one :class:`ScheduleOutcome`.  A *stream* exposes
+    the same Robin-Hood loop one collection at a time, which is what the
+    futures API (:mod:`repro.api.futures`) builds on:
+
+    * construction sends the initial wave (one job per slave, exactly like
+      the run-to-completion loop did);
+    * each :meth:`collect_next` blocks until any worker answers, hands the
+      freed worker the next queued job, and returns the completed job --
+      ``MPI_Probe`` on any source followed by ``MPI_Recv_Obj``;
+    * :meth:`try_collect_next` is the non-blocking variant (``MPI_Iprobe``);
+    * :meth:`cancel_job` withdraws a job that is still queued master-side;
+    * :meth:`finish` drains whatever is left, sends the stop messages and
+      finalizes the backend into the familiar :class:`ScheduleOutcome`.
+
+    Driving a stream to exhaustion performs the exact same backend call
+    sequence as :meth:`RobinHoodScheduler.run` -- on the simulated backend
+    the virtual times are bit-identical.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        backend: WorkerBackend,
+        strategy: TransmissionStrategy,
+        scheduler_name: str = "robin_hood",
+    ):
+        _check_jobs(jobs)
+        self.backend = backend
+        self.strategy = strategy
+        self.scheduler_name = scheduler_name
+        self.n_jobs = len(jobs)
+        self._queue: deque[Job] = deque(jobs)
+        self._in_flight = 0
+        self._completed: list[CompletedJob] = []
+        self._cancelled: list[Job] = []
+        self._outcome: ScheduleOutcome | None = None
+        backend.on_run_start(len(jobs))
+        # first, one job per slave
+        for worker_id in range(min(backend.n_workers, len(self._queue))):
+            self._dispatch(worker_id)
+
+    def _dispatch(self, worker_id: int) -> None:
+        job = self._queue.popleft()
+        self.backend.dispatch(
+            worker_id, job, _prepare(self.backend, self.strategy, job)
+        )
+        self._in_flight += 1
+
+    # -- state -------------------------------------------------------------------
+    @property
+    def remaining(self) -> int:
+        """Jobs not yet collected (queued master-side or on a worker)."""
+        return len(self._queue) + self._in_flight
+
+    @property
+    def completed(self) -> list[CompletedJob]:
+        """Results collected so far, in completion order."""
+        return list(self._completed)
+
+    @property
+    def cancelled_jobs(self) -> list[Job]:
+        """Jobs withdrawn from the queue before they were dispatched."""
+        return list(self._cancelled)
+
+    def poll(self) -> bool:
+        """Whether :meth:`collect_next` would return without blocking."""
+        return self._in_flight > 0 and self.backend.poll()
+
+    # -- collection --------------------------------------------------------------
+    def _account(self, done: CompletedJob) -> CompletedJob:
+        self._completed.append(done)
+        self._in_flight -= 1
+        # feed the slave that just answered, as Fig. 4 does
+        if self._queue:
+            self._dispatch(done.worker_id)
+        return done
+
+    def collect_next(self, timeout: float | None = None) -> CompletedJob:
+        """Block until the next result arrives; refill the freed worker.
+
+        ``timeout`` bounds the wait on backends with a real clock
+        (multiprocessing); immediate backends ignore it.
+        """
+        if self.remaining == 0:
+            raise SchedulingError("stream exhausted: every job was collected")
+        if timeout is None:
+            # let the backend apply its own safety default (multiprocessing
+            # uses 300 s; immediate backends have none)
+            return self._account(self.backend.collect())
+        return self._account(self.backend.collect(timeout))
+
+    def try_collect_next(self) -> CompletedJob | None:
+        """Collect one result if ready now, else ``None``.  Never blocks."""
+        if self._in_flight == 0:
+            return None
+        done = self.backend.try_collect()
+        if done is None:
+            return None
+        return self._account(done)
+
+    def __iter__(self) -> Iterator[CompletedJob]:
+        while self.remaining:
+            yield self.collect_next()
+
+    # -- cancellation ------------------------------------------------------------
+    def cancel_job(self, job_id: int) -> bool:
+        """Withdraw a still-queued job; ``False`` once it is on a worker."""
+        for job in self._queue:
+            if job.job_id == job_id:
+                self._queue.remove(job)
+                self._cancelled.append(job)
+                return True
+        return False
+
+    def cancel_pending(self) -> list[Job]:
+        """Withdraw every job not yet dispatched (in-flight ones finish)."""
+        dropped = list(self._queue)
+        self._queue.clear()
+        self._cancelled.extend(dropped)
+        return dropped
+
+    # -- termination -------------------------------------------------------------
+    def finish(self) -> ScheduleOutcome:
+        """Drain remaining results, stop the slaves, finalize the backend."""
+        if self._outcome is not None:
+            return self._outcome
+        while self.remaining:
+            self.collect_next()
+        # tell every slave to stop working (the empty message of Fig. 4)
+        for worker_id in range(self.backend.n_workers):
+            self.backend.send_stop(worker_id)
+        stats = self.backend.finalize()
+        self._outcome = ScheduleOutcome(
+            completed=self._completed,
+            stats=stats,
+            scheduler_name=self.scheduler_name,
+        )
+        return self._outcome
+
+
 class Scheduler(abc.ABC):
     """Common interface of the load balancers."""
 
     name: str = "abstract"
+    #: whether :meth:`stream` yields genuinely incremental collection
+    supports_streaming: bool = False
 
     @abc.abstractmethod
     def run(
@@ -97,11 +245,37 @@ class Scheduler(abc.ABC):
     ) -> ScheduleOutcome:
         """Dispatch every job, collect every result, finalize the backend."""
 
+    def stream(
+        self,
+        jobs: Sequence[Job],
+        backend: WorkerBackend,
+        strategy: TransmissionStrategy,
+    ) -> ScheduleStream:
+        """An incremental :class:`ScheduleStream` over ``jobs``.
+
+        Only schedulers with ``supports_streaming = True`` implement this;
+        the static/chunked policies dispatch in patterns that have no
+        one-collection-at-a-time equivalent yet.
+        """
+        raise SchedulingError(
+            f"scheduler {self.name!r} does not support streaming collection; "
+            f"use robin_hood (the default)"
+        )
+
 
 class RobinHoodScheduler(Scheduler):
     """The paper's dynamic master/worker loop (Fig. 4)."""
 
     name = "robin_hood"
+    supports_streaming = True
+
+    def stream(
+        self,
+        jobs: Sequence[Job],
+        backend: WorkerBackend,
+        strategy: TransmissionStrategy,
+    ) -> ScheduleStream:
+        return ScheduleStream(jobs, backend, strategy, scheduler_name=self.name)
 
     def run(
         self,
@@ -109,35 +283,8 @@ class RobinHoodScheduler(Scheduler):
         backend: WorkerBackend,
         strategy: TransmissionStrategy,
     ) -> ScheduleOutcome:
-        _check_jobs(jobs)
-        backend.on_run_start(len(jobs))
-        completed: list[CompletedJob] = []
-        queue = list(jobs)
-        n_initial = min(backend.n_workers, len(queue))
-
-        # first, one job per slave
-        for worker_id in range(n_initial):
-            job = queue.pop(0)
-            backend.dispatch(worker_id, job, _prepare(backend, strategy, job))
-        in_flight = n_initial
-
-        # then feed each slave as soon as it answers
-        while queue:
-            done = backend.collect()
-            completed.append(done)
-            job = queue.pop(0)
-            backend.dispatch(done.worker_id, job, _prepare(backend, strategy, job))
-
-        # drain the remaining in-flight jobs
-        for _ in range(in_flight):
-            completed.append(backend.collect())
-
-        # tell every slave to stop working (the empty message of Fig. 4)
-        for worker_id in range(backend.n_workers):
-            backend.send_stop(worker_id)
-
-        stats = backend.finalize()
-        return ScheduleOutcome(completed=completed, stats=stats, scheduler_name=self.name)
+        # the run-to-completion loop is the streamed loop, drained
+        return self.stream(jobs, backend, strategy).finish()
 
 
 class StaticBlockScheduler(Scheduler):

@@ -45,6 +45,11 @@ class CommunicatorError(ClusterError):
     """Raised on invalid use of a communicator (bad rank, closed comm...)."""
 
 
+class CollectTimeoutError(ClusterError):
+    """Raised by a real backend's ``collect(timeout=...)`` when no worker
+    answered in time.  The jobs stay in flight; collection can be retried."""
+
+
 class SimulationError(ClusterError):
     """Raised by the discrete-event cluster simulator on inconsistent
     configurations or corrupted event state."""
@@ -63,3 +68,15 @@ class ValuationError(ReproError):
     """Raised by the :class:`~repro.api.session.ValuationSession` facade on
     invalid session configurations or misuse of job handles (e.g. reading a
     handle whose job failed, or gathering an empty batch)."""
+
+
+class JobCancelledError(ValuationError):
+    """Raised when reading the result of a
+    :class:`~repro.api.futures.PricingFuture` that was cancelled before it
+    was dispatched to a worker."""
+
+
+class FutureTimeoutError(ValuationError):
+    """Raised when :meth:`~repro.api.futures.PricingFuture.result` (or
+    ``wait``/``as_completed``) does not complete within its ``timeout``.
+    The underlying job keeps running; the call can simply be retried."""

@@ -171,18 +171,21 @@ class TestRun:
 
 
 class TestSubmitMany:
-    def test_batch_prices_resolve_lazily(self):
+    def test_futures_resolve_incrementally_not_as_a_gather(self):
         session = ValuationSession(backend="local")
         handles = session.submit_many(
             [_call_problem(k, label=f"K{k:.0f}") for k in (90.0, 100.0, 110.0)]
         )
         assert session.n_pending == 3
         assert not handles[0].done()
-        # reading any handle gathers the whole batch
+        # reading one future starts the campaign and pumps the master loop
+        # only until that job answers -- never a full-batch gather
         assert handles[1].price() == pytest.approx(10.4506, abs=1e-4)
         assert session.n_pending == 0
-        assert all(h.done() for h in handles)
+        assert handles[0].done()  # collected before job 1 in stream order
+        assert not handles[2].done()  # still streaming: no full gather happened
         assert handles[0].price() > handles[2].price()  # K90 call > K110 call
+        assert all(h.done() for h in handles)  # reading resolves the rest
         assert handles[0].error() is None
 
     def test_gather_returns_run_result(self):

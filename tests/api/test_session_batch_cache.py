@@ -54,10 +54,26 @@ class TestBatchRuns:
         plain = ValuationSession(backend="local").run(family)
         assert result.prices() == plain.prices()
 
-    def test_batch_requires_executing_backend(self, mixed_portfolio):
+    def test_simulated_backend_is_batch_aware(self):
+        # the simulated cluster prices a ProblemBatch job as one shared
+        # simulation plus per-member payoff sweeps, so batching shortens the
+        # simulated makespan without changing the position count
+        family = _mc_family(8)
+        plain = ValuationSession(backend="simulated", n_workers=2).run(family)
+        batched = ValuationSession(backend="simulated", n_workers=2).run(
+            family, batch=True
+        )
+        assert batched.n_jobs == plain.n_jobs == len(family)
+        assert batched.total_time < plain.total_time
+
+    def test_simulated_sweep_with_batching_is_faster(self):
+        family = _mc_family(12)
         session = ValuationSession(backend="simulated")
-        with pytest.raises(ValuationError, match="executing backend"):
-            session.run(mixed_portfolio, batch=True)
+        plain = session.sweep(family, [2, 4])
+        batched = session.sweep(family, [2, 4], batch=True, batch_group_size=3)
+        assert all(
+            batched.times()[n] < plain.times()[n] for n in (2, 4)
+        )
 
     def test_batch_rejects_nfs_strategy(self, mixed_portfolio):
         session = ValuationSession(backend="local", strategy="nfs")

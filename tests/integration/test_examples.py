@@ -53,6 +53,7 @@ def test_portfolio_pricing_example(capsys):
     out = capsys.readouterr().out
     assert "sequential reference" in out
     assert out.count("errors=0") == 3
+    assert "positions incrementally" in out  # streaming section ran
 
 
 def test_cluster_scaling_example_quick(capsys):

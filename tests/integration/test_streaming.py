@@ -1,0 +1,160 @@
+"""Streaming determinism: completion-order collection, submission-order results.
+
+The acceptance bar of the streaming redesign: results collected out of order
+through ``as_completed()`` / ``stream()`` must reassemble into a
+:class:`RunResult` **bit-identical** to a synchronous ``session.run`` -- on
+all three backends -- and the virtual-time accounting of the simulated
+cluster must not shift by a single event.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ValuationSession
+from repro.core.portfolio import Portfolio, Position, build_toy_portfolio
+from repro.errors import SchedulingError
+from repro.pricing import PricingProblem
+
+BACKENDS = ("local", "multiprocessing", "simulated")
+
+
+@pytest.fixture(scope="module")
+def portfolio() -> Portfolio:
+    return build_toy_portfolio(n_options=24)
+
+
+def _mc_family(n: int = 6, n_paths: int = 1_500) -> Portfolio:
+    built = Portfolio(name="family")
+    for index in range(n):
+        problem = PricingProblem(label=f"fam_{index}")
+        problem.set_asset("equity")
+        problem.set_model("BlackScholes1D", spot=100.0, rate=0.05, volatility=0.2)
+        problem.set_option("CallEuro", strike=90.0 + 4.0 * index, maturity=1.0)
+        problem.set_method("MC_European", n_paths=n_paths, seed=4)
+        built.add(Position(problem=problem, category="mc", label=problem.label))
+    return built
+
+
+def _identical_reports(streamed, synchronous, check_prices: bool = True) -> None:
+    """Bit-identical contract: same key order, same floats, same errors."""
+    assert list(streamed.report.results) == list(synchronous.report.results)
+    assert list(streamed.report.errors) == list(synchronous.report.errors)
+    if check_prices:
+        s_prices, r_prices = streamed.prices(), synchronous.prices()
+        assert list(s_prices) == list(r_prices)
+        for job_id, price in s_prices.items():
+            assert price == r_prices[job_id]  # bit-identical, no approx
+        for job_id, result in streamed.report.results.items():
+            reference = synchronous.report.results[job_id]
+            if result is None or reference is None:
+                assert result == reference
+                continue
+            assert result.get("std_error") == reference.get("std_error")
+
+
+class TestStreamMatchesRun:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_streamed_result_is_bit_identical_to_run(self, backend, portfolio):
+        n_workers = 3
+        synchronous = ValuationSession(backend=backend, n_workers=n_workers).run(
+            portfolio
+        )
+        streamed_run = ValuationSession(backend=backend, n_workers=n_workers).stream(
+            portfolio
+        )
+        collected = list(streamed_run)  # completion order
+        result = streamed_run.result()
+        executing = backend != "simulated"
+        if executing:
+            assert len(collected) == len(portfolio)
+        _identical_reports(result, synchronous, check_prices=executing)
+        assert result.n_jobs == synchronous.n_jobs
+        if backend == "simulated":
+            # virtual time must not shift by a single event
+            assert result.total_time == synchronous.total_time
+            assert result.report.master_busy == synchronous.report.master_busy
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_as_completed_out_of_order_reassembles(self, backend, portfolio):
+        session = ValuationSession(backend=backend, n_workers=3)
+        streamed_run = session.stream(portfolio)
+        completion_order = [f.job_id for f in streamed_run.jobs.as_completed()]
+        assert sorted(completion_order) == list(range(len(portfolio)))
+        result = streamed_run.result()
+        # whatever order the workers answered in, the report is submission-ordered
+        assert list(result.report.results) == list(range(len(portfolio)))
+        reference = ValuationSession(backend=backend, n_workers=3).run(portfolio)
+        _identical_reports(result, reference, check_prices=backend != "simulated")
+
+    def test_multiprocessing_streams_in_completion_order(self, portfolio):
+        session = ValuationSession(backend="multiprocessing", n_workers=3)
+        streamed_run = session.stream(portfolio)
+        yielded = [price.job_id for price in streamed_run]
+        assert sorted(yielded) == list(range(len(portfolio)))
+        result = streamed_run.result()
+        assert list(result.report.results) == list(range(len(portfolio)))
+
+    def test_streamed_batch_family_matches_plain_run(self):
+        family = _mc_family(6)
+        plain = ValuationSession(backend="local").run(family)
+        streamed_run = ValuationSession(backend="local").stream(family, batch=True)
+        batch_result = streamed_run.result()
+        _identical_reports(batch_result, plain)
+
+    def test_cache_hits_stream_as_immediately_resolved(self):
+        family = _mc_family(5)
+        session = ValuationSession(backend="local", cache=True)
+        first = session.run(family)
+        streamed_run = session.stream(family)
+        # every future was resolved from the cache before any dispatch
+        assert streamed_run.n_done == len(family)
+        collected = list(streamed_run)
+        assert len(collected) == len(family)
+        result = streamed_run.result()
+        assert result.prices() == first.prices()
+        assert all(
+            entry.get("cache_hit")
+            for entry in result.report.results.values()
+            if entry is not None
+        )
+
+    def test_run_remains_a_thin_wrapper_over_streaming(self, portfolio):
+        # both spellings share the plan/stream/assemble pipeline: same report
+        # shape from the same session configuration
+        run_result = ValuationSession(backend="local").run(portfolio)
+        stream_result = ValuationSession(backend="local").stream(portfolio).result()
+        _identical_reports(stream_result, run_result)
+
+
+class TestStreamErrorPaths:
+    def test_stream_requires_streaming_scheduler(self, portfolio):
+        session = ValuationSession(backend="local", scheduler="static_block")
+        with pytest.raises(SchedulingError, match="streaming"):
+            session.stream(portfolio)
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(SchedulingError, match="empty"):
+            ValuationSession(backend="local").stream([])
+
+    def test_worker_errors_are_counted_not_yielded(self):
+        bad = PricingProblem(label="bad")
+        bad.set_asset("equity")
+        bad.set_model("Heston1D", spot=100.0, rate=0.03, v0=0.04, kappa=2.0,
+                      theta=0.04, sigma_v=0.4, rho=-0.7)
+        bad.set_option("CallEuro", strike=100.0, maturity=1.0)
+        bad.set_method("CF_Call")
+        portfolio = Portfolio(name="with_error")
+        good = PricingProblem(label="good")
+        good.set_asset("equity")
+        good.set_model("BlackScholes1D", spot=100.0, rate=0.05, volatility=0.2)
+        good.set_option("CallEuro", strike=100.0, maturity=1.0)
+        good.set_method("CF_Call")
+        portfolio.add(Position(problem=good, category="t", label="good"))
+        portfolio.add(Position(problem=bad, category="t", label="bad"))
+        streamed_run = ValuationSession(backend="local").stream(portfolio)
+        yielded = list(streamed_run)
+        assert [price.label for price in yielded] == ["good"]
+        result = streamed_run.result()
+        assert result.n_errors == 1
+        assert "IncompatibleMethodError" in result.errors[1]
