@@ -24,11 +24,13 @@ Testing Parallel Architecture"* (Chancelier, Lapeyre, Lelong).  It provides:
     compressed serial buffers.
 
 ``repro.cluster``
-    An MPI-like message passing API with several execution backends --
-    resolvable by registered name (``"local"``, ``"multiprocessing"``,
-    ``"simulated"``) -- including a discrete-event *simulated cluster*
-    (nodes, Gigabit-Ethernet-like network, NFS server with cache) used to
-    reproduce the paper's speedup tables at laptop scale.
+    An MPI-like message passing API with several execution backends,
+    resolvable by registered name (:func:`~repro.cluster.backends.list_backends`
+    enumerates them; the built-ins run in-process, on local worker
+    processes, on remote ``repro-worker`` TCP servers, and on a
+    discrete-event *simulated cluster* -- nodes, Gigabit-Ethernet-like
+    network, NFS server with cache -- used to reproduce the paper's speedup
+    tables at laptop scale).
 
 ``repro.core``
     The paper's contribution: portfolio construction, the three
@@ -116,6 +118,9 @@ _LAZY_EXPORTS = {
     "register_backend": "repro.cluster.backends",
     "SequentialBackend": "repro.cluster.backends",
     "MultiprocessingBackend": "repro.cluster.backends",
+    # remote worker pool (repro.cluster.worker)
+    "spawn_local_workers": "repro.cluster.worker",
+    "LocalWorkerPool": "repro.cluster.worker",
     # benchmark core (repro.core)
     "Portfolio": "repro.core",
     "Position": "repro.core",

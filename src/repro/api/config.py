@@ -45,6 +45,32 @@ class BackendSpec:
             raise ValuationError("BackendSpec.n_workers must be >= 1")
         if isinstance(self.options, Mapping):
             object.__setattr__(self, "options", _frozen_options(self.options))
+        if self.name == "remote":
+            self._validate_remote_options()
+
+    def _validate_remote_options(self) -> None:
+        """Check and normalise the remote backend's ``hosts`` option.
+
+        The worker addresses are folded into a tuple of ``"host:port"``
+        strings at spec-construction time, so a bad address fails *here* --
+        with a clear message, before any socket is opened -- and the frozen
+        spec stays hashable (a raw list value would not be).
+        """
+        from repro.cluster.backends.remote import normalize_hosts
+        from repro.errors import ClusterError
+
+        options = dict(self.options)
+        if not options.get("hosts"):
+            raise ValuationError(
+                "the remote backend needs a non-empty 'hosts' option, e.g. "
+                "BackendSpec('remote', options={'hosts': ['10.0.0.4:9631']}); "
+                "spawn_local_workers(n).hosts gives a loopback pool"
+            )
+        try:
+            options["hosts"] = normalize_hosts(options["hosts"])
+        except ClusterError as exc:
+            raise ValuationError(str(exc)) from exc
+        object.__setattr__(self, "options", _frozen_options(options))
 
     @classmethod
     def coerce(

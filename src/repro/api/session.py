@@ -114,9 +114,11 @@ class ValuationSession:
     Parameters
     ----------
     backend:
-        Registered backend name (``"local"``, ``"multiprocessing"``,
-        ``"simulated"``), a :class:`~repro.api.config.BackendSpec`, or a
-        ready-made :class:`~repro.cluster.backends.WorkerBackend` instance.
+        Registered backend name (any entry of
+        :func:`~repro.cluster.backends.list_backends` -- e.g. ``"local"``,
+        ``"multiprocessing"``, ``"remote"``, ``"simulated"``), a
+        :class:`~repro.api.config.BackendSpec`, or a ready-made
+        :class:`~repro.cluster.backends.WorkerBackend` instance.
         Name/spec sessions build a **fresh** backend per run and are reusable;
         instance sessions are one-shot (backends are finalized by the
         scheduler at the end of a run).

@@ -8,8 +8,10 @@ subcommand is a thin veneer over the unified
 * ``repro-bench price`` -- price one option from the command line;
 * ``repro-bench table1|table2|table3`` -- regenerate the paper's tables on
   the simulated cluster;
-* ``repro-bench run`` -- actually value a (scaled-down) portfolio on the
-  local machine with multiprocessing workers;
+* ``repro-bench run`` -- actually value a (scaled-down) portfolio, either on
+  local multiprocessing workers or on remote TCP workers
+  (``--backend remote --hosts host:port ...``; see the ``repro-worker``
+  console script in :mod:`repro.cluster.worker`);
 * ``repro-bench sweep`` -- simulate one portfolio over a list of CPU counts
   and print the speedup table.
 """
@@ -75,10 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
             "payoff sweeps in the simulated cluster)",
         )
 
-    run = sub.add_parser("run", help="value a scaled-down portfolio locally")
+    run = sub.add_parser("run", help="value a scaled-down portfolio for real")
     _add_portfolio_args(run)
     run.add_argument("--workers", type=int, default=2, help="worker processes")
     run.add_argument("--strategy", default="serialized_load")
+    run.add_argument(
+        "--backend",
+        default="multiprocessing",
+        help="registered execution backend name (see `repro-bench list`); "
+        "'remote' talks to repro-worker TCP servers",
+    )
+    run.add_argument(
+        "--hosts",
+        nargs="+",
+        default=None,
+        metavar="HOST:PORT",
+        help="remote worker addresses for --backend remote (default: spawn "
+        "--workers loopback workers on 127.0.0.1)",
+    )
     run.add_argument(
         "--batch",
         action=argparse.BooleanOptionalAction,
@@ -127,7 +143,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--scheduler",
         default=None,
-        help="scheduler name (robin_hood, static_block, chunked_robin_hood)",
+        help="registered scheduler name (see repro.core.scheduler.SCHEDULERS; "
+        "default robin_hood)",
     )
     sweep.add_argument(
         "--cold-nfs-cache",
@@ -256,29 +273,60 @@ def _run_with_progress(session, portfolio, batch: bool):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.api import ValuationSession
+    from contextlib import ExitStack
 
+    from repro.api import ValuationSession
+    from repro.cluster.backends import list_backends
+
+    if args.backend not in list_backends():
+        # validated against the live registry, not a hard-coded list, so
+        # backends registered by plugins/sitecustomize work from the CLI too
+        print(
+            f"error: unknown backend {args.backend!r}; registered backends: "
+            f"{', '.join(list_backends())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.hosts and args.backend != "remote":
+        print("error: --hosts only applies to --backend remote", file=sys.stderr)
+        return 2
     portfolio = _build_cli_portfolio(args)
     cache: object = args.cache_dir if args.cache_dir else bool(args.cache)
-    session = ValuationSession(
-        backend="multiprocessing",
-        strategy=args.strategy,
-        n_workers=args.workers,
-        cache=cache,
-    )
-    repeats = max(1, args.repeat)
-    for iteration in range(repeats):
-        if args.progress:
-            result = _run_with_progress(session, portfolio, batch=args.batch)
-        else:
-            result = session.run(portfolio, batch=args.batch)
-        report = result.report
-        prefix = f"[{iteration + 1}/{repeats}] " if repeats > 1 else ""
-        print(
-            f"{prefix}valued {report.n_jobs} positions on {report.n_workers} workers "
-            f"in {report.total_time:.2f}s ({len(report.errors)} errors, "
-            f"batch={'on' if args.batch else 'off'})"
+    with ExitStack() as stack:
+        backend_options = None
+        if args.backend == "remote":
+            hosts = args.hosts
+            if not hosts:
+                # no external workers given: spawn a loopback pool so the
+                # remote path is exercisable from a single machine
+                from repro.cluster.worker import spawn_local_workers
+
+                pool = stack.enter_context(
+                    spawn_local_workers(args.workers, cache_dir=args.cache_dir)
+                )
+                print(f"spawned {len(pool)} loopback workers: {', '.join(pool)}")
+                hosts = pool.hosts
+            backend_options = {"hosts": hosts}
+        session = ValuationSession(
+            backend=args.backend,
+            strategy=args.strategy,
+            n_workers=args.workers,
+            cache=cache,
+            backend_options=backend_options,
         )
+        repeats = max(1, args.repeat)
+        for iteration in range(repeats):
+            if args.progress:
+                result = _run_with_progress(session, portfolio, batch=args.batch)
+            else:
+                result = session.run(portfolio, batch=args.batch)
+            report = result.report
+            prefix = f"[{iteration + 1}/{repeats}] " if repeats > 1 else ""
+            print(
+                f"{prefix}valued {report.n_jobs} positions on {report.n_workers} workers "
+                f"in {report.total_time:.2f}s ({len(report.errors)} errors, "
+                f"batch={'on' if args.batch else 'off'})"
+            )
     print(f"portfolio value = {result.value():.2f}")
     if session.cache is not None:
         stats = session.cache.stats

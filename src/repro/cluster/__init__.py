@@ -6,7 +6,11 @@ Three layers:
   serialized objects, pack/unpack, probe) reproducing the programming model
   of the paper's Nsp listings on top of threads;
 * :mod:`repro.cluster.backends` -- the master/worker execution backends used
-  by the benchmark runner (sequential, real ``multiprocessing``, simulated);
+  by the benchmark runner, resolved by registered name (the built-ins cover
+  sequential, ``multiprocessing``, remote TCP workers and the simulated
+  cluster; :func:`~repro.cluster.backends.list_backends` is authoritative),
+  with :mod:`repro.cluster.worker` providing the ``repro-worker`` server the
+  remote backend talks to;
 * :mod:`repro.cluster.simcluster` -- the discrete-event cluster model
   (workers, Gigabit-Ethernet network, NFS server with cache, communication
   cost model) that reproduces the paper's speedup tables at laptop scale.

@@ -8,12 +8,21 @@ Backends are resolvable by name, exactly like models, products and methods in
 :class:`~repro.api.session.ValuationSession` facade, the CLI) can select an
 execution engine from a plain string:
 
+The registry is the source of truth -- :func:`list_backends` enumerates
+whatever is registered at runtime, including third-party engines.  The
+built-in registrations are:
+
 ``"local"`` (alias ``"sequential"``)
     :class:`~repro.cluster.backends.local.SequentialBackend` -- runs every job
     in the master process; the reference backend for exact-result tests.
 ``"multiprocessing"``
     :class:`~repro.cluster.backends.multiproc.MultiprocessingBackend` -- real
     worker processes on the local machine; accepts a ``start_method`` option.
+``"remote"``
+    :class:`~repro.cluster.backends.remote.RemoteBackend` -- ``repro-worker``
+    TCP servers, possibly on other machines (the paper's actual deployment
+    shape); needs a ``hosts`` option listing the worker addresses (see
+    :func:`repro.cluster.worker.spawn_local_workers` for a loopback pool).
 ``"simulated"``
     :class:`~repro.cluster.simcluster.simulator.SimulatedClusterBackend` -- the
     discrete-event cluster model reproducing the paper's tables; accepts
@@ -22,7 +31,8 @@ execution engine from a plain string:
 
 Use :func:`create_backend` to build one, :func:`list_backends` to enumerate
 the registered names and :func:`register_backend` (usable as a decorator
-factory) to plug in a new engine without touching this module.
+factory) to plug in a new engine without touching this module; the
+backend-author guide in ``docs/backends.md`` walks through writing one.
 
 Every factory is called as ``factory(n_workers=..., strategy=..., **options)``;
 factories are free to ignore arguments that do not apply to them (the
@@ -132,6 +142,28 @@ def _make_multiprocessing(
     n_workers: int = 2, strategy: str = "serialized_load", **options: Any
 ) -> WorkerBackend:
     return MultiprocessingBackend(n_workers=n_workers, **options)
+
+
+@register_backend("remote")
+def _make_remote(
+    n_workers: int = 2,
+    strategy: str = "serialized_load",
+    hosts: Any = None,
+    connect_timeout: float = 10.0,
+    send_timeout: float = 60.0,
+    **options: Any,
+) -> WorkerBackend:
+    # imported lazily so plain backend users do not pay for the socket layer
+    from repro.cluster.backends.remote import RemoteBackend
+
+    if hosts is None:
+        raise ClusterError(
+            "the remote backend needs a 'hosts' option listing the worker "
+            "addresses, e.g. create_backend('remote', hosts=['10.0.0.4:9631']); "
+            "use repro.cluster.worker.spawn_local_workers for a loopback pool"
+        )
+    # one logical worker per address: the addresses, not n_workers, size the pool
+    return RemoteBackend(hosts, connect_timeout=connect_timeout, send_timeout=send_timeout)
 
 
 @register_backend("simulated")

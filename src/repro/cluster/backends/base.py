@@ -5,15 +5,14 @@ master (the scheduler in :mod:`repro.core.scheduler`) dispatches one job at a
 time to a chosen worker and collects results as they come back
 (``MPI_Probe`` on any source followed by ``MPI_Recv_Obj`` in Fig. 4/5).
 
-Three backends implement the interface:
-
-* :class:`repro.cluster.backends.local.SequentialBackend` -- runs jobs in the
-  master process (debugging, exact-result tests);
-* :class:`repro.cluster.backends.multiproc.MultiprocessingBackend` -- real
-  worker processes on the local machine, really pricing the problems;
-* :class:`repro.cluster.simcluster.simulator.SimulatedClusterBackend` -- a
-  discrete-event model of the paper's 256-node cluster advancing *virtual*
-  time from a cost model, used to reproduce Tables I-III at laptop scale.
+Implementations are resolved by name through the backend registry
+(:func:`repro.cluster.backends.list_backends` enumerates what is currently
+registered -- the built-ins run jobs in the master process, in local worker
+processes, on remote ``repro-worker`` TCP servers, and on the discrete-event
+cluster simulator that reproduces Tables I-III at laptop scale).  Register
+your own engine with :func:`repro.cluster.backends.register_backend`; the
+backend-author guide in ``docs/backends.md`` documents this contract with a
+worked example.
 """
 
 from __future__ import annotations

@@ -1,0 +1,422 @@
+"""Remote TCP execution backend: the paper's MPI pool over real sockets.
+
+This is the first backend that crosses a machine boundary.  Each worker is a
+``repro-worker`` server (:mod:`repro.cluster.worker`) -- possibly on another
+host -- and the master keeps one TCP connection per worker, shipping jobs as
+length-prefixed XDR frames (:mod:`repro.serial.frames`) and collecting
+result frames with :mod:`selectors`:
+
+* :meth:`RemoteBackend.dispatch` serializes the prepared payload into one
+  ``FRAME_JOB`` message -- ``MPI_Send_Obj`` in the paper's master script;
+* :meth:`RemoteBackend.collect` blocks on the selector until any connection
+  delivers a ``FRAME_RESULT`` -- ``MPI_Probe(-1, -1, ...)`` then
+  ``MPI_Recv_Obj``;
+* :meth:`RemoteBackend.poll` / :meth:`~RemoteBackend.try_collect` drain
+  whatever already arrived without blocking -- ``MPI_Iprobe`` -- which is
+  all the streaming futures API needs to work over the wire unchanged.
+
+Worker death is survivable: the master keeps the encoded frame of every
+in-flight job, so when a connection drops its jobs are redispatched to the
+surviving workers and the run completes (the freed logical worker slot is
+remapped onto a live connection).  Only when the *whole* pool is gone does a
+retryable :class:`~repro.errors.WorkerLostError` surface, carrying the ids
+of the jobs that were in flight so a caller can resubmit them against fresh
+workers.
+
+Build one through the registry --
+``create_backend("remote", hosts=["10.0.0.4:9631", ...])`` or
+``BackendSpec(name="remote", options={"hosts": [...]})`` -- and use
+:func:`repro.cluster.worker.spawn_local_workers` for a loopback pool.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.cluster.backends.base import (
+    PAYLOAD_PROBLEM,
+    PAYLOAD_SERIAL,
+    BackendStats,
+    CompletedJob,
+    Job,
+    PreparedMessage,
+    WorkerBackend,
+)
+from repro.errors import ClusterError, CollectTimeoutError, SerializationError, WorkerLostError
+from repro.serial import Serial, serialize, xdr
+from repro.serial.frames import (
+    FRAME_HELLO,
+    FRAME_JOB,
+    FRAME_RESULT,
+    FRAME_STOP,
+    FrameAssembler,
+    encode_frame,
+    read_frame,
+)
+
+__all__ = ["RemoteBackend", "normalize_hosts"]
+
+_RECV_BYTES = 1 << 16
+
+#: sentinel ``conn_index`` of an orphaned in-flight job awaiting redispatch
+_UNROUTED = -1
+
+
+def normalize_hosts(hosts: Any) -> tuple[str, ...]:
+    """Normalise a user-supplied worker address list to ``"host:port"`` strings.
+
+    Accepts an iterable of ``"host:port"`` strings or ``(host, port)``
+    pairs.  The result is a plain tuple of strings -- hashable, so it can
+    live inside a frozen :class:`~repro.api.config.BackendSpec`.
+    """
+    if isinstance(hosts, str):
+        hosts = [hosts]
+    if not isinstance(hosts, Iterable):
+        raise ClusterError(
+            f"hosts must be a list of 'host:port' strings or (host, port) "
+            f"pairs, got {type(hosts).__name__}"
+        )
+    normalized: list[str] = []
+    for entry in hosts:
+        if isinstance(entry, str):
+            host, sep, port_text = entry.rpartition(":")
+            if not sep or not host:
+                raise ClusterError(f"worker address {entry!r} is not 'host:port'")
+        elif isinstance(entry, Sequence) and len(entry) == 2:
+            host, port_text = str(entry[0]), str(entry[1])
+        else:
+            raise ClusterError(
+                f"worker address {entry!r} is neither 'host:port' nor a "
+                f"(host, port) pair"
+            )
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ClusterError(f"invalid port in worker address {entry!r}") from None
+        if not 0 < port < 65536:
+            raise ClusterError(f"port {port} out of range in worker address {entry!r}")
+        normalized.append(f"{host}:{port}")
+    if not normalized:
+        raise ClusterError("the remote backend needs at least one worker address")
+    return tuple(normalized)
+
+
+@dataclass
+class _Connection:
+    """Master-side state of one worker link."""
+
+    address: str
+    sock: socket.socket
+    assembler: FrameAssembler = field(default_factory=FrameAssembler)
+    alive: bool = True
+    stop_sent: bool = False
+
+
+@dataclass
+class _InFlight:
+    """A dispatched, not-yet-answered job (kept for redispatch on death)."""
+
+    worker_id: int
+    conn_index: int
+    frame: bytes
+
+
+class RemoteBackend(WorkerBackend):
+    """Master-side driver of a pool of ``repro-worker`` TCP servers.
+
+    Parameters
+    ----------
+    hosts:
+        Worker addresses (``"host:port"`` strings or ``(host, port)``
+        pairs); one logical worker per address.  The scheduler-facing
+        ``n_workers`` is ``len(hosts)``.
+    connect_timeout:
+        Seconds allowed for each TCP connect + protocol handshake.
+    send_timeout:
+        Seconds a single frame send may block before the worker is declared
+        lost (its jobs are requeued).  Bounds ``collect(timeout=...)``: a
+        network-partitioned worker whose TCP buffer filled up cannot hang
+        the master forever on ``sendall``.
+    """
+
+    def __init__(
+        self,
+        hosts: Any,
+        connect_timeout: float = 10.0,
+        send_timeout: float = 60.0,
+    ):
+        addresses = normalize_hosts(hosts)
+        self._n_workers = len(addresses)
+        self._send_timeout = send_timeout
+        self._selector = selectors.DefaultSelector()
+        self._conns: list[_Connection] = []
+        #: logical worker id -> index into ``_conns`` (remapped on death)
+        self._route: list[int] = list(range(self._n_workers))
+        self._inflight: dict[int, _InFlight] = {}
+        #: orphaned job ids awaiting redispatch; flushed only from blocking
+        #: calls (dispatch/collect) so poll() can never stall on a send
+        self._redispatch: list[int] = []
+        self._ready: list[CompletedJob] = []
+        self._n_jobs = 0
+        self._bytes_sent = 0
+        self._busy: dict[int, float] = {i: 0.0 for i in range(self._n_workers)}
+        self._start = time.perf_counter()
+        self._finalized = False
+        try:
+            for index, address in enumerate(addresses):
+                conn = self._connect(address, connect_timeout)
+                self._conns.append(conn)
+                self._selector.register(conn.sock, selectors.EVENT_READ, index)
+        except Exception:
+            for conn in self._conns:
+                conn.sock.close()
+            self._selector.close()
+            raise
+
+    def _connect(self, address: str, timeout: float) -> _Connection:
+        host, _, port_text = address.rpartition(":")
+        try:
+            sock = socket.create_connection((host, int(port_text)), timeout=timeout)
+        except OSError as exc:
+            raise ClusterError(f"cannot connect to worker {address}: {exc}") from exc
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # the worker greets first; a version mismatch fails here, loudly,
+            # before any job is dispatched
+            frame = read_frame(sock.recv)
+            if frame is None or frame[0] != FRAME_HELLO:
+                raise ClusterError(
+                    f"worker {address} did not greet with a hello frame "
+                    f"(is it a repro-worker?)"
+                )
+        except (SerializationError, OSError) as exc:
+            # OSError covers the silent peer: connect_timeout is still armed,
+            # so a listener that never greets surfaces here, wrapped
+            sock.close()
+            raise ClusterError(f"handshake with worker {address} failed: {exc}") from exc
+        except Exception:
+            sock.close()
+            raise
+        # bounds every later sendall; recv never blocks on it because the
+        # selector only hands over sockets with data pending
+        sock.settimeout(self._send_timeout)
+        return _Connection(address=address, sock=sock)
+
+    # -- WorkerBackend contract --------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    def on_run_start(self, n_jobs: int) -> None:
+        self._start = time.perf_counter()
+
+    def dispatch(self, worker_id: int, job: Job, message: PreparedMessage) -> None:
+        if not 0 <= worker_id < self._n_workers:
+            raise ClusterError(f"invalid worker id {worker_id}")
+        if self._finalized:
+            raise ClusterError("backend already finalized")
+        kind, payload = message.kind, message.payload
+        if kind == PAYLOAD_PROBLEM:
+            # in-memory objects cannot cross the wire as such; ship them
+            # serialized (the worker-side decode path is identical)
+            payload = serialize(payload).to_bytes()
+            kind = PAYLOAD_SERIAL
+        elif isinstance(payload, Serial):
+            payload = payload.to_bytes()
+        frame = encode_frame(
+            FRAME_JOB,
+            xdr.encode({"job_id": job.job_id, "kind": kind, "payload": payload}),
+        )
+        self._n_jobs += 1
+        self._bytes_sent += len(frame)
+        self._send(job.job_id, worker_id, frame)
+        self._flush_redispatch()
+
+    def collect(self, timeout: float | None = 300.0) -> CompletedJob:
+        if not self._ready and not self._inflight:
+            raise ClusterError("no job in flight")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._ready:
+            self._flush_redispatch()
+            if deadline is None:
+                wait: float | None = None
+            else:
+                wait = deadline - time.monotonic()
+                if wait <= 0:
+                    raise CollectTimeoutError(
+                        f"timed out after {timeout}s waiting for a remote worker result"
+                    )
+            self._pump(wait)
+        return self._ready.pop(0)
+
+    def poll(self) -> bool:
+        if self._inflight:
+            self._pump(0.0)
+        return bool(self._ready)
+
+    def try_collect(self) -> CompletedJob | None:
+        if self.poll():
+            return self._ready.pop(0)
+        return None
+
+    def send_stop(self, worker_id: int) -> None:
+        conn = self._conns[self._route[worker_id]]
+        self._stop_conn(conn)
+
+    def finalize(self) -> BackendStats:
+        if not self._finalized:
+            self._finalized = True
+            for conn in self._conns:
+                self._stop_conn(conn)
+                if conn.alive:
+                    try:
+                        self._selector.unregister(conn.sock)
+                    except (KeyError, ValueError):  # pragma: no cover - defensive
+                        pass
+                    conn.sock.close()
+                    conn.alive = False
+            self._selector.close()
+        total = time.perf_counter() - self._start
+        return BackendStats(
+            total_time=total,
+            n_jobs=self._n_jobs,
+            n_workers=self._n_workers,
+            worker_busy=dict(self._busy),
+            master_busy=total,
+            bytes_sent=self._bytes_sent,
+            extra={"hosts": [conn.address for conn in self._conns]},
+        )
+
+    # -- wire plumbing -----------------------------------------------------------
+    def _live_indices(self) -> list[int]:
+        return [index for index, conn in enumerate(self._conns) if conn.alive]
+
+    def _send(self, job_id: int, worker_id: int, frame: bytes) -> None:
+        """Record ``job_id`` as in flight and push its frame down the wire."""
+        conn_index = self._route[worker_id]
+        if not self._conns[conn_index].alive:
+            # the routed connection died between collects; remap first
+            self._remap_route(conn_index)
+            conn_index = self._route[worker_id]
+        self._inflight[job_id] = _InFlight(worker_id, conn_index, frame)
+        try:
+            self._conns[conn_index].sock.sendall(frame)
+        except OSError:
+            self._on_conn_dead(conn_index)
+
+    def _pump(self, timeout: float | None) -> None:
+        """Wait up to ``timeout`` for socket activity and absorb it."""
+        events = self._selector.select(timeout)
+        for key, _mask in events:
+            index = key.data
+            conn = self._conns[index]
+            if not conn.alive:  # closed while handling an earlier event
+                continue
+            try:
+                data = conn.sock.recv(_RECV_BYTES)
+            except (ConnectionResetError, OSError):
+                data = b""
+            if not data:
+                self._on_conn_dead(index)
+                continue
+            try:
+                conn.assembler.feed(data)
+            except SerializationError:
+                # corrupted stream: treat the worker as lost, requeue its jobs
+                self._on_conn_dead(index)
+                continue
+            for kind, payload in conn.assembler:
+                if kind == FRAME_RESULT:
+                    try:
+                        self._absorb_result(payload)
+                    except (SerializationError, KeyError, TypeError, ValueError):
+                        # well-framed but undecodable answer: the peer is
+                        # confused, not the run -- bury it, requeue its jobs
+                        self._on_conn_dead(index)
+                        break
+                # hello frames (reconnect chatter) and anything else: ignore
+
+    def _absorb_result(self, payload: bytes) -> None:
+        answer = xdr.decode(payload)
+        job_id = int(answer["job_id"])
+        entry = self._inflight.pop(job_id, None)
+        if entry is None:
+            # duplicate after a redispatch race: the job was already answered
+            return
+        elapsed = float(answer.get("elapsed") or 0.0)
+        self._busy[entry.worker_id] += elapsed
+        self._ready.append(
+            CompletedJob(
+                job_id=job_id,
+                worker_id=entry.worker_id,
+                result=answer.get("result"),
+                compute_time=elapsed,
+                collected_at=time.perf_counter() - self._start,
+                error=answer.get("error"),
+            )
+        )
+
+    def _raise_pool_lost(self) -> None:
+        lost = tuple(sorted(self._inflight))
+        raise WorkerLostError(
+            f"all {self._n_workers} remote workers are gone; "
+            f"{len(lost)} jobs were in flight (resubmit them against a "
+            f"fresh backend)",
+            job_ids=lost,
+        )
+
+    def _remap_route(self, dead_index: int) -> None:
+        """Point logical workers routed at ``dead_index`` to live connections."""
+        survivors = self._live_indices()
+        if not survivors:
+            self._raise_pool_lost()
+        for worker_id, conn_index in enumerate(self._route):
+            if conn_index == dead_index:
+                self._route[worker_id] = survivors[worker_id % len(survivors)]
+
+    def _on_conn_dead(self, index: int) -> None:
+        """Bury a connection; redispatch its in-flight jobs to survivors."""
+        conn = self._conns[index]
+        if not conn.alive:
+            return
+        conn.alive = False
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):  # pragma: no cover - defensive
+            pass
+        conn.sock.close()
+        if not self._live_indices():
+            if self._inflight:
+                self._raise_pool_lost()
+            return  # nothing was lost; the pool just wound down
+        self._remap_route(index)
+        for job_id, entry in self._inflight.items():
+            if entry.conn_index == index:
+                # park the orphan: no connection holds it until the next
+                # blocking call flushes it to a survivor (a sendall here
+                # could stall a nominally non-blocking poll())
+                entry.conn_index = _UNROUTED
+                self._redispatch.append(job_id)
+
+    def _flush_redispatch(self) -> None:
+        """Re-send parked orphans (blocking contexts only)."""
+        while self._redispatch:
+            job_id = self._redispatch.pop(0)
+            entry = self._inflight.get(job_id)
+            if entry is None or entry.conn_index != _UNROUTED:
+                continue  # answered meanwhile, or already re-sent
+            # same logical worker slot, surviving connection
+            self._send(job_id, entry.worker_id, entry.frame)
+
+    def _stop_conn(self, conn: _Connection) -> None:
+        if not conn.alive or conn.stop_sent:
+            return
+        conn.stop_sent = True
+        try:
+            conn.sock.sendall(encode_frame(FRAME_STOP))
+        except OSError:  # the worker is already gone; nothing left to stop
+            pass

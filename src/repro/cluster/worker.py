@@ -1,0 +1,310 @@
+"""The ``repro-worker`` server: one of the paper's MPI slaves, over TCP.
+
+The slave loop of the paper's Fig. 4 script is *receive a message; if it is
+empty, stop; otherwise rebuild the problem, compute it and send the results
+back to the master*.  This module runs exactly that loop behind a TCP
+listening socket so the pool can span real machines: the master-side
+:class:`~repro.cluster.backends.remote.RemoteBackend` connects one socket
+per worker, ships jobs as length-prefixed XDR frames
+(:mod:`repro.serial.frames`) and collects result frames as they come back.
+
+Three entry points:
+
+* :func:`serve` -- run a worker server in the current process (what the
+  ``repro-worker`` console script calls);
+* :func:`spawn_local_workers` -- the loopback harness: start ``n`` worker
+  processes on ``127.0.0.1`` ephemeral ports and hand back their addresses,
+  so tests, CI and the examples exercise the remote protocol without any
+  external infrastructure;
+* :func:`main` -- the ``repro-worker`` command line.
+
+A worker prices jobs through the same
+:func:`~repro.cluster.backends.execution.execute_payload` as the sequential
+and multiprocessing backends -- including :class:`~repro.pricing.batch.ProblemBatch`
+super-jobs and the optional on-disk result cache (``--cache-dir``) -- so
+every payload kind that works locally works across the wire.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing as mp
+import os
+import socket
+import sys
+from typing import Any, Sequence
+
+from repro._version import __version__
+from repro.errors import ClusterError, SerializationError
+from repro.serial import xdr
+from repro.serial.frames import (
+    FRAME_HELLO,
+    FRAME_JOB,
+    FRAME_STOP,
+    FRAME_RESULT,
+    PROTOCOL_VERSION,
+    encode_frame,
+    read_frame,
+)
+
+__all__ = ["serve", "spawn_local_workers", "LocalWorkerPool", "main"]
+
+
+def _hello_payload() -> bytes:
+    return xdr.encode(
+        {"role": "repro-worker", "pid": os.getpid(), "version": PROTOCOL_VERSION}
+    )
+
+
+def _handle_connection(conn: socket.socket, cache: Any, log) -> bool:
+    """Run the slave loop over one master connection.
+
+    Returns ``True`` when the master sent a clean stop frame, ``False`` when
+    the connection ended any other way (master died, stream corrupted).
+    """
+    from repro.cluster.backends.execution import execute_payload
+
+    conn.sendall(encode_frame(FRAME_HELLO, _hello_payload()))
+    while True:
+        try:
+            frame = read_frame(conn.recv)
+        except SerializationError as exc:
+            log(f"dropping connection: {exc}")
+            return False
+        if frame is None:  # master closed the socket without a stop frame
+            return False
+        kind, payload = frame
+        if kind == FRAME_STOP:
+            return True
+        if kind != FRAME_JOB:
+            log(f"ignoring unexpected frame kind {kind}")
+            continue
+        try:
+            job = xdr.decode(payload)
+            job_id = int(job["job_id"])
+            payload_kind = job["kind"]
+            job_payload = job["payload"]
+        except (SerializationError, KeyError, TypeError, ValueError) as exc:
+            log(f"dropping connection on undecodable job frame: {exc}")
+            return False
+        result, elapsed, error = execute_payload(payload_kind, job_payload, cache=cache)
+        try:
+            frame = encode_frame(
+                FRAME_RESULT,
+                xdr.encode(
+                    {"job_id": job_id, "result": result, "elapsed": elapsed, "error": error}
+                ),
+            )
+        except SerializationError as exc:
+            # a result the codec cannot ship must degrade to an error answer,
+            # never kill the worker (the master would redispatch the same
+            # poison job through every survivor)
+            frame = encode_frame(
+                FRAME_RESULT,
+                xdr.encode(
+                    {
+                        "job_id": job_id,
+                        "result": None,
+                        "elapsed": elapsed,
+                        "error": f"result not transmissible: {exc}",
+                    }
+                ),
+            )
+        conn.sendall(frame)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    cache_dir: str | None = None,
+    once: bool = False,
+    ready: Any = None,
+    quiet: bool = True,
+) -> None:
+    """Accept master connections and price their jobs until interrupted.
+
+    ``port=0`` binds an ephemeral port; ``ready`` (a callable) receives the
+    actually-bound port once the server is listening.  ``once=True`` exits
+    after the first connection ends -- useful for tests and one-shot
+    deployments.  ``cache_dir`` opens the shared on-disk result cache every
+    other executing backend understands (see :mod:`repro.pricing.cache`).
+    """
+    from repro.cluster.backends.execution import make_worker_cache
+
+    def log(message: str) -> None:
+        if not quiet:
+            print(f"[repro-worker {os.getpid()}] {message}", file=sys.stderr)
+
+    cache = make_worker_cache(cache_dir)
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        server.bind((host, port))
+        server.listen(8)
+        bound_port = server.getsockname()[1]
+        if ready is not None:
+            ready(bound_port)
+        log(f"listening on {host}:{bound_port}")
+        while True:
+            try:
+                conn, peer = server.accept()
+            except KeyboardInterrupt:
+                log("interrupted, shutting down")
+                return
+            with conn:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                log(f"master connected from {peer[0]}:{peer[1]}")
+                try:
+                    stopped = _handle_connection(conn, cache, log)
+                except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+                    log(f"connection lost: {exc}")
+                    stopped = False
+                log("connection closed" + (" (stop frame)" if stopped else ""))
+            if once:
+                return
+    finally:
+        server.close()
+
+
+def _spawned_worker(
+    index: int, host: str, port_queue: Any, cache_dir: str | None
+) -> None:
+    """Entry point of one :func:`spawn_local_workers` process."""
+    serve(
+        host=host,
+        port=0,
+        cache_dir=cache_dir,
+        ready=lambda port: port_queue.put((index, port)),
+    )
+
+
+class LocalWorkerPool:
+    """A handful of loopback worker processes, for tests and examples.
+
+    Iterable/indexable as its ``"host:port"`` address list, usable as a
+    context manager (``stop()`` on exit), and deliberately easy to sabotage:
+    :meth:`kill` hard-kills one worker so the master's death-recovery path
+    can be exercised.
+    """
+
+    def __init__(self, processes: list[Any], hosts: list[str]):
+        self._processes = processes
+        self.hosts = list(hosts)
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def __iter__(self):
+        return iter(self.hosts)
+
+    def __getitem__(self, index: int) -> str:
+        return self.hosts[index]
+
+    def kill(self, index: int) -> None:
+        """Hard-kill one worker process (simulates a node failure)."""
+        self._processes[index].kill()
+        self._processes[index].join(timeout=10.0)
+
+    def stop(self) -> None:
+        """Terminate every worker process still alive."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - defensive cleanup
+                process.kill()
+                process.join(timeout=5.0)
+
+    def __enter__(self) -> "LocalWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def spawn_local_workers(
+    n: int,
+    *,
+    cache_dir: str | None = None,
+    start_method: str | None = None,
+    timeout: float = 30.0,
+) -> LocalWorkerPool:
+    """Start ``n`` worker servers on ``127.0.0.1`` and return their pool.
+
+    Each worker is a real OS process running :func:`serve` on an ephemeral
+    port; the call returns once every worker is listening, so a
+    ``ValuationSession(backend="remote", backend_options={"hosts": pool.hosts})``
+    can connect immediately.  Stop the pool with :meth:`LocalWorkerPool.stop`
+    or a ``with`` block.
+    """
+    if n < 1:
+        raise ClusterError("spawn_local_workers needs n >= 1")
+    ctx = mp.get_context(start_method) if start_method else mp.get_context()
+    port_queue = ctx.Queue()
+    processes = []
+    try:
+        for index in range(n):
+            process = ctx.Process(
+                target=_spawned_worker,
+                args=(index, "127.0.0.1", port_queue, cache_dir),
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+        # ports arrive in whichever-bound-first order; key them back to the
+        # spawn index so hosts[i] is always the address of _processes[i]
+        # (kill(i) must sabotage the worker it names)
+        ports: dict[int, int] = {}
+        for _ in range(n):
+            index, port = port_queue.get(timeout=timeout)
+            ports[index] = port
+        hosts = [f"127.0.0.1:{ports[index]}" for index in range(n)]
+    except Exception:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        raise
+    return LocalWorkerPool(processes, hosts)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Run one TCP pricing worker (a paper-style MPI slave) "
+        "for the remote execution backend.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to listen on (default: loopback only; "
+                        "the protocol is unauthenticated, so expose other "
+                        "interfaces -- e.g. --host 0.0.0.0 -- only on networks "
+                        "you trust)")
+    parser.add_argument("--port", type=int, default=9631,
+                        help="TCP port to listen on (0 picks an ephemeral port)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="open the shared on-disk result cache in DIR")
+    parser.add_argument("--once", action="store_true",
+                        help="exit after the first master connection ends")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-connection log lines")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-worker`` console script."""
+    args = build_parser().parse_args(argv)
+    serve(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        once=args.once,
+        quiet=args.quiet,
+        ready=lambda port: print(f"repro-worker listening on {args.host}:{port}"),
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

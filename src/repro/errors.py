@@ -50,6 +50,22 @@ class CollectTimeoutError(ClusterError):
     answered in time.  The jobs stay in flight; collection can be retried."""
 
 
+class WorkerLostError(ClusterError):
+    """Raised by the remote backend when worker connections die.
+
+    As long as at least one worker survives, the backend requeues the lost
+    worker's in-flight jobs onto the survivors transparently; this error
+    surfaces only when the *whole* pool is gone.  It is retryable in the
+    scheduling sense: :attr:`job_ids` lists the jobs that were in flight, so
+    a caller can rebuild a backend against fresh workers and resubmit
+    exactly those jobs."""
+
+    def __init__(self, message: str, job_ids: tuple[int, ...] = ()):
+        super().__init__(message)
+        #: jobs that were dispatched but never answered
+        self.job_ids = tuple(job_ids)
+
+
 class SimulationError(ClusterError):
     """Raised by the discrete-event cluster simulator on inconsistent
     configurations or corrupted event state."""

@@ -1,10 +1,11 @@
 """``repro.serial`` -- architecture-independent serialization (Nsp substitute).
 
 Provides the XDR-style encoder (:mod:`repro.serial.xdr`), the ``Serial``
-object with optional compression (:mod:`repro.serial.serial`) and the
+object with optional compression (:mod:`repro.serial.serial`), the
 ``save`` / ``load`` / ``sload`` problem-file functions plus the
 :class:`~repro.serial.store.ProblemStore` directory abstraction
-(:mod:`repro.serial.store`).
+(:mod:`repro.serial.store`), and the length-prefixed message framing used
+by the remote TCP worker protocol (:mod:`repro.serial.frames`).
 
 Importing this package registers the codecs for
 :class:`~repro.pricing.engine.PricingProblem`,
@@ -18,6 +19,16 @@ from repro.pricing.batch import ProblemBatch
 from repro.pricing.engine import PricingProblem
 from repro.pricing.methods.base import PricingResult
 from repro.serial import xdr
+from repro.serial.frames import (
+    FRAME_HELLO,
+    FRAME_JOB,
+    FRAME_RESULT,
+    FRAME_STOP,
+    FrameAssembler,
+    decode_header,
+    encode_frame,
+    read_frame,
+)
 from repro.serial.serial import Serial, serialize, unserialize
 from repro.serial.store import ProblemStore, load, save, sload
 from repro.serial.xdr import decode, encode, register_codec, registered_type_names
@@ -46,6 +57,14 @@ __all__ = [
     "Serial",
     "serialize",
     "unserialize",
+    "encode_frame",
+    "decode_header",
+    "read_frame",
+    "FrameAssembler",
+    "FRAME_HELLO",
+    "FRAME_JOB",
+    "FRAME_RESULT",
+    "FRAME_STOP",
     "save",
     "load",
     "sload",

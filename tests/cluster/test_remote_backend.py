@@ -1,0 +1,375 @@
+"""Tests of the remote TCP backend and its loopback worker harness."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.api import BackendSpec, ValuationSession
+from repro.cluster.backends import Job, PreparedMessage, PAYLOAD_SERIAL, create_backend
+from repro.cluster.backends.remote import RemoteBackend, normalize_hosts
+from repro.cluster.worker import spawn_local_workers
+from repro.core import build_toy_portfolio
+from repro.errors import (
+    ClusterError,
+    CollectTimeoutError,
+    ValuationError,
+    WorkerLostError,
+)
+from repro.pricing import PricingProblem
+from repro.serial import serialize, xdr
+from repro.serial.frames import FRAME_HELLO, encode_frame
+
+
+def _make_problem(strike: float = 100.0) -> PricingProblem:
+    problem = PricingProblem(label=f"remote_{strike:.0f}")
+    problem.set_asset("equity")
+    problem.set_model("BlackScholes1D", spot=100.0, rate=0.05, volatility=0.2)
+    problem.set_option("CallEuro", strike=strike, maturity=1.0)
+    problem.set_method("CF_Call")
+    return problem
+
+
+def _dispatch(backend: RemoteBackend, worker_id: int, job_id: int, problem) -> None:
+    data = serialize(problem).to_bytes()
+    backend.dispatch(
+        worker_id,
+        Job(job_id=job_id, path="", file_size=len(data), compute_cost=1e-3),
+        PreparedMessage(kind=PAYLOAD_SERIAL, payload=data, nbytes=len(data)),
+    )
+
+
+def _prices(run_result) -> list[float]:
+    return [entry["price"] for entry in run_result.report.results.values()]
+
+
+class TestNormalizeHosts:
+    def test_strings_and_pairs(self):
+        assert normalize_hosts(["h1:9631", ("h2", 9632)]) == ("h1:9631", "h2:9632")
+
+    def test_single_string(self):
+        assert normalize_hosts("localhost:9631") == ("localhost:9631",)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [[], ["no-port"], [":9631"], ["h:not-a-port"], ["h:0"], ["h:70000"], [1234], 42],
+    )
+    def test_rejects_bad_addresses(self, bad):
+        with pytest.raises(ClusterError):
+            normalize_hosts(bad)
+
+
+class TestBackendSpecValidation:
+    def test_remote_spec_needs_hosts(self):
+        with pytest.raises(ValuationError, match="hosts"):
+            BackendSpec(name="remote")
+        with pytest.raises(ValuationError, match="hosts"):
+            BackendSpec(name="remote", options={"hosts": []})
+
+    def test_remote_spec_normalizes_and_stays_hashable(self):
+        spec = BackendSpec(name="remote", options={"hosts": [("10.0.0.4", 9631)]})
+        assert dict(spec.options)["hosts"] == ("10.0.0.4:9631",)
+        hash(spec)  # a raw list value would make the frozen spec unhashable
+
+    def test_remote_spec_bad_address_fails_at_spec_time(self):
+        with pytest.raises(ValuationError, match="not 'host:port'"):
+            BackendSpec(name="remote", options={"hosts": ["noport"]})
+
+    def test_factory_without_hosts(self):
+        with pytest.raises(ClusterError, match="hosts"):
+            create_backend("remote")
+
+    def test_connect_refused(self):
+        # grab a port that is certainly not listening
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ClusterError, match="cannot connect"):
+            RemoteBackend([f"127.0.0.1:{port}"], connect_timeout=2.0)
+
+
+class TestLoopbackPool:
+    def test_dispatch_collect_cycle(self):
+        with spawn_local_workers(2) as pool:
+            backend = create_backend("remote", hosts=pool.hosts)
+            assert backend.n_workers == 2
+            problems = [_make_problem(k) for k in (90.0, 100.0, 110.0)]
+            for index, problem in enumerate(problems):
+                _dispatch(backend, index % 2, index, problem)
+            collected = sorted(
+                (backend.collect(timeout=60.0) for _ in range(3)),
+                key=lambda done: done.job_id,
+            )
+            assert [done.error for done in collected] == [None, None, None]
+            reference = [p.compute().price for p in problems]
+            assert [done.result["price"] for done in collected] == reference
+            stats = backend.finalize()
+            assert stats.n_jobs == 3
+            assert stats.bytes_sent > 0
+
+    def test_collect_without_dispatch_raises(self):
+        with spawn_local_workers(1) as pool:
+            backend = create_backend("remote", hosts=pool.hosts)
+            with pytest.raises(ClusterError, match="no job in flight"):
+                backend.collect(timeout=1.0)
+            backend.finalize()
+
+    def test_poll_and_try_collect(self):
+        with spawn_local_workers(1) as pool:
+            backend = create_backend("remote", hosts=pool.hosts)
+            assert backend.poll() is False
+            assert backend.try_collect() is None
+            _dispatch(backend, 0, 0, _make_problem())
+            done = backend.collect(timeout=60.0)
+            assert done.job_id == 0 and done.error is None
+            assert backend.poll() is False
+            backend.finalize()
+
+    def test_untransmissible_result_degrades_to_error_answer(self, monkeypatch):
+        # a result the XDR codec cannot encode must come back as an error
+        # frame, not kill the worker (the master would redispatch the poison
+        # job through every survivor)
+        import repro.cluster.backends.execution as execution
+        from repro.cluster.worker import serve
+        from repro.serial.frames import FRAME_JOB, FRAME_RESULT, read_frame
+
+        monkeypatch.setattr(
+            execution, "execute_payload",
+            lambda kind, payload, cache=None: ({"price": object()}, 0.0, None),
+        )
+        ports: list[int] = []
+        listening = threading.Event()
+
+        def _ready(port):
+            ports.append(port)
+            listening.set()
+
+        thread = threading.Thread(
+            target=serve,
+            kwargs={"host": "127.0.0.1", "port": 0, "once": True, "ready": _ready},
+            daemon=True,
+        )
+        thread.start()
+        assert listening.wait(10.0)
+        with socket.create_connection(("127.0.0.1", ports[0]), timeout=10.0) as conn:
+            assert read_frame(conn.recv)[0] == FRAME_HELLO
+            payload = serialize(_make_problem()).to_bytes()
+            conn.sendall(encode_frame(
+                FRAME_JOB,
+                xdr.encode({"job_id": 5, "kind": PAYLOAD_SERIAL, "payload": payload}),
+            ))
+            kind, answer = read_frame(conn.recv)
+            assert kind == FRAME_RESULT
+            decoded = xdr.decode(answer)
+            assert decoded["job_id"] == 5
+            assert decoded["result"] is None
+            assert "not transmissible" in decoded["error"]
+        thread.join(timeout=10.0)
+
+    def test_worker_errors_are_captured_not_fatal(self):
+        with spawn_local_workers(1) as pool:
+            backend = create_backend("remote", hosts=pool.hosts)
+            payload = serialize([1, 2, 3]).to_bytes()  # decodes, but not a problem
+            backend.dispatch(
+                0,
+                Job(job_id=0, path="", file_size=8, compute_cost=1e-3),
+                PreparedMessage(kind=PAYLOAD_SERIAL, payload=payload, nbytes=8),
+            )
+            done = backend.collect(timeout=60.0)
+            assert done.result is None
+            assert "ClusterError" in done.error
+            # the worker survived the bad job and prices the next one
+            _dispatch(backend, 0, 1, _make_problem())
+            assert backend.collect(timeout=60.0).error is None
+            backend.finalize()
+
+
+class TestSessionOverRemote:
+    def test_run_bit_identical_to_sequential(self):
+        portfolio = build_toy_portfolio(n_options=10)
+        reference = ValuationSession(backend="local").run(portfolio)
+        with spawn_local_workers(2) as pool:
+            session = ValuationSession(
+                backend="remote", backend_options={"hosts": pool.hosts}
+            )
+            remote = session.run(portfolio)
+        assert not remote.report.errors
+        assert _prices(remote) == _prices(reference)
+
+    def test_stream_and_batch_over_remote(self):
+        portfolio = build_toy_portfolio(n_options=10)
+        reference = ValuationSession(backend="local").run(portfolio)
+        with spawn_local_workers(2) as pool:
+            session = ValuationSession(
+                backend="remote", backend_options={"hosts": pool.hosts}
+            )
+            streamed = session.stream(portfolio, batch=True)
+            collected = [price.price for price in streamed]
+            assert len(collected) == len(portfolio)
+            assert _prices(streamed.result()) == _prices(reference)
+
+    def test_submit_many_futures_over_remote(self):
+        problems = [_make_problem(k) for k in (90.0, 95.0, 100.0, 105.0)]
+        reference = [p.compute().price for p in [_make_problem(k) for k in (90.0, 95.0, 100.0, 105.0)]]
+        with spawn_local_workers(2) as pool:
+            session = ValuationSession(
+                backend="remote", backend_options={"hosts": pool.hosts}
+            )
+            futures = session.submit_many(problems)
+            assert futures[2].result(timeout=60.0)["price"] == pytest.approx(reference[2])
+            by_completion = [future.price() for future in futures.as_completed()]
+            assert sorted(by_completion) == sorted(reference)
+            session.gather()
+
+    def test_multiple_runs_reuse_the_worker_pool(self):
+        # a name/spec session builds a fresh backend per run; the workers
+        # must keep accepting connections after a clean stop frame
+        portfolio = build_toy_portfolio(n_options=4)
+        with spawn_local_workers(2) as pool:
+            session = ValuationSession(
+                backend="remote", backend_options={"hosts": pool.hosts}
+            )
+            first = session.run(portfolio)
+            second = session.run(portfolio)
+        assert _prices(first) == _prices(second)
+
+
+class TestWorkerDeath:
+    def test_run_survives_one_worker_death(self):
+        portfolio = build_toy_portfolio(n_options=24)
+        reference = ValuationSession(backend="local").run(portfolio)
+        with spawn_local_workers(3) as pool:
+            session = ValuationSession(
+                backend="remote", backend_options={"hosts": pool.hosts}
+            )
+            streamed = session.stream(portfolio)
+            iterator = iter(streamed)
+            next(iterator)  # the run is underway
+            pool.kill(2)  # hard node failure
+            for _ in iterator:
+                pass
+            result = streamed.result()
+        assert not result.report.errors
+        assert _prices(result) == _prices(reference)
+
+    def test_losing_every_worker_raises_retryable_error(self):
+        # deterministic total-pool loss: both "workers" greet correctly and
+        # then drop the connection without ever answering a job
+        hello = encode_frame(FRAME_HELLO, xdr.encode({"role": "repro-worker"}))
+        servers, threads, ports = [], [], []
+        hold = threading.Event()
+
+        def _dying_worker(server):
+            conn, _ = server.accept()
+            conn.sendall(hello)
+            hold.wait(30.0)  # let both connections establish first
+            conn.close()
+
+        for _ in range(2):
+            server = socket.socket()
+            server.bind(("127.0.0.1", 0))
+            server.listen(1)
+            servers.append(server)
+            ports.append(server.getsockname()[1])
+            thread = threading.Thread(target=_dying_worker, args=(server,), daemon=True)
+            thread.start()
+            threads.append(thread)
+        try:
+            backend = RemoteBackend(
+                [f"127.0.0.1:{port}" for port in ports], connect_timeout=5.0
+            )
+            problem = _make_problem()
+            with pytest.raises(WorkerLostError) as excinfo:
+                _dispatch(backend, 0, 0, problem)
+                _dispatch(backend, 1, 1, problem)
+                hold.set()  # both workers now die with the jobs in flight
+                for _ in range(2):
+                    backend.collect(timeout=30.0)
+            assert isinstance(excinfo.value, ClusterError)  # retryable family
+            assert set(excinfo.value.job_ids) <= {0, 1}
+        finally:
+            hold.set()
+            for server in servers:
+                server.close()
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+    def test_undecodable_result_payload_buries_the_connection(self):
+        # a peer that frames correctly but answers garbage is a lost worker,
+        # not a crashed run; with no survivors that surfaces as WorkerLostError
+        from repro.serial.frames import FRAME_RESULT
+
+        hello = encode_frame(FRAME_HELLO, xdr.encode({"role": "repro-worker"}))
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+
+        def _confused_worker():
+            conn, _ = server.accept()
+            conn.sendall(hello)
+            conn.recv(1 << 20)  # swallow the job
+            conn.sendall(encode_frame(FRAME_RESULT, b"this is not xdr"))
+            conn.close()
+
+        thread = threading.Thread(target=_confused_worker, daemon=True)
+        thread.start()
+        try:
+            backend = RemoteBackend([f"127.0.0.1:{port}"], connect_timeout=5.0)
+            _dispatch(backend, 0, 0, _make_problem())
+            with pytest.raises(WorkerLostError):
+                backend.collect(timeout=30.0)
+        finally:
+            server.close()
+            thread.join(timeout=5.0)
+
+    def test_collect_timeout_on_silent_worker(self):
+        # a "worker" that greets correctly and then never answers
+        hello = encode_frame(FRAME_HELLO, xdr.encode({"role": "repro-worker"}))
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+        stop = threading.Event()
+
+        def _mute_worker():
+            conn, _ = server.accept()
+            conn.sendall(hello)
+            stop.wait(30.0)
+            conn.close()
+
+        thread = threading.Thread(target=_mute_worker, daemon=True)
+        thread.start()
+        try:
+            backend = RemoteBackend([f"127.0.0.1:{port}"], connect_timeout=5.0)
+            _dispatch(backend, 0, 0, _make_problem())
+            with pytest.raises(CollectTimeoutError):
+                backend.collect(timeout=0.2)
+        finally:
+            stop.set()
+            server.close()
+            thread.join(timeout=5.0)
+
+    def test_handshake_rejects_non_worker(self):
+        # a listener that speaks anything but the frame protocol
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+
+        def _imposter():
+            conn, _ = server.accept()
+            conn.sendall(b"HTTP/1.1 200 OK\r\n\r\n")
+            conn.close()
+
+        thread = threading.Thread(target=_imposter, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(ClusterError, match="handshake|hello"):
+                RemoteBackend([f"127.0.0.1:{port}"], connect_timeout=5.0)
+        finally:
+            server.close()
+            thread.join(timeout=5.0)
