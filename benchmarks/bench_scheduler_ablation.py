@@ -1,0 +1,161 @@
+"""Benchmark S1 -- the scheduler ablation on one skewed portfolio.
+
+Every registered scheduler is a :class:`~repro.core.scheduler.DispatchPolicy`
+over the same streaming master loop, so this ablation is a pure policy
+comparison: static block partitioning, Robin Hood (the paper's loop),
+chunked Robin Hood (one message per chunk) and work stealing (static blocks
+plus stealing from the most-loaded tail) value the *same* skewed workload on
+the same simulated cluster, and only the virtual makespans differ.
+
+The workload is deliberately hostile to static partitioning: a long run of
+cheap vanilla-style jobs with one contiguous band of expensive American-style
+jobs, so whichever worker draws the band becomes the static critical path.
+Dynamic policies (robin hood, work stealing) must beat the static baseline;
+work stealing must land in the same league as robin hood.
+
+Results land in ``benchmarks/results/BENCH_scheduler_ablation.json``.
+
+Run standalone for the CI smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_ablation.py --smoke
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(_ROOT), str(_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.conftest import write_bench_json  # noqa: E402
+from repro.cluster.backends.base import Job  # noqa: E402
+from repro.cluster.simcluster import ClusterSpec, SimulatedClusterBackend  # noqa: E402
+from repro.core.scheduler import (  # noqa: E402
+    ChunkedRobinHoodScheduler,
+    RobinHoodScheduler,
+    StaticBlockScheduler,
+    WorkStealingScheduler,
+)
+from repro.core.strategies import get_strategy  # noqa: E402
+
+#: full-profile workload (the acceptance configuration)
+FULL_CHEAP = 1_600
+FULL_EXPENSIVE = 120
+FULL_WORKERS = 64
+#: smoke-profile sizes for the CI check
+SMOKE_CHEAP = 200
+SMOKE_EXPENSIVE = 16
+SMOKE_WORKERS = 8
+
+CHEAP_COST = 0.02
+EXPENSIVE_COST = 2.5
+CHUNK_SIZE = 8
+STRATEGY_NAME = "serialized_load"
+
+
+def build_skewed_jobs(n_cheap: int, n_expensive: int) -> list[Job]:
+    """Cheap head + one contiguous expensive band + cheap tail.
+
+    The band sits at one third of the portfolio so a static contiguous
+    partition concentrates it on a few workers -- the pathology dynamic
+    load balancing exists to fix.
+    """
+    costs = [CHEAP_COST] * n_cheap
+    band_start = n_cheap // 3
+    costs[band_start:band_start] = [EXPENSIVE_COST] * n_expensive
+    return [
+        Job(job_id=index, path=f"/virtual/skew/{index}.pb", file_size=700,
+            compute_cost=cost, category="skewed")
+        for index, cost in enumerate(costs)
+    ]
+
+
+def run_scheduler_ablation(n_cheap: int, n_expensive: int, n_workers: int) -> dict:
+    jobs = build_skewed_jobs(n_cheap, n_expensive)
+    strategy = get_strategy(STRATEGY_NAME)
+    schedulers = {
+        "static_block": StaticBlockScheduler(),
+        "robin_hood": RobinHoodScheduler(),
+        f"chunked_robin_hood({CHUNK_SIZE})": ChunkedRobinHoodScheduler(
+            chunk_size=CHUNK_SIZE
+        ),
+        "work_stealing": WorkStealingScheduler(),
+    }
+    times: dict[str, float] = {}
+    for name, scheduler in schedulers.items():
+        backend = SimulatedClusterBackend(
+            ClusterSpec.homogeneous(n_workers), strategy=STRATEGY_NAME
+        )
+        # every scheduler is stream().finish(): this drives the same
+        # streaming path the futures API uses
+        times[name] = round(
+            scheduler.stream(jobs, backend, strategy).finish().total_time, 6
+        )
+
+    ideal = sum(job.compute_cost for job in jobs) / n_workers
+    return {
+        "n_jobs": len(jobs),
+        "n_cheap": n_cheap,
+        "n_expensive": n_expensive,
+        "n_workers": n_workers,
+        "chunk_size": CHUNK_SIZE,
+        "strategy": STRATEGY_NAME,
+        "ideal_makespan_s": round(ideal, 6),
+        "virtual_makespan_s": times,
+        "speedup_vs_static": {
+            name: round(times["static_block"] / time, 3)
+            for name, time in times.items()
+        },
+    }
+
+
+def _check(payload: dict) -> list[str]:
+    """The ablation's acceptance conditions; returns failure messages."""
+    times = payload["virtual_makespan_s"]
+    failures = []
+    if not times["robin_hood"] < times["static_block"]:
+        failures.append("robin hood must beat the static baseline")
+    if not times["work_stealing"] < times["static_block"]:
+        failures.append("work stealing must beat the static baseline")
+    if not times["work_stealing"] <= 1.25 * times["robin_hood"]:
+        failures.append("work stealing must land in robin hood's league")
+    return failures
+
+
+def test_scheduler_ablation_emits_bench_json(benchmark):
+    """Full-profile ablation: dynamic policies beat static, JSON committed."""
+    payload = benchmark.pedantic(
+        run_scheduler_ablation,
+        args=(FULL_CHEAP, FULL_EXPENSIVE, FULL_WORKERS),
+        rounds=1,
+        iterations=1,
+    )
+    write_bench_json("scheduler_ablation", payload)
+    assert not _check(payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (CI smoke: tiny sizes, same invariants)."""
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    if smoke:
+        payload = run_scheduler_ablation(SMOKE_CHEAP, SMOKE_EXPENSIVE, SMOKE_WORKERS)
+        name = "scheduler_ablation_smoke"
+    else:
+        payload = run_scheduler_ablation(FULL_CHEAP, FULL_EXPENSIVE, FULL_WORKERS)
+        name = "scheduler_ablation"
+    path = write_bench_json(name, payload)
+    print(f"wrote {path}")
+    for scheduler, time in payload["virtual_makespan_s"].items():
+        print(f"  {scheduler:24s} {time:10.3f}s  "
+              f"({payload['speedup_vs_static'][scheduler]:.2f}x vs static)")
+    failures = _check(payload)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -131,9 +131,10 @@ class ValuationSession:
         ``None`` (Robin-Hood), a scheduler name from
         :data:`~repro.core.scheduler.SCHEDULERS`, a
         :class:`~repro.core.scheduler.Scheduler` instance, or a zero-argument
-        factory returning fresh schedulers.  Streaming (``stream``,
-        ``submit_many``) needs a scheduler with incremental collection --
-        currently Robin-Hood, the default.
+        factory returning fresh schedulers.  Every registered scheduler
+        streams (they are all policies over the one incremental master
+        loop), so ``stream``/``submit_many``/``progress``/``cancel`` work
+        with any of them.
     cost_model:
         :class:`~repro.cluster.costmodel.CostModel` used to estimate per-job
         compute costs when building jobs from portfolios / submissions
@@ -265,7 +266,7 @@ class ValuationSession:
             extra["cache_dir"] = str(cache.directory)
         return self._backend_spec.create(strategy=strategy_name, **extra)
 
-    # -- the synchronous engine (non-streaming schedulers, sweeps) ---------------
+    # -- the synchronous engine (simulated-cluster sweeps) -----------------------
     def _execute_jobs(
         self,
         jobs: Sequence[Job],
@@ -275,9 +276,9 @@ class ValuationSession:
     ) -> RunReport:
         """Dispatch ``jobs`` run-to-completion, check and normalise the report.
 
-        Sweeps and the non-streaming schedulers (static block, chunked) go
-        through here; everything else flows through the streaming pipeline of
-        :meth:`_make_core`.
+        Only simulated-cluster sweeps go through here (``run()`` there is
+        ``stream().finish()`` anyway); everything else flows through the
+        streaming pipeline of :meth:`_make_core`.
         """
         chosen = strategy if strategy is not None else self.strategy
         strategy_obj = get_strategy(chosen) if isinstance(chosen, str) else chosen
@@ -608,27 +609,6 @@ class ValuationSession:
         run_cache = self._resolve_run_cache(cache)
         strategy_name = self._strategy_name(strategy)
         runner = scheduler or self._new_scheduler()
-        if not getattr(runner, "supports_streaming", False):
-            # legacy run-to-completion path for static/chunked scheduling
-            if progress is not None or cancel is not None:
-                raise ValuationError(
-                    f"progress/cancel need a streaming scheduler; "
-                    f"{runner.name!r} runs to completion"
-                )
-            plan = self._source_plan(
-                source,
-                strategy_name=strategy_name,
-                batch=batch,
-                batch_group_size=batch_group_size,
-                run_cache=run_cache,
-                store=store,
-                attach_problems=attach_problems,
-                cost_model=cost_model,
-            )
-            if not plan.jobs:  # every position answered from the cache
-                return self._assemble_run_result(plan, [], None, [])
-            report = self._execute_jobs(plan.jobs, plan.backend, strategy, runner)
-            return self._postprocess_report(report, plan)
         plan = self._source_plan(
             source,
             strategy_name=strategy_name,
@@ -890,40 +870,13 @@ class ValuationSession:
             portfolio=None,
         )
         futures = {future.job_id: future for _, future, _ in pending}
-        if getattr(runner, "supports_streaming", False):
-            core = self._attach_campaign(plan, futures, runner=runner)
-        else:
-            # non-streaming schedulers (static block, chunked) value the
-            # whole campaign run-to-completion, resolving every future at
-            # once -- the historical gather semantics
-            core = self._run_campaign_synchronously(plan, futures, runner)
+        core = self._attach_campaign(plan, futures, runner=runner)
         self._pending = []
         self._pending_by_digest = {}
         self._active_cores = [
             live for live in self._active_cores if not live.finished
         ]
         self._active_cores.append(core)
-
-    def _run_campaign_synchronously(
-        self,
-        plan: _RunPlan,
-        futures: dict[int, PricingFuture],
-        runner: Scheduler,
-    ) -> _StreamCore:
-        """Value a campaign with a run-to-completion scheduler."""
-        if plan.jobs:
-            report = self._execute_jobs(plan.jobs, plan.backend, None, runner)
-            result = self._postprocess_report(report, plan)
-        else:
-            result = self._assemble_run_result(plan, [], None, [])
-        core = _StreamCore(None, futures, total=plan.n_total)
-        core.attach(futures)
-        for job_id, future in futures.items():
-            future._resolve(
-                result.report.results.get(job_id), result.report.errors.get(job_id)
-            )
-        core._run_result = result
-        return core
 
     def _attach_campaign(
         self,
@@ -936,11 +889,6 @@ class ValuationSession:
     ) -> _StreamCore:
         """Wire futures onto a prepared plan and open the schedule stream."""
         runner = runner or self._new_scheduler()
-        if not getattr(runner, "supports_streaming", False):
-            raise SchedulingError(
-                f"scheduler {runner.name!r} does not support streaming "
-                f"collection; use robin_hood (the default)"
-            )
         # cache hits resolve immediately -- they never enter the stream
         for job_id, entry in plan.cached_results.items():
             futures[job_id]._resolve(entry, None)

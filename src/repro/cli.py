@@ -34,6 +34,62 @@ def _add_portfolio_args(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--positions", type=int, default=64, help="number of positions")
 
 
+def _add_scheduler_args(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--scheduler",
+        default=None,
+        help="registered scheduler name (see repro.core.scheduler.SCHEDULERS; "
+        "default robin_hood)",
+    )
+    cmd.add_argument(
+        "--scheduler-opt",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="scheduler constructor option, repeatable (e.g. "
+        "--scheduler chunked_robin_hood --scheduler-opt chunk_size=25); "
+        "values parse as int/float/bool when they look like one",
+    )
+
+
+def _parse_opt_value(text: str):
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _scheduler_factory(args: argparse.Namespace):
+    """Build a validated scheduler factory from --scheduler/--scheduler-opt.
+
+    Validation rides on :class:`~repro.api.config.RunConfig` (the same path
+    programmatic configuration uses): unknown names fail there, bad option
+    values fail on the eager trial construction below.  Returns ``None``
+    when no scheduler flags were given.
+    """
+    from repro.api import RunConfig
+
+    options: dict = {}
+    for pair in args.scheduler_opt or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--scheduler-opt {pair!r} is not KEY=VALUE")
+        options[key] = _parse_opt_value(value)
+    if options and not args.scheduler:
+        raise ValueError("--scheduler-opt needs --scheduler")
+    if not args.scheduler:
+        return None
+    config = RunConfig(scheduler=args.scheduler, scheduler_options=options)
+    factory = config.scheduler_factory()
+    factory()  # fail on bad options here, with the constructor's message
+    return factory
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -76,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(coalesced families cost one path simulation plus per-member "
             "payoff sweeps in the simulated cluster)",
         )
+        _add_scheduler_args(cmd)
 
     run = sub.add_parser("run", help="value a scaled-down portfolio for real")
     _add_portfolio_args(run)
@@ -127,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream per-position completion as results land (count + "
         "running mean std-error), built on session.stream",
     )
+    _add_scheduler_args(run)
 
     sweep = sub.add_parser(
         "sweep", help="simulate one portfolio over a list of CPU counts"
@@ -140,12 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="CPU counts to simulate",
     )
     sweep.add_argument("--strategy", default="serialized_load")
-    sweep.add_argument(
-        "--scheduler",
-        default=None,
-        help="registered scheduler name (see repro.core.scheduler.SCHEDULERS; "
-        "default robin_hood)",
-    )
+    _add_scheduler_args(sweep)
     sweep.add_argument(
         "--cold-nfs-cache",
         action="store_true",
@@ -209,6 +262,16 @@ def _cmd_price(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_scheduler(args: argparse.Namespace):
+    """``(factory, error)``: the validated scheduler factory or a message."""
+    from repro.errors import ReproError
+
+    try:
+        return _scheduler_factory(args), None
+    except (ValueError, TypeError, ReproError) as exc:
+        return None, str(exc)
+
+
 def _cmd_table(table: str, args: argparse.Namespace) -> int:
     from repro.api import ValuationSession
     from repro.cluster import paper_cost_model
@@ -218,7 +281,13 @@ def _cmd_table(table: str, args: argparse.Namespace) -> int:
         build_toy_portfolio,
     )
 
-    session = ValuationSession(backend="simulated", cost_model=paper_cost_model())
+    scheduler, error = _resolve_scheduler(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = ValuationSession(
+        backend="simulated", cost_model=paper_cost_model(), scheduler=scheduler
+    )
     if table == "table1":
         cpus = args.cpus or [2, 4, 6, 8, 10, 16, 32, 64, 96, 128, 160, 192, 224, 256]
         portfolio = build_regression_portfolio(profile="paper")
@@ -290,6 +359,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.hosts and args.backend != "remote":
         print("error: --hosts only applies to --backend remote", file=sys.stderr)
         return 2
+    scheduler, error = _resolve_scheduler(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     portfolio = _build_cli_portfolio(args)
     cache: object = args.cache_dir if args.cache_dir else bool(args.cache)
     with ExitStack() as stack:
@@ -311,6 +384,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             backend=args.backend,
             strategy=args.strategy,
             n_workers=args.workers,
+            scheduler=scheduler,
             cache=cache,
             backend_options=backend_options,
         )
@@ -340,9 +414,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.api import ValuationSession
 
+    scheduler, error = _resolve_scheduler(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     portfolio = _build_cli_portfolio(args)
     session = ValuationSession(
-        backend="simulated", strategy=args.strategy, scheduler=args.scheduler
+        backend="simulated", strategy=args.strategy, scheduler=scheduler
     )
     result = session.sweep(
         portfolio,

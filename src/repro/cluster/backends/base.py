@@ -153,6 +153,29 @@ class WorkerBackend(abc.ABC):
         backend, the virtual-time simulator -- ignore ``timeout``.
         """
 
+    def dispatch_batch(
+        self,
+        worker_id: int,
+        jobs: list[Job],
+        messages: "list[PreparedMessage] | None" = None,
+    ) -> None:
+        """Send several jobs to one worker as a single logical message.
+
+        The chunked dispatch policy ships whole chunks through this method:
+        backends with a genuine bulk path override it to pay one message
+        cost per chunk (one queue item on the multiprocessing backend, one
+        TCP frame on the remote backend, a single charged send latency on
+        the simulated cluster).  The default simply loops :meth:`dispatch`
+        per job, so every backend accepts chunked scheduling out of the box.
+
+        ``messages`` aligns index-for-index with ``jobs``; it is ``None``
+        for backends with ``requires_payload = False``.
+        """
+        for index, job in enumerate(jobs):
+            self.dispatch(
+                worker_id, job, messages[index] if messages is not None else None
+            )
+
     @abc.abstractmethod
     def finalize(self) -> BackendStats:
         """Stop all workers and return aggregate statistics."""

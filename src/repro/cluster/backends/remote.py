@@ -51,6 +51,7 @@ from repro.serial import Serial, serialize, xdr
 from repro.serial.frames import (
     FRAME_HELLO,
     FRAME_JOB,
+    FRAME_JOB_BATCH,
     FRAME_RESULT,
     FRAME_STOP,
     FrameAssembler,
@@ -118,11 +119,24 @@ class _Connection:
 
 @dataclass
 class _InFlight:
-    """A dispatched, not-yet-answered job (kept for redispatch on death)."""
+    """A dispatched, not-yet-answered job (kept for redispatch on death).
+
+    Singly-dispatched jobs keep their already-encoded ``frame``; chunk
+    members keep only the wire ``entry`` dictionary (whose payload bytes
+    are shared with the batch frame) and encode a solo frame lazily, on
+    the rare death-redispatch path.
+    """
 
     worker_id: int
     conn_index: int
-    frame: bytes
+    frame: bytes | None = None
+    entry: dict[str, Any] | None = None
+
+    def redispatch_frame(self) -> bytes:
+        if self.frame is None:
+            assert self.entry is not None
+            self.frame = encode_frame(FRAME_JOB, xdr.encode(self.entry))
+        return self.frame
 
 
 class RemoteBackend(WorkerBackend):
@@ -214,11 +228,9 @@ class RemoteBackend(WorkerBackend):
     def on_run_start(self, n_jobs: int) -> None:
         self._start = time.perf_counter()
 
-    def dispatch(self, worker_id: int, job: Job, message: PreparedMessage) -> None:
-        if not 0 <= worker_id < self._n_workers:
-            raise ClusterError(f"invalid worker id {worker_id}")
-        if self._finalized:
-            raise ClusterError("backend already finalized")
+    @staticmethod
+    def _wire_entry(job: Job, message: PreparedMessage) -> dict[str, Any]:
+        """The XDR-encodable job dictionary a worker expects on the wire."""
         kind, payload = message.kind, message.payload
         if kind == PAYLOAD_PROBLEM:
             # in-memory objects cannot cross the wire as such; ship them
@@ -227,13 +239,63 @@ class RemoteBackend(WorkerBackend):
             kind = PAYLOAD_SERIAL
         elif isinstance(payload, Serial):
             payload = payload.to_bytes()
-        frame = encode_frame(
-            FRAME_JOB,
-            xdr.encode({"job_id": job.job_id, "kind": kind, "payload": payload}),
-        )
+        return {"job_id": job.job_id, "kind": kind, "payload": payload}
+
+    def dispatch(self, worker_id: int, job: Job, message: PreparedMessage) -> None:
+        if not 0 <= worker_id < self._n_workers:
+            raise ClusterError(f"invalid worker id {worker_id}")
+        if self._finalized:
+            raise ClusterError("backend already finalized")
+        frame = encode_frame(FRAME_JOB, xdr.encode(self._wire_entry(job, message)))
         self._n_jobs += 1
         self._bytes_sent += len(frame)
         self._send(job.job_id, worker_id, frame)
+        self._flush_redispatch()
+
+    def dispatch_batch(
+        self,
+        worker_id: int,
+        jobs: list[Job],
+        messages: list[PreparedMessage] | None = None,
+    ) -> None:
+        """Ship a whole chunk as **one** TCP frame (chunked scheduling).
+
+        The worker answers with one result frame per member, so collection
+        stays incremental.  For death recovery each member is tracked with
+        its own single-job frame: if the connection dies mid-chunk, the
+        unanswered members are redispatched individually to the survivors
+        (an answered member is never re-sent).
+        """
+        if not 0 <= worker_id < self._n_workers:
+            raise ClusterError(f"invalid worker id {worker_id}")
+        if self._finalized:
+            raise ClusterError("backend already finalized")
+        if messages is None or len(messages) != len(jobs):
+            raise ClusterError("remote workers need one prepared payload per job")
+        entries = [
+            self._wire_entry(job, message) for job, message in zip(jobs, messages)
+        ]
+        try:
+            frame = encode_frame(FRAME_JOB_BATCH, xdr.encode({"jobs": entries}))
+        except SerializationError:
+            # the combined chunk overflows the frame-size guard; individual
+            # jobs may still fit, so degrade to per-job dispatch rather than
+            # kill a run that per-job framing completes
+            for job, message in zip(jobs, messages):
+                self.dispatch(worker_id, job, message)
+            return
+        self._n_jobs += len(jobs)
+        self._bytes_sent += len(frame)
+        conn_index = self._route_for(worker_id)
+        for entry in entries:
+            # the solo redispatch frame is only built if the connection dies
+            self._inflight[int(entry["job_id"])] = _InFlight(
+                worker_id, conn_index, frame=None, entry=entry
+            )
+        try:
+            self._conns[conn_index].sock.sendall(frame)
+        except OSError:
+            self._on_conn_dead(conn_index)
         self._flush_redispatch()
 
     def collect(self, timeout: float | None = 300.0) -> CompletedJob:
@@ -295,13 +357,18 @@ class RemoteBackend(WorkerBackend):
     def _live_indices(self) -> list[int]:
         return [index for index, conn in enumerate(self._conns) if conn.alive]
 
-    def _send(self, job_id: int, worker_id: int, frame: bytes) -> None:
-        """Record ``job_id`` as in flight and push its frame down the wire."""
+    def _route_for(self, worker_id: int) -> int:
+        """The live connection index a logical worker currently routes to."""
         conn_index = self._route[worker_id]
         if not self._conns[conn_index].alive:
             # the routed connection died between collects; remap first
             self._remap_route(conn_index)
             conn_index = self._route[worker_id]
+        return conn_index
+
+    def _send(self, job_id: int, worker_id: int, frame: bytes) -> None:
+        """Record ``job_id`` as in flight and push its frame down the wire."""
+        conn_index = self._route_for(worker_id)
         self._inflight[job_id] = _InFlight(worker_id, conn_index, frame)
         try:
             self._conns[conn_index].sock.sendall(frame)
@@ -410,7 +477,7 @@ class RemoteBackend(WorkerBackend):
             if entry is None or entry.conn_index != _UNROUTED:
                 continue  # answered meanwhile, or already re-sent
             # same logical worker slot, surviving connection
-            self._send(job_id, entry.worker_id, entry.frame)
+            self._send(job_id, entry.worker_id, entry.redispatch_frame())
 
     def _stop_conn(self, conn: _Connection) -> None:
         if not conn.alive or conn.stop_sent:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import multiprocessing as mp
 import os
+import signal
 import socket
 import sys
 from typing import Any, Sequence
@@ -40,6 +41,7 @@ from repro.serial import xdr
 from repro.serial.frames import (
     FRAME_HELLO,
     FRAME_JOB,
+    FRAME_JOB_BATCH,
     FRAME_STOP,
     FRAME_RESULT,
     PROTOCOL_VERSION,
@@ -54,6 +56,33 @@ def _hello_payload() -> bytes:
     return xdr.encode(
         {"role": "repro-worker", "pid": os.getpid(), "version": PROTOCOL_VERSION}
     )
+
+
+def _result_frame(
+    job_id: int, result: Any, elapsed: float, error: str | None
+) -> bytes:
+    try:
+        return encode_frame(
+            FRAME_RESULT,
+            xdr.encode(
+                {"job_id": job_id, "result": result, "elapsed": elapsed, "error": error}
+            ),
+        )
+    except SerializationError as exc:
+        # a result the codec cannot ship must degrade to an error answer,
+        # never kill the worker (the master would redispatch the same
+        # poison job through every survivor)
+        return encode_frame(
+            FRAME_RESULT,
+            xdr.encode(
+                {
+                    "job_id": job_id,
+                    "result": None,
+                    "elapsed": elapsed,
+                    "error": f"result not transmissible: {exc}",
+                }
+            ),
+        )
 
 
 def _handle_connection(conn: socket.socket, cache: Any, log) -> bool:
@@ -76,41 +105,71 @@ def _handle_connection(conn: socket.socket, cache: Any, log) -> bool:
         kind, payload = frame
         if kind == FRAME_STOP:
             return True
-        if kind != FRAME_JOB:
+        if kind not in (FRAME_JOB, FRAME_JOB_BATCH):
             log(f"ignoring unexpected frame kind {kind}")
             continue
         try:
-            job = xdr.decode(payload)
-            job_id = int(job["job_id"])
-            payload_kind = job["kind"]
-            job_payload = job["payload"]
+            decoded = xdr.decode(payload)
+            # a batch frame is one message carrying a whole chunk; answers
+            # still go back one result frame per member so the master's
+            # collection loop stays incremental
+            entries = decoded["jobs"] if kind == FRAME_JOB_BATCH else [decoded]
+            parsed = [
+                (int(entry["job_id"]), entry["kind"], entry["payload"])
+                for entry in entries
+            ]
         except (SerializationError, KeyError, TypeError, ValueError) as exc:
             log(f"dropping connection on undecodable job frame: {exc}")
             return False
-        result, elapsed, error = execute_payload(payload_kind, job_payload, cache=cache)
+        for job_id, payload_kind, job_payload in parsed:
+            result, elapsed, error = execute_payload(
+                payload_kind, job_payload, cache=cache
+            )
+            conn.sendall(_result_frame(job_id, result, elapsed, error))
+
+
+def _make_log(quiet: bool):
+    def log(message: str) -> None:
+        if not quiet:
+            print(f"[repro-worker {os.getpid()}] {message}", file=sys.stderr)
+
+    return log
+
+
+def _accept_loop(
+    server: socket.socket,
+    cache_dir: str | None,
+    once: bool,
+    quiet: bool,
+) -> None:
+    """Accept master connections on an already-listening socket, forever.
+
+    This is the body of one pricing process: with ``repro-worker --workers N``
+    every forked child runs this loop on the **same** inherited listening
+    socket, so the kernel load-balances incoming master connections across
+    the children.
+    """
+    from repro.cluster.backends.execution import make_worker_cache
+
+    log = _make_log(quiet)
+    cache = make_worker_cache(cache_dir)
+    while True:
         try:
-            frame = encode_frame(
-                FRAME_RESULT,
-                xdr.encode(
-                    {"job_id": job_id, "result": result, "elapsed": elapsed, "error": error}
-                ),
-            )
-        except SerializationError as exc:
-            # a result the codec cannot ship must degrade to an error answer,
-            # never kill the worker (the master would redispatch the same
-            # poison job through every survivor)
-            frame = encode_frame(
-                FRAME_RESULT,
-                xdr.encode(
-                    {
-                        "job_id": job_id,
-                        "result": None,
-                        "elapsed": elapsed,
-                        "error": f"result not transmissible: {exc}",
-                    }
-                ),
-            )
-        conn.sendall(frame)
+            conn, peer = server.accept()
+        except KeyboardInterrupt:
+            log("interrupted, shutting down")
+            return
+        with conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            log(f"master connected from {peer[0]}:{peer[1]}")
+            try:
+                stopped = _handle_connection(conn, cache, log)
+            except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+                log(f"connection lost: {exc}")
+                stopped = False
+            log("connection closed" + (" (stop frame)" if stopped else ""))
+        if once:
+            return
 
 
 def serve(
@@ -121,6 +180,7 @@ def serve(
     once: bool = False,
     ready: Any = None,
     quiet: bool = True,
+    workers: int = 1,
 ) -> None:
     """Accept master connections and price their jobs until interrupted.
 
@@ -129,52 +189,93 @@ def serve(
     after the first connection ends -- useful for tests and one-shot
     deployments.  ``cache_dir`` opens the shared on-disk result cache every
     other executing backend understands (see :mod:`repro.pricing.cache`).
+
+    ``workers=N`` forks ``N`` pricing processes behind the one listening
+    socket: each child runs the accept loop on the shared socket, so a
+    master that lists the same ``host:port`` address ``N`` times gets ``N``
+    genuinely parallel slaves from a single server (with ``once=True`` each
+    child exits after its first connection ends).  Requires the ``fork``
+    start method (Linux/macOS).
     """
-    from repro.cluster.backends.execution import make_worker_cache
-
-    def log(message: str) -> None:
-        if not quiet:
-            print(f"[repro-worker {os.getpid()}] {message}", file=sys.stderr)
-
-    cache = make_worker_cache(cache_dir)
+    log = _make_log(quiet)
+    if workers < 1:
+        raise ClusterError("serve needs workers >= 1")
     server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     try:
         server.bind((host, port))
-        server.listen(8)
+        server.listen(max(8, 2 * workers))
         bound_port = server.getsockname()[1]
         if ready is not None:
             ready(bound_port)
-        log(f"listening on {host}:{bound_port}")
-        while True:
-            try:
-                conn, peer = server.accept()
-            except KeyboardInterrupt:
-                log("interrupted, shutting down")
-                return
-            with conn:
-                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                log(f"master connected from {peer[0]}:{peer[1]}")
-                try:
-                    stopped = _handle_connection(conn, cache, log)
-                except (BrokenPipeError, ConnectionResetError, OSError) as exc:
-                    log(f"connection lost: {exc}")
-                    stopped = False
-                log("connection closed" + (" (stop frame)" if stopped else ""))
-            if once:
-                return
+        log(f"listening on {host}:{bound_port} ({workers} pricing process(es))")
+        if workers == 1:
+            _accept_loop(server, cache_dir, once, quiet)
+            return
+        if "fork" not in mp.get_all_start_methods():
+            raise ClusterError(
+                "--workers needs the 'fork' multiprocessing start method to "
+                "share the listening socket; run one repro-worker per port "
+                "on this platform instead"
+            )
+        # a SIGTERM on the parent must still tear the children down (the
+        # default handler would skip the finally block below)
+        try:
+            signal.signal(signal.SIGTERM, lambda *_args: sys.exit(0))
+        except ValueError:  # pragma: no cover - not in the main thread
+            pass
+        ctx = mp.get_context("fork")
+        children = [
+            ctx.Process(
+                target=_accept_loop,
+                args=(server, cache_dir, once, quiet),
+                # daemonic: multiprocessing also reaps them if this parent
+                # exits through a path that skips the finally block below
+                daemon=True,
+            )
+            for _ in range(workers)
+        ]
+        try:
+            for child in children:
+                child.start()
+            for child in children:
+                child.join()
+        except KeyboardInterrupt:
+            log("interrupted, shutting down")
+        finally:
+            for child in children:
+                if child.is_alive():
+                    child.terminate()
+            for child in children:
+                child.join(timeout=5.0)
     finally:
         server.close()
 
 
 def _spawned_worker(
-    index: int, host: str, port_queue: Any, cache_dir: str | None
+    index: int, host: str, port_queue: Any, cache_dir: str | None, workers: int = 1
 ) -> None:
     """Entry point of one :func:`spawn_local_workers` process."""
+    if workers > 1:
+        # a multi-process server cannot be daemonic (it forks children), so
+        # if the caller dies without pool.stop() nothing reaps it; watch for
+        # reparenting and tear down via the SIGTERM path serve() installs
+        import threading
+        import time
+
+        original_ppid = os.getppid()
+
+        def _exit_when_orphaned() -> None:
+            while os.getppid() == original_ppid:
+                time.sleep(1.0)
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        threading.Thread(target=_exit_when_orphaned, daemon=True).start()
     serve(
         host=host,
         port=0,
         cache_dir=cache_dir,
+        workers=workers,
         ready=lambda port: port_queue.put((index, port)),
     )
 
@@ -202,7 +303,13 @@ class LocalWorkerPool:
         return self.hosts[index]
 
     def kill(self, index: int) -> None:
-        """Hard-kill one worker process (simulates a node failure)."""
+        """Hard-kill one worker process (simulates a node failure).
+
+        Meant for single-process servers (the default): with
+        ``workers_per_server > 1`` the SIGKILL hits the accepting parent
+        and its forked pricing children are left to the kernel, so death
+        tests should stick to one pricing process per server.
+        """
         self._processes[index].kill()
         self._processes[index].join(timeout=10.0)
 
@@ -230,6 +337,7 @@ def spawn_local_workers(
     cache_dir: str | None = None,
     start_method: str | None = None,
     timeout: float = 30.0,
+    workers_per_server: int = 1,
 ) -> LocalWorkerPool:
     """Start ``n`` worker servers on ``127.0.0.1`` and return their pool.
 
@@ -238,9 +346,17 @@ def spawn_local_workers(
     ``ValuationSession(backend="remote", backend_options={"hosts": pool.hosts})``
     can connect immediately.  Stop the pool with :meth:`LocalWorkerPool.stop`
     or a ``with`` block.
+
+    ``workers_per_server`` forwards ``serve(workers=N)``: each server forks
+    ``N`` pricing processes behind its one listening socket (the
+    ``repro-worker --workers N`` deployment).  ``pool.hosts`` still has one
+    address per *server*; list an address once per desired connection on the
+    master side (e.g. ``hosts=pool.hosts * N``).
     """
     if n < 1:
         raise ClusterError("spawn_local_workers needs n >= 1")
+    if workers_per_server < 1:
+        raise ClusterError("spawn_local_workers needs workers_per_server >= 1")
     ctx = mp.get_context(start_method) if start_method else mp.get_context()
     port_queue = ctx.Queue()
     processes = []
@@ -248,8 +364,10 @@ def spawn_local_workers(
         for index in range(n):
             process = ctx.Process(
                 target=_spawned_worker,
-                args=(index, "127.0.0.1", port_queue, cache_dir),
-                daemon=True,
+                args=(index, "127.0.0.1", port_queue, cache_dir, workers_per_server),
+                # a multi-process server must fork children, which daemonic
+                # processes may not do
+                daemon=workers_per_server == 1,
             )
             process.start()
             processes.append(process)
@@ -266,7 +384,15 @@ def spawn_local_workers(
             if process.is_alive():
                 process.terminate()
         raise
-    return LocalWorkerPool(processes, hosts)
+    pool = LocalWorkerPool(processes, hosts)
+    if workers_per_server > 1:
+        # non-daemonic servers would otherwise block multiprocessing's
+        # exit-time join if the caller forgets pool.stop(); atexit handlers
+        # run LIFO, so this stop() lands before that join
+        import atexit
+
+        atexit.register(pool.stop)
+    return pool
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -283,6 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "you trust)")
     parser.add_argument("--port", type=int, default=9631,
                         help="TCP port to listen on (0 picks an ephemeral port)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="fork N pricing processes behind the one "
+                        "listening socket; a master that lists this address "
+                        "N times gets N parallel slaves (needs the 'fork' "
+                        "start method)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="open the shared on-disk result cache in DIR")
     parser.add_argument("--once", action="store_true",
@@ -301,6 +432,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         once=args.once,
         quiet=args.quiet,
+        workers=args.workers,
         ready=lambda port: print(f"repro-worker listening on {args.host}:{port}"),
     )
     return 0

@@ -45,11 +45,19 @@ from repro.core.runner import (
 )
 from repro.core.scheduler import (
     SCHEDULERS,
+    ChunkedPolicy,
     ChunkedRobinHoodScheduler,
+    DispatchPolicy,
+    RobinHoodPolicy,
     RobinHoodScheduler,
     ScheduleOutcome,
+    ScheduleStream,
     Scheduler,
+    StaticBlockPolicy,
     StaticBlockScheduler,
+    WorkStealingPolicy,
+    WorkStealingScheduler,
+    register_scheduler,
     simulate_hierarchical,
 )
 from repro.core.speedup import SpeedupRow, SpeedupTable, format_comparison_table, speedup_ratio
@@ -84,6 +92,14 @@ __all__ = [
     "RobinHoodScheduler",
     "StaticBlockScheduler",
     "ChunkedRobinHoodScheduler",
+    "WorkStealingScheduler",
+    "DispatchPolicy",
+    "RobinHoodPolicy",
+    "StaticBlockPolicy",
+    "ChunkedPolicy",
+    "WorkStealingPolicy",
+    "ScheduleStream",
+    "register_scheduler",
     "simulate_hierarchical",
     "ScheduleOutcome",
     "SCHEDULERS",

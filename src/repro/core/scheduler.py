@@ -8,20 +8,32 @@ two refinements: "gather several pricing problems and send them all together
 to reduce the communication latency" and "divide the nodes into sub-groups,
 each group having its own master".
 
-This module implements:
+Since the streaming-first redesign there is exactly **one** master loop --
+:class:`ScheduleStream`, the paper's Fig. 4 in pull-driven form -- and every
+scheduling variant is a :class:`DispatchPolicy` strategy object plugged into
+it: how the initial wave is shaped, how a freed worker is refilled, and
+whether several jobs travel as one message.  The shipped policies are
 
-* :class:`RobinHoodScheduler` -- the paper's dynamic master/worker loop;
-* :class:`StaticBlockScheduler` -- a static pre-partitioning baseline (what
-  the dynamic strategy is implicitly compared against);
-* :class:`ChunkedRobinHoodScheduler` -- Robin Hood with job batching (the
-  first refinement);
-* :func:`simulate_hierarchical` -- the sub-master organisation (the second
-  refinement), evaluated on the simulated cluster.
+* :class:`RobinHoodPolicy` -- the paper's dynamic loop: one job per slave,
+  refill the slave that just answered;
+* :class:`StaticBlockPolicy` -- full pre-partition into contiguous blocks,
+  no refill (the baseline the dynamic strategy is compared against);
+* :class:`ChunkedPolicy` -- Robin Hood over ``chunk_size``-job chunks, each
+  chunk shipped as a single message (the conclusion's first refinement);
+* :class:`WorkStealingPolicy` -- static per-worker blocks plus dynamic
+  stealing: an idle worker refills from the tail of the most-loaded
+  worker's still-queued block.
+
+Each policy is wrapped by a thin :class:`Scheduler` shell
+(``supports_streaming = True`` across the board; ``run()`` is literally
+``stream(...).finish()``), registered in :data:`SCHEDULERS` and extensible
+through :func:`register_scheduler`.  :func:`simulate_hierarchical` builds the
+conclusion's second refinement (sub-masters) on top of the same loop.
 
 All schedulers drive a :class:`~repro.cluster.backends.base.WorkerBackend`
 through the same dispatch/collect interface, so the same code path runs on
-the sequential backend, on real ``multiprocessing`` workers and on the
-simulated cluster.
+the sequential backend, on real ``multiprocessing`` workers, on remote
+``repro-worker`` TCP pools and on the simulated cluster.
 """
 
 from __future__ import annotations
@@ -29,7 +41,7 @@ from __future__ import annotations
 import abc
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.cluster.backends.base import BackendStats, CompletedJob, Job, WorkerBackend
 from repro.cluster.simcluster.comm import CommunicationModel
@@ -41,11 +53,18 @@ from repro.errors import SchedulingError
 __all__ = [
     "ScheduleOutcome",
     "ScheduleStream",
+    "DispatchPolicy",
+    "RobinHoodPolicy",
+    "StaticBlockPolicy",
+    "ChunkedPolicy",
+    "WorkStealingPolicy",
     "Scheduler",
     "RobinHoodScheduler",
     "StaticBlockScheduler",
     "ChunkedRobinHoodScheduler",
+    "WorkStealingScheduler",
     "simulate_hierarchical",
+    "register_scheduler",
     "SCHEDULERS",
 ]
 
@@ -85,27 +104,330 @@ def _check_jobs(jobs: Sequence[Job]) -> None:
         seen.add(job.job_id)
 
 
+class DispatchPolicy(abc.ABC):
+    """How one :class:`ScheduleStream` shapes its dispatches.
+
+    A policy owns the master-side queue: it decides the initial wave (which
+    worker receives which jobs before anything is collected), the refill rule
+    (what a freed worker gets after each answer), and whether a wave travels
+    as one message per job (``chunked = False`` -> ``backend.dispatch``) or
+    as one message per chunk (``chunked = True`` ->
+    ``backend.dispatch_batch``).  The stream handles everything else --
+    collection, accounting, cancellation bookkeeping, termination -- so a new
+    scheduling variant is a policy plus a thin :class:`Scheduler` shell (see
+    ``docs/schedulers.md`` for a worked example).
+    """
+
+    name: str = "abstract"
+    #: when ``True`` every wave ships through ``backend.dispatch_batch``
+    #: (one message per chunk -- the conclusion's latency refinement);
+    #: otherwise one ``backend.dispatch`` call per job
+    chunked: bool = False
+
+    @abc.abstractmethod
+    def plan(self, jobs: Sequence[Job], n_workers: int) -> None:
+        """Take ownership of ``jobs`` before anything is dispatched."""
+
+    @abc.abstractmethod
+    def initial_wave(self) -> Iterator[tuple[int, list[Job]]]:
+        """Yield ``(worker_id, jobs)`` waves to dispatch before collecting."""
+
+    @abc.abstractmethod
+    def refill(self, worker_id: int) -> list[Job] | None:
+        """The next wave for ``worker_id``, called once per collected job.
+
+        Return ``None`` (or an empty list) to leave the worker idle; the
+        policy is responsible for its own outstanding-work bookkeeping.
+        """
+
+    @abc.abstractmethod
+    def queued_jobs(self) -> list[Job]:
+        """Jobs still held master-side (not yet dispatched)."""
+
+    @abc.abstractmethod
+    def withdraw(self, job_id: int) -> Job | None:
+        """Remove a still-queued job from the plan; ``None`` if not queued."""
+
+    def withdraw_all(self) -> list[Job]:
+        """Remove every still-queued job (in-flight ones keep running)."""
+        return [job for job in list(self.queued_jobs())
+                if self.withdraw(job.job_id) is not None]
+
+    @property
+    def n_queued(self) -> int:
+        """How many jobs are still queued.
+
+        The stream reads this once per collection, so concrete policies
+        override it with an O(1) counter; this default recount is only a
+        correctness fallback for third-party policies.
+        """
+        return len(self.queued_jobs())
+
+    def outcome_extra(self) -> dict[str, Any]:
+        """Policy-specific entries for :attr:`ScheduleOutcome.extra`."""
+        return {}
+
+
+class RobinHoodPolicy(DispatchPolicy):
+    """The paper's dynamic loop: one job per slave, refill whoever answers."""
+
+    name = "robin_hood"
+
+    def plan(self, jobs: Sequence[Job], n_workers: int) -> None:
+        self._queue: deque[Job] = deque(jobs)
+        self._n_workers = n_workers
+
+    def initial_wave(self) -> Iterator[tuple[int, list[Job]]]:
+        # first, one job per slave, exactly like Fig. 4
+        for worker_id in range(min(self._n_workers, len(self._queue))):
+            yield worker_id, [self._queue.popleft()]
+
+    def refill(self, worker_id: int) -> list[Job] | None:
+        # feed the slave that just answered, as Fig. 4 does
+        if self._queue:
+            return [self._queue.popleft()]
+        return None
+
+    def queued_jobs(self) -> list[Job]:
+        return list(self._queue)
+
+    @property
+    def n_queued(self) -> int:
+        return len(self._queue)
+
+    def withdraw(self, job_id: int) -> Job | None:
+        for job in self._queue:
+            if job.job_id == job_id:
+                self._queue.remove(job)
+                return job
+        return None
+
+    def withdraw_all(self) -> list[Job]:
+        dropped = list(self._queue)
+        self._queue.clear()
+        return dropped
+
+
+class StaticBlockPolicy(DispatchPolicy):
+    """Full pre-partition into contiguous blocks, one per worker, no refill.
+
+    Everything is dispatched in the initial wave, so nothing is ever queued
+    master-side: ``cancel_pending`` finds nothing to withdraw and the worker
+    that drew the expensive block becomes the critical path.  This is the
+    baseline of the scheduler ablation benchmark.
+    """
+
+    name = "static_block"
+
+    def plan(self, jobs: Sequence[Job], n_workers: int) -> None:
+        n_jobs = len(jobs)
+        self._assignments: list[tuple[int, Job]] = [
+            (min(index * n_workers // n_jobs, n_workers - 1), job)
+            for index, job in enumerate(jobs)
+        ]
+
+    def initial_wave(self) -> Iterator[tuple[int, list[Job]]]:
+        assignments, self._assignments = self._assignments, []
+        for worker_id, job in assignments:
+            yield worker_id, [job]
+
+    def refill(self, worker_id: int) -> list[Job] | None:
+        return None
+
+    def queued_jobs(self) -> list[Job]:
+        return [job for _, job in self._assignments]
+
+    @property
+    def n_queued(self) -> int:
+        return len(self._assignments)
+
+    def withdraw(self, job_id: int) -> Job | None:
+        for entry in self._assignments:
+            if entry[1].job_id == job_id:
+                self._assignments.remove(entry)
+                return entry[1]
+        return None
+
+
+class ChunkedPolicy(DispatchPolicy):
+    """Robin Hood over ``chunk_size``-job chunks, one message per chunk.
+
+    "The first idea is to gather several pricing problems and send them all
+    together to reduce the communication latency: it is always advisable to
+    send a single large message rather [than] several smaller messages."
+    Chunks travel through ``backend.dispatch_batch``: natively one message
+    (queue item, TCP frame, simulated single-latency send) on backends that
+    implement it, a per-job loop everywhere else.  A worker is refilled once
+    it has drained its whole previous chunk.
+    """
+
+    name = "chunked"
+    chunked = True
+
+    def __init__(self, chunk_size: int = 8):
+        if chunk_size < 1:
+            raise SchedulingError("chunk_size must be >= 1")
+        self.chunk_size = int(chunk_size)
+
+    def plan(self, jobs: Sequence[Job], n_workers: int) -> None:
+        self._queue: deque[list[Job]] = deque(
+            list(jobs[i : i + self.chunk_size])
+            for i in range(0, len(jobs), self.chunk_size)
+        )
+        self._n_workers = n_workers
+        self._outstanding: dict[int, int] = {}
+        self._queued_count = len(jobs)
+
+    def _next_chunk(self, worker_id: int) -> list[Job]:
+        chunk = self._queue.popleft()
+        self._queued_count -= len(chunk)
+        self._outstanding[worker_id] = self._outstanding.get(worker_id, 0) + len(chunk)
+        return chunk
+
+    def initial_wave(self) -> Iterator[tuple[int, list[Job]]]:
+        for worker_id in range(min(self._n_workers, len(self._queue))):
+            yield worker_id, self._next_chunk(worker_id)
+
+    def refill(self, worker_id: int) -> list[Job] | None:
+        self._outstanding[worker_id] -= 1
+        # hand the worker a new chunk once it drained its previous one
+        if self._outstanding[worker_id] == 0 and self._queue:
+            return self._next_chunk(worker_id)
+        return None
+
+    def queued_jobs(self) -> list[Job]:
+        return [job for chunk in self._queue for job in chunk]
+
+    @property
+    def n_queued(self) -> int:
+        return self._queued_count
+
+    def withdraw(self, job_id: int) -> Job | None:
+        for chunk in self._queue:
+            for job in chunk:
+                if job.job_id == job_id:
+                    chunk.remove(job)
+                    self._queued_count -= 1
+                    if not chunk:
+                        self._queue.remove(chunk)
+                    return job
+        return None
+
+    def withdraw_all(self) -> list[Job]:
+        dropped = [job for chunk in self._queue for job in chunk]
+        self._queue.clear()
+        self._queued_count = 0
+        return dropped
+
+    def outcome_extra(self) -> dict[str, Any]:
+        return {"chunk_size": self.chunk_size}
+
+
+class WorkStealingPolicy(DispatchPolicy):
+    """Static per-worker blocks plus dynamic stealing from the loaded tail.
+
+    Each worker owns the contiguous block a static partition would give it
+    and works through it front to back, one job per message.  A worker whose
+    own block is exhausted *steals* from the tail of the most-loaded worker's
+    still-queued block (most remaining estimated compute), so the expensive
+    block stops being a critical path without giving up the locality of a
+    static plan.
+    """
+
+    name = "work_stealing"
+
+    def plan(self, jobs: Sequence[Job], n_workers: int) -> None:
+        n_jobs = len(jobs)
+        self._queues: list[deque[Job]] = [deque() for _ in range(n_workers)]
+        for index, job in enumerate(jobs):
+            self._queues[min(index * n_workers // n_jobs, n_workers - 1)].append(job)
+        # running per-queue load totals, so steal-victim selection is
+        # O(n_workers) instead of rescanning every queued job per steal
+        self._loads = [
+            sum(job.compute_cost for job in queue) for queue in self._queues
+        ]
+        self._queued_count = n_jobs
+
+    def _take(self, worker_id: int, job: Job) -> Job:
+        self._loads[worker_id] -= job.compute_cost
+        self._queued_count -= 1
+        return job
+
+    def _steal_victim(self) -> int | None:
+        best: int | None = None
+        best_load = 0.0
+        for worker_id, queue in enumerate(self._queues):
+            if queue and (best is None or self._loads[worker_id] > best_load):
+                best, best_load = worker_id, self._loads[worker_id]
+        return best
+
+    def _next_for(self, worker_id: int) -> Job | None:
+        if self._queues[worker_id]:
+            return self._take(worker_id, self._queues[worker_id].popleft())
+        victim = self._steal_victim()
+        if victim is None:
+            return None
+        # steal from the loaded tail
+        return self._take(victim, self._queues[victim].pop())
+
+    def initial_wave(self) -> Iterator[tuple[int, list[Job]]]:
+        for worker_id in range(len(self._queues)):
+            job = self._next_for(worker_id)
+            if job is not None:
+                yield worker_id, [job]
+
+    def refill(self, worker_id: int) -> list[Job] | None:
+        job = self._next_for(worker_id)
+        return [job] if job is not None else None
+
+    def queued_jobs(self) -> list[Job]:
+        return [job for queue in self._queues for job in queue]
+
+    @property
+    def n_queued(self) -> int:
+        return self._queued_count
+
+    def withdraw(self, job_id: int) -> Job | None:
+        for worker_id, queue in enumerate(self._queues):
+            for job in queue:
+                if job.job_id == job_id:
+                    queue.remove(job)
+                    return self._take(worker_id, job)
+        return None
+
+    def withdraw_all(self) -> list[Job]:
+        dropped = [job for queue in self._queues for job in queue]
+        for queue in self._queues:
+            queue.clear()
+        self._loads = [0.0] * len(self._queues)
+        self._queued_count = 0
+        return dropped
+
+
 class ScheduleStream:
     """Pull-driven incremental form of the paper's master loop (Fig. 4).
 
-    The historical schedulers ran to completion: dispatch everything, collect
-    everything, hand back one :class:`ScheduleOutcome`.  A *stream* exposes
-    the same Robin-Hood loop one collection at a time, which is what the
-    futures API (:mod:`repro.api.futures`) builds on:
+    This is the **only** master loop in the system: every scheduler is a
+    :class:`DispatchPolicy` plugged into it, and the historical
+    run-to-completion spelling is just a stream drained in one call
+    (``Scheduler.run`` is ``stream(...).finish()``).  The futures API
+    (:mod:`repro.api.futures`) builds on the same object:
 
-    * construction sends the initial wave (one job per slave, exactly like
-      the run-to-completion loop did);
-    * each :meth:`collect_next` blocks until any worker answers, hands the
-      freed worker the next queued job, and returns the completed job --
-      ``MPI_Probe`` on any source followed by ``MPI_Recv_Obj``;
+    * construction sends the policy's initial wave (one job per slave for
+      Robin Hood, the full pre-partition for static blocks, one chunk per
+      slave for the chunked policy);
+    * each :meth:`collect_next` blocks until any worker answers, asks the
+      policy how to refill the freed worker, and returns the completed job
+      -- ``MPI_Probe`` on any source followed by ``MPI_Recv_Obj``;
     * :meth:`try_collect_next` is the non-blocking variant (``MPI_Iprobe``);
     * :meth:`cancel_job` withdraws a job that is still queued master-side;
     * :meth:`finish` drains whatever is left, sends the stop messages and
       finalizes the backend into the familiar :class:`ScheduleOutcome`.
 
     Driving a stream to exhaustion performs the exact same backend call
-    sequence as :meth:`RobinHoodScheduler.run` -- on the simulated backend
-    the virtual times are bit-identical.
+    sequence as the historical run-to-completion loops did -- on the
+    simulated backend the virtual times are bit-identical for every shipped
+    policy (the scheduler/backend matrix test pins this).
     """
 
     def __init__(
@@ -113,35 +435,46 @@ class ScheduleStream:
         jobs: Sequence[Job],
         backend: WorkerBackend,
         strategy: TransmissionStrategy,
-        scheduler_name: str = "robin_hood",
+        policy: DispatchPolicy | None = None,
+        scheduler_name: str | None = None,
     ):
         _check_jobs(jobs)
         self.backend = backend
         self.strategy = strategy
-        self.scheduler_name = scheduler_name
+        self.policy = policy if policy is not None else RobinHoodPolicy()
+        self.scheduler_name = scheduler_name or self.policy.name
         self.n_jobs = len(jobs)
-        self._queue: deque[Job] = deque(jobs)
         self._in_flight = 0
         self._completed: list[CompletedJob] = []
         self._cancelled: list[Job] = []
         self._outcome: ScheduleOutcome | None = None
         backend.on_run_start(len(jobs))
-        # first, one job per slave
-        for worker_id in range(min(backend.n_workers, len(self._queue))):
-            self._dispatch(worker_id)
+        self.policy.plan(list(jobs), backend.n_workers)
+        for worker_id, wave in self.policy.initial_wave():
+            self._dispatch(worker_id, wave)
 
-    def _dispatch(self, worker_id: int) -> None:
-        job = self._queue.popleft()
-        self.backend.dispatch(
-            worker_id, job, _prepare(self.backend, self.strategy, job)
-        )
-        self._in_flight += 1
+    def _dispatch(self, worker_id: int, wave: list[Job]) -> None:
+        if not wave:
+            return
+        if self.policy.chunked:
+            messages = (
+                [_prepare(self.backend, self.strategy, job) for job in wave]
+                if getattr(self.backend, "requires_payload", True)
+                else None
+            )
+            self.backend.dispatch_batch(worker_id, wave, messages)
+        else:
+            for job in wave:
+                self.backend.dispatch(
+                    worker_id, job, _prepare(self.backend, self.strategy, job)
+                )
+        self._in_flight += len(wave)
 
     # -- state -------------------------------------------------------------------
     @property
     def remaining(self) -> int:
         """Jobs not yet collected (queued master-side or on a worker)."""
-        return len(self._queue) + self._in_flight
+        return self.policy.n_queued + self._in_flight
 
     @property
     def completed(self) -> list[CompletedJob]:
@@ -161,16 +494,16 @@ class ScheduleStream:
     def _account(self, done: CompletedJob) -> CompletedJob:
         self._completed.append(done)
         self._in_flight -= 1
-        # feed the slave that just answered, as Fig. 4 does
-        if self._queue:
-            self._dispatch(done.worker_id)
+        wave = self.policy.refill(done.worker_id)
+        if wave:
+            self._dispatch(done.worker_id, wave)
         return done
 
     def collect_next(self, timeout: float | None = None) -> CompletedJob:
         """Block until the next result arrives; refill the freed worker.
 
         ``timeout`` bounds the wait on backends with a real clock
-        (multiprocessing); immediate backends ignore it.
+        (multiprocessing, remote); immediate backends ignore it.
         """
         if self.remaining == 0:
             raise SchedulingError("stream exhausted: every job was collected")
@@ -196,17 +529,15 @@ class ScheduleStream:
     # -- cancellation ------------------------------------------------------------
     def cancel_job(self, job_id: int) -> bool:
         """Withdraw a still-queued job; ``False`` once it is on a worker."""
-        for job in self._queue:
-            if job.job_id == job_id:
-                self._queue.remove(job)
-                self._cancelled.append(job)
-                return True
-        return False
+        job = self.policy.withdraw(job_id)
+        if job is None:
+            return False
+        self._cancelled.append(job)
+        return True
 
     def cancel_pending(self) -> list[Job]:
         """Withdraw every job not yet dispatched (in-flight ones finish)."""
-        dropped = list(self._queue)
-        self._queue.clear()
+        dropped = self.policy.withdraw_all()
         self._cancelled.extend(dropped)
         return dropped
 
@@ -225,18 +556,41 @@ class ScheduleStream:
             completed=self._completed,
             stats=stats,
             scheduler_name=self.scheduler_name,
+            extra=self.policy.outcome_extra(),
         )
         return self._outcome
 
 
 class Scheduler(abc.ABC):
-    """Common interface of the load balancers."""
+    """Thin shell pairing a name with a :class:`DispatchPolicy` factory.
+
+    Every scheduler streams: :meth:`stream` opens the one master loop with a
+    fresh policy, and :meth:`run` is ``stream(...).finish()``.  Subclasses
+    only provide :meth:`make_policy` (plus constructor parameters the policy
+    needs) and a :attr:`name`.
+    """
 
     name: str = "abstract"
-    #: whether :meth:`stream` yields genuinely incremental collection
-    supports_streaming: bool = False
+    #: every policy-backed scheduler collects one answer at a time; kept as
+    #: an attribute so duck-typed third-party schedulers can advertise it too
+    supports_streaming: bool = True
 
     @abc.abstractmethod
+    def make_policy(self) -> DispatchPolicy:
+        """A fresh dispatch policy for one run (policies are stateful)."""
+
+    def stream(
+        self,
+        jobs: Sequence[Job],
+        backend: WorkerBackend,
+        strategy: TransmissionStrategy,
+    ) -> ScheduleStream:
+        """An incremental :class:`ScheduleStream` over ``jobs``."""
+        return ScheduleStream(
+            jobs, backend, strategy,
+            policy=self.make_policy(), scheduler_name=self.name,
+        )
+
     def run(
         self,
         jobs: Sequence[Job],
@@ -244,49 +598,53 @@ class Scheduler(abc.ABC):
         strategy: TransmissionStrategy,
     ) -> ScheduleOutcome:
         """Dispatch every job, collect every result, finalize the backend."""
-
-    def stream(
-        self,
-        jobs: Sequence[Job],
-        backend: WorkerBackend,
-        strategy: TransmissionStrategy,
-    ) -> ScheduleStream:
-        """An incremental :class:`ScheduleStream` over ``jobs``.
-
-        Only schedulers with ``supports_streaming = True`` implement this;
-        the static/chunked policies dispatch in patterns that have no
-        one-collection-at-a-time equivalent yet.
-        """
-        raise SchedulingError(
-            f"scheduler {self.name!r} does not support streaming collection; "
-            f"use robin_hood (the default)"
-        )
-
-
-class RobinHoodScheduler(Scheduler):
-    """The paper's dynamic master/worker loop (Fig. 4)."""
-
-    name = "robin_hood"
-    supports_streaming = True
-
-    def stream(
-        self,
-        jobs: Sequence[Job],
-        backend: WorkerBackend,
-        strategy: TransmissionStrategy,
-    ) -> ScheduleStream:
-        return ScheduleStream(jobs, backend, strategy, scheduler_name=self.name)
-
-    def run(
-        self,
-        jobs: Sequence[Job],
-        backend: WorkerBackend,
-        strategy: TransmissionStrategy,
-    ) -> ScheduleOutcome:
         # the run-to-completion loop is the streamed loop, drained
         return self.stream(jobs, backend, strategy).finish()
 
 
+#: named schedulers usable from the command line and the benchmarks
+SCHEDULERS: dict[str, Any] = {}
+
+
+def register_scheduler(name: str, factory: Callable[..., Scheduler] | None = None):
+    """Register a scheduler factory (usually the class itself) under ``name``.
+
+    Either call directly (``register_scheduler("mine", MyScheduler)``) or use
+    as a decorator factory::
+
+        @register_scheduler("mine")
+        class MyScheduler(Scheduler):
+            name = "mine"
+            def make_policy(self):
+                return MyPolicy()
+
+    Registered names are accepted everywhere a scheduler is spelled as a
+    string: ``ValuationSession(scheduler=...)``, ``RunConfig(scheduler=...)``
+    and the ``repro-bench --scheduler`` family of CLI flags.
+    """
+    if not name:
+        raise SchedulingError("scheduler names must be non-empty strings")
+
+    def _register(fn: Callable[..., Scheduler]) -> Callable[..., Scheduler]:
+        SCHEDULERS[name] = fn
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+@register_scheduler("robin_hood")
+class RobinHoodScheduler(Scheduler):
+    """The paper's dynamic master/worker loop (Fig. 4)."""
+
+    name = "robin_hood"
+
+    def make_policy(self) -> DispatchPolicy:
+        return RobinHoodPolicy()
+
+
+@register_scheduler("static_block")
 class StaticBlockScheduler(Scheduler):
     """Pre-partition the portfolio into contiguous blocks, one per worker.
 
@@ -296,38 +654,21 @@ class StaticBlockScheduler(Scheduler):
 
     name = "static_block"
 
-    def run(
-        self,
-        jobs: Sequence[Job],
-        backend: WorkerBackend,
-        strategy: TransmissionStrategy,
-    ) -> ScheduleOutcome:
-        _check_jobs(jobs)
-        backend.on_run_start(len(jobs))
-        n_workers = backend.n_workers
-        completed: list[CompletedJob] = []
-
-        # contiguous blocks, as a naive static partitioning would do
-        for index, job in enumerate(jobs):
-            worker_id = min(index * n_workers // len(jobs), n_workers - 1)
-            backend.dispatch(worker_id, job, _prepare(backend, strategy, job))
-        for _ in range(len(jobs)):
-            completed.append(backend.collect())
-        for worker_id in range(n_workers):
-            backend.send_stop(worker_id)
-        stats = backend.finalize()
-        return ScheduleOutcome(completed=completed, stats=stats, scheduler_name=self.name)
+    def make_policy(self) -> DispatchPolicy:
+        return StaticBlockPolicy()
 
 
+@register_scheduler("chunked_robin_hood")
 class ChunkedRobinHoodScheduler(Scheduler):
     """Robin Hood dispatching ``chunk_size`` jobs per message.
 
     "The first idea is to gather several pricing problems and send them all
     together to reduce the communication latency: it is always advisable to
     send a single large message rather [than] several smaller messages."
-    Dispatching still goes through the per-job backend interface, but on
-    backends that expose ``dispatch_batch`` (the simulated cluster) a single
-    message latency is charged per chunk instead of per job.
+    Chunks go down the wire through ``WorkerBackend.dispatch_batch``: one
+    queue message on the multiprocessing backend, one TCP frame on the
+    remote backend, and a single charged message latency on the simulated
+    cluster.
     """
 
     name = "chunked_robin_hood"
@@ -337,64 +678,24 @@ class ChunkedRobinHoodScheduler(Scheduler):
             raise SchedulingError("chunk_size must be >= 1")
         self.chunk_size = int(chunk_size)
 
-    def _dispatch_chunk(
-        self,
-        backend: WorkerBackend,
-        strategy: TransmissionStrategy,
-        worker_id: int,
-        chunk: list[Job],
-    ) -> None:
-        batch = getattr(backend, "dispatch_batch", None)
-        if batch is not None:
-            batch(worker_id, chunk, [
-                _prepare(backend, strategy, job) for job in chunk
-            ] if getattr(backend, "requires_payload", True) else None)
-        else:
-            for job in chunk:
-                backend.dispatch(worker_id, job, _prepare(backend, strategy, job))
+    def make_policy(self) -> DispatchPolicy:
+        return ChunkedPolicy(chunk_size=self.chunk_size)
 
-    def run(
-        self,
-        jobs: Sequence[Job],
-        backend: WorkerBackend,
-        strategy: TransmissionStrategy,
-    ) -> ScheduleOutcome:
-        _check_jobs(jobs)
-        backend.on_run_start(len(jobs))
-        completed: list[CompletedJob] = []
-        chunks = [
-            list(jobs[i : i + self.chunk_size]) for i in range(0, len(jobs), self.chunk_size)
-        ]
-        queue = list(chunks)
-        n_initial = min(backend.n_workers, len(queue))
-        outstanding: dict[int, int] = {}
 
-        for worker_id in range(n_initial):
-            chunk = queue.pop(0)
-            self._dispatch_chunk(backend, strategy, worker_id, chunk)
-            outstanding[worker_id] = outstanding.get(worker_id, 0) + len(chunk)
+@register_scheduler("work_stealing")
+class WorkStealingScheduler(Scheduler):
+    """Static blocks with dynamic stealing from the most-loaded tail.
 
-        remaining = sum(outstanding.values()) + sum(len(c) for c in queue)
-        while remaining:
-            done = backend.collect()
-            completed.append(done)
-            remaining -= 1
-            outstanding[done.worker_id] -= 1
-            # hand the worker a new chunk once it drained its previous one
-            if outstanding[done.worker_id] == 0 and queue:
-                chunk = queue.pop(0)
-                self._dispatch_chunk(backend, strategy, done.worker_id, chunk)
-                outstanding[done.worker_id] += len(chunk)
+    Combines the locality of :class:`StaticBlockScheduler` (each worker owns
+    a contiguous block) with the adaptivity of Robin Hood: a worker that
+    drains its own block steals the last still-queued job of whichever
+    worker has the most estimated compute left.
+    """
 
-        for worker_id in range(backend.n_workers):
-            backend.send_stop(worker_id)
-        stats = backend.finalize()
-        return ScheduleOutcome(
-            completed=completed,
-            stats=stats,
-            scheduler_name=self.name,
-            extra={"chunk_size": self.chunk_size},
-        )
+    name = "work_stealing"
+
+    def make_policy(self) -> DispatchPolicy:
+        return WorkStealingPolicy()
 
 
 def simulate_hierarchical(
@@ -472,11 +773,3 @@ def simulate_hierarchical(
         "n_groups": n_groups,
         "n_workers": n_workers,
     }
-
-
-#: named schedulers usable from the command line and the benchmarks
-SCHEDULERS: dict[str, Any] = {
-    RobinHoodScheduler.name: RobinHoodScheduler,
-    StaticBlockScheduler.name: StaticBlockScheduler,
-    ChunkedRobinHoodScheduler.name: ChunkedRobinHoodScheduler,
-}

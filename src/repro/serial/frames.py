@@ -44,6 +44,7 @@ __all__ = [
     "FRAME_JOB",
     "FRAME_RESULT",
     "FRAME_STOP",
+    "FRAME_JOB_BATCH",
     "FRAME_HEADER_BYTES",
     "MAX_FRAME_BYTES",
     "encode_frame",
@@ -56,8 +57,11 @@ __all__ = [
 _MAGIC = b"RWF\x01"
 
 #: bump on any incompatible change to the frame layout *or* the payload
-#: dictionaries; both ends refuse to talk across versions
-PROTOCOL_VERSION = 1
+#: dictionaries; both ends refuse to talk across versions.
+#: v2 added :data:`FRAME_JOB_BATCH` (chunked dispatch: several jobs in one
+#: message) -- a v1 peer would silently drop batch frames, so the whole
+#: protocol is gated on the version instead
+PROTOCOL_VERSION = 2
 
 #: worker -> master greeting sent once per connection (worker identity)
 FRAME_HELLO = 1
@@ -68,8 +72,16 @@ FRAME_RESULT = 3
 #: master -> worker: no more work, close the connection (empty payload) --
 #: the paper's empty message of Fig. 4
 FRAME_STOP = 4
+#: master -> worker: a whole chunk of jobs in one message (payload:
+#: ``{"jobs": [job dictionary, ...]}``); the worker answers with one
+#: :data:`FRAME_RESULT` per member, so collection stays incremental --
+#: "it is always advisable to send a single large message rather [than]
+#: several smaller messages"
+FRAME_JOB_BATCH = 5
 
-_KNOWN_KINDS = frozenset((FRAME_HELLO, FRAME_JOB, FRAME_RESULT, FRAME_STOP))
+_KNOWN_KINDS = frozenset(
+    (FRAME_HELLO, FRAME_JOB, FRAME_RESULT, FRAME_STOP, FRAME_JOB_BATCH)
+)
 
 _HEADER = struct.Struct(">4sHHI")
 

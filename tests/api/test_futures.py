@@ -211,13 +211,13 @@ class TestCampaignLifecycle:
         assert all(not process.is_alive() for process in backend._processes)
         assert streamed.result().n_jobs == 6  # result still assembles
 
-    def test_submit_many_works_with_non_streaming_scheduler(self):
-        # static/chunked schedulers value the campaign run-to-completion,
-        # resolving every future at once (the historical gather semantics)
+    def test_submit_many_works_with_static_scheduler(self):
+        # static-block campaigns flow through the same streaming pipeline
+        # as robin hood: futures resolve as the pre-partitioned jobs answer
         session = ValuationSession(backend="local", scheduler="static_block")
         futures = session.submit_many([_call_problem(90.0), _call_problem(110.0)])
         assert futures[0].price() > futures[1].price()
-        assert all(f.done() for f in futures)  # one-shot resolution
+        assert all(f.done() for f in futures)
         assert session.gather().n_jobs == 2
 
     def test_gathering_an_all_cancelled_queue_raises_cleanly(self):

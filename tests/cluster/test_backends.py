@@ -180,3 +180,48 @@ class TestMultiprocessingBackend:
         backend.finalize()
         stats = backend.finalize()
         assert stats.n_jobs == 0
+
+
+class TestDispatchBatch:
+    """The chunked dispatch contract: one logical message per chunk."""
+
+    def test_sequential_uses_the_default_per_job_loop(self):
+        problems = [_make_problem(k) for k in (90.0, 100.0, 110.0)]
+        backend = SequentialBackend(n_workers=1)
+        backend.dispatch_batch(
+            0, [_job(i, p) for i, p in enumerate(problems)],
+            [_message(p) for p in problems],
+        )
+        collected = [backend.collect() for _ in range(3)]
+        backend.finalize()
+        assert [c.job_id for c in collected] == [0, 1, 2]
+        assert all(c.error is None for c in collected)
+
+    def test_multiprocessing_ships_one_queue_message_per_chunk(self):
+        problems = [_make_problem(k) for k in (85.0, 95.0, 105.0, 115.0)]
+        reference = [p.compute().price for p in problems]
+        backend = MultiprocessingBackend(n_workers=2)
+        try:
+            backend.dispatch_batch(
+                0, [_job(i, p) for i, p in enumerate(problems[:2])],
+                [_message(p) for p in problems[:2]],
+            )
+            backend.dispatch_batch(
+                1, [_job(2 + i, p) for i, p in enumerate(problems[2:])],
+                [_message(p) for p in problems[2:]],
+            )
+            collected = {c.job_id: c for c in (backend.collect() for _ in range(4))}
+        finally:
+            stats = backend.finalize()
+        assert stats.n_jobs == 4
+        for index, price in enumerate(reference):
+            assert collected[index].result["price"] == price
+
+    def test_multiprocessing_batch_needs_aligned_payloads(self):
+        backend = MultiprocessingBackend(n_workers=1)
+        try:
+            problem = _make_problem()
+            with pytest.raises(ClusterError, match="payload per job"):
+                backend.dispatch_batch(0, [_job(0, problem)], None)
+        finally:
+            backend.finalize()

@@ -14,7 +14,12 @@ import pytest
 from repro.api import ValuationSession
 from repro.cluster.backends import Job, SequentialBackend
 from repro.core.runner import RunReport, run_jobs
-from repro.core.scheduler import ScheduleOutcome, Scheduler
+from repro.core.scheduler import (
+    RobinHoodPolicy,
+    ScheduleOutcome,
+    ScheduleStream,
+    Scheduler,
+)
 from repro.cluster.backends.base import BackendStats
 from repro.errors import SchedulingError, ValuationError
 from repro.pricing import (
@@ -93,45 +98,62 @@ class TestRunReportErrors:
         assert report.category_times["error_paths"] >= 0.0
 
 
+class _DroppingStream(ScheduleStream):
+    """A stream whose final outcome silently loses ``drop`` results."""
+
+    drop = 1
+
+    def finish(self):
+        outcome = super().finish()
+        return ScheduleOutcome(
+            completed=outcome.completed[: len(outcome.completed) - self.drop],
+            stats=outcome.stats,
+            scheduler_name=self.scheduler_name,
+        )
+
+
+class _EmptyingStream(_DroppingStream):
+    def finish(self):
+        outcome = super(_DroppingStream, self).finish()
+        return ScheduleOutcome(
+            completed=[],
+            stats=BackendStats(total_time=0.0, n_jobs=0, n_workers=0),
+            scheduler_name=self.scheduler_name,
+        )
+
+
 class _LossyScheduler(Scheduler):
     """Completes every job but drops the last result on the floor."""
 
     name = "lossy"
+    stream_cls = _DroppingStream
 
-    def run(self, jobs, backend, strategy):
-        from repro.core.scheduler import RobinHoodScheduler
+    def make_policy(self):
+        return RobinHoodPolicy()
 
-        outcome = RobinHoodScheduler().run(jobs, backend, strategy)
-        return ScheduleOutcome(
-            completed=outcome.completed[:-1],
-            stats=outcome.stats,
-            scheduler_name=self.name,
+    def stream(self, jobs, backend, strategy):
+        return self.stream_cls(
+            jobs, backend, strategy,
+            policy=self.make_policy(), scheduler_name=self.name,
         )
 
 
-class _EmptyScheduler(Scheduler):
-    """Returns without completing anything at all."""
+class _EmptyScheduler(_LossyScheduler):
+    """Reports an outcome with nothing completed at all."""
 
     name = "empty"
-
-    def run(self, jobs, backend, strategy):
-        backend.finalize()
-        return ScheduleOutcome(
-            completed=[],
-            stats=BackendStats(total_time=0.0, n_jobs=0, n_workers=backend.n_workers),
-            scheduler_name=self.name,
-        )
+    stream_cls = _EmptyingStream
 
 
 class TestPartialCompletion:
     def test_dropped_result_raises_scheduling_error(self):
         jobs = [_job(i, _good_problem()) for i in range(3)]
-        with pytest.raises(SchedulingError, match="2 results for 3 jobs"):
+        with pytest.raises(SchedulingError, match="2 results for 3 dispatched jobs"):
             run_jobs(jobs, SequentialBackend(), scheduler=_LossyScheduler())
 
     def test_empty_outcome_raises_scheduling_error(self):
         jobs = [_job(0, _good_problem())]
-        with pytest.raises(SchedulingError, match="0 results for 1 jobs"):
+        with pytest.raises(SchedulingError, match="0 results for 1 dispatched jobs"):
             run_jobs(jobs, SequentialBackend(), scheduler=_EmptyScheduler())
 
     def test_session_path_raises_identically(self):

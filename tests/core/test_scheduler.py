@@ -155,4 +155,12 @@ class TestHierarchical:
 
 
 def test_scheduler_registry():
-    assert set(SCHEDULERS) == {"robin_hood", "static_block", "chunked_robin_hood"}
+    assert set(SCHEDULERS) == {
+        "robin_hood",
+        "static_block",
+        "chunked_robin_hood",
+        "work_stealing",
+    }
+    # the streaming-first contract: every registered scheduler streams
+    for cls in SCHEDULERS.values():
+        assert cls.supports_streaming is True

@@ -55,10 +55,29 @@ class TestSweepExecution:
         assert "toy/nfs" in out
 
     def test_sweep_rejects_unknown_scheduler(self, capsys):
-        from repro.errors import ValuationError
+        # validated through RunConfig, reported as a clean CLI error
+        assert main(["sweep", "--positions", "10", "--scheduler", "fifo"]) == 2
+        assert "unknown scheduler" in capsys.readouterr().err
 
-        with pytest.raises(ValuationError):
-            main(["sweep", "--positions", "10", "--scheduler", "fifo"])
+    def test_sweep_scheduler_options_flow_through(self, capsys):
+        code = main([
+            "sweep", "--positions", "16", "--cpus", "2", "4",
+            "--scheduler", "chunked_robin_hood", "--scheduler-opt", "chunk_size=4",
+        ])
+        assert code == 0
+        assert "Speedup table" in capsys.readouterr().out
+
+    def test_scheduler_opt_without_scheduler_is_rejected(self, capsys):
+        assert main(["sweep", "--scheduler-opt", "chunk_size=4"]) == 2
+        assert "--scheduler-opt needs --scheduler" in capsys.readouterr().err
+
+    def test_bad_scheduler_option_value_is_rejected(self, capsys):
+        code = main([
+            "sweep", "--scheduler", "chunked_robin_hood",
+            "--scheduler-opt", "chunk_size=0",
+        ])
+        assert code == 2
+        assert "chunk_size" in capsys.readouterr().err
 
     def test_list_shows_backend_registry(self, capsys):
         assert main(["list"]) == 0

@@ -128,10 +128,18 @@ class TestStreamMatchesRun:
 
 
 class TestStreamErrorPaths:
-    def test_stream_requires_streaming_scheduler(self, portfolio):
-        session = ValuationSession(backend="local", scheduler="static_block")
-        with pytest.raises(SchedulingError, match="streaming"):
-            session.stream(portfolio)
+    def test_every_registered_scheduler_streams(self, portfolio):
+        # the historical error path is gone: static/chunked/work-stealing
+        # policies stream through the same master loop as robin hood
+        from repro.core.scheduler import SCHEDULERS
+
+        reference = ValuationSession(backend="local").run(portfolio)
+        for name in SCHEDULERS:
+            streamed = ValuationSession(backend="local", scheduler=name).stream(
+                portfolio
+            )
+            result = streamed.result()
+            assert result.prices() == reference.prices()
 
     def test_empty_source_rejected(self):
         with pytest.raises(SchedulingError, match="empty"):

@@ -154,3 +154,26 @@ class TestReadFrame:
         # recv-style reads returning one byte at a time still assemble a frame
         data = encode_frame(FRAME_HELLO, b"abc")
         assert read_frame(_reader(data, chunk=1)) == (FRAME_HELLO, b"abc")
+
+
+class TestBatchFrames:
+    def test_job_batch_is_a_known_kind(self):
+        from repro.serial.frames import FRAME_JOB_BATCH
+
+        payload = xdr.encode(
+            {"jobs": [{"job_id": 0, "kind": "serial", "payload": b"x"},
+                      {"job_id": 1, "kind": "serial", "payload": b"y"}]}
+        )
+        frame = encode_frame(FRAME_JOB_BATCH, payload)
+        kind, length = decode_header(frame[:FRAME_HEADER_BYTES])
+        assert kind == FRAME_JOB_BATCH
+        decoded = xdr.decode(frame[FRAME_HEADER_BYTES:])
+        assert [entry["job_id"] for entry in decoded["jobs"]] == [0, 1]
+
+    def test_protocol_version_gates_batch_frames(self):
+        # FRAME_JOB_BATCH arrived with v2: a v1 peer must be refused at the
+        # header, before any payload is read
+        assert PROTOCOL_VERSION >= 2
+        header = struct.pack(">4sHHI", b"RWF\x01", 1, FRAME_JOB, 0)
+        with pytest.raises(SerializationError, match="version mismatch"):
+            decode_header(header)

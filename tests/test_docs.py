@@ -76,8 +76,30 @@ def test_docs_directory_is_linked_from_readme():
     assert "docs/backends.md" in readme
 
 
+@pytest.fixture
+def _pristine_registries():
+    """Snapshot the scheduler/backend registries around snippet execution.
+
+    The worked examples in the docs end in ``register_scheduler`` /
+    ``register_backend`` -- the point of the pages -- which would otherwise
+    leak demo entries into the process-global registries and break
+    exact-set registry assertions elsewhere in the suite.
+    """
+    from repro.cluster.backends import _BACKEND_REGISTRY
+    from repro.core.scheduler import SCHEDULERS
+
+    schedulers, backends = dict(SCHEDULERS), dict(_BACKEND_REGISTRY)
+    try:
+        yield
+    finally:
+        SCHEDULERS.clear()
+        SCHEDULERS.update(schedulers)
+        _BACKEND_REGISTRY.clear()
+        _BACKEND_REGISTRY.update(backends)
+
+
 @pytest.mark.parametrize("page", DOC_PAGES, ids=lambda p: p.name)
-def test_docs_python_snippets_execute(page: Path):
+def test_docs_python_snippets_execute(page: Path, _pristine_registries):
     blocks = _fenced_blocks(page.read_text(encoding="utf-8"), "python")
     assert blocks, f"{page.name} has no runnable python snippet"
     namespace: dict = {"__name__": f"docs_snippet_{page.stem}"}
