@@ -1,0 +1,238 @@
+"""Benchmark B2 -- what a warm daemon buys over cold-start sessions.
+
+``repro-serve`` exists to amortize two costs across requests: process
+spin-up (interpreter + imports + backend) and recomputation (the shared
+result cache).  This benchmark measures both against the real daemon --
+a ``python -m repro.serve`` subprocess on an ephemeral loopback port,
+exactly what the CLI starts:
+
+* **cold start**: a fresh Python process imports the library, opens a
+  session and prices the portfolio -- the per-request cost *without* a
+  daemon (interpreter, imports and backend spin-up included);
+* **warm daemon**: the same portfolio priced through ``POST /v1/run``
+  against the already-running daemon (uncached positions, so workers
+  actually price);
+* **warm cache**: the identical request again -- answered from the
+  shared cache without touching a worker (the response proves it: the
+  campaign collapses onto the ``"cache"`` pseudo-scheduler).
+
+Results land in ``benchmarks/results/BENCH_serving.json``.  ``--smoke``
+doubles as the CI daemon check: start the daemon, hit ``/healthz``,
+price one problem, run a portfolio, read the SSE progress stream, and
+shut down cleanly over HTTP::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(_ROOT), str(_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.conftest import write_bench_json  # noqa: E402
+
+FULL_POSITIONS = 16
+SMOKE_POSITIONS = 4
+LISTEN_PREFIX = "repro-serve listening on "
+
+
+def _position(strike: float) -> dict:
+    return {
+        "model": "BlackScholes1D",
+        "model_params": {"spot": 100.0, "rate": 0.05, "volatility": 0.2},
+        "option": "CallEuro",
+        "option_params": {"strike": strike, "maturity": 1.0},
+        "method": "CF_Call",
+        "label": f"call_{strike:g}",
+    }
+
+
+def _positions(n: int) -> list[dict]:
+    return [_position(80.0 + 40.0 * i / max(n - 1, 1)) for i in range(n)]
+
+
+def _http(url: str, body: dict | None = None) -> dict:
+    data = json.dumps(body).encode() if body is not None else None
+    with urllib.request.urlopen(
+        urllib.request.Request(url, data=data), timeout=120
+    ) as response:
+        return json.loads(response.read())
+
+
+def _read_sse(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=120) as response:
+        return response.read().decode()
+
+
+class Daemon:
+    """One ``python -m repro.serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, n_workers: int = 2):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(_ROOT / "src")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.serve",
+                "--port", "0", "--backend", "local", "--workers", str(n_workers),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        assert self.proc.stdout is not None
+        line = self.proc.stdout.readline().strip()
+        if not line.startswith(LISTEN_PREFIX):
+            self.proc.kill()
+            raise RuntimeError(f"unexpected daemon greeting: {line!r}")
+        self.url = line[len(LISTEN_PREFIX) :]
+
+    def shutdown(self) -> None:
+        if self.proc.poll() is not None:
+            return
+        try:
+            _http(self.url + "/v1/shutdown", {})
+            self.proc.wait(timeout=30)
+        except Exception:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def _cold_start_script(n_positions: int) -> str:
+    """A self-contained pricing script: what a client pays without a daemon."""
+    return (
+        "import json, sys\n"
+        "from repro.api import ValuationSession\n"
+        "from repro.core.portfolio import Portfolio, Position\n"
+        "from repro.serve.parse import problem_from_request\n"
+        f"bodies = json.loads({json.dumps(json.dumps(_positions(n_positions)))})\n"
+        "portfolio = Portfolio(name='cold')\n"
+        "for body in bodies:\n"
+        "    problem = problem_from_request(body)\n"
+        "    portfolio.add(Position(problem=problem, label=problem.label))\n"
+        "run = ValuationSession(backend='local', n_workers=2).run(portfolio)\n"
+        "assert not run.report.errors\n"
+        "print(json.dumps({str(k): v for k, v in run.prices().items()}))\n"
+    )
+
+
+def run_serving_benchmark(n_positions: int) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_ROOT / "src")
+
+    # cold start: fresh interpreter + imports + session + campaign
+    start = time.perf_counter()
+    cold = subprocess.run(
+        [sys.executable, "-c", _cold_start_script(n_positions)],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    cold_start_s = time.perf_counter() - start
+    if cold.returncode != 0:
+        raise RuntimeError(f"cold-start run failed:\n{cold.stdout}\n{cold.stderr}")
+    cold_prices = json.loads(cold.stdout.strip().splitlines()[-1])
+
+    daemon = Daemon()
+    try:
+        health = _http(daemon.url + "/healthz")
+        assert health["status"] == "ok", health
+
+        run_body = {"positions": _positions(n_positions), "wait": True}
+
+        start = time.perf_counter()
+        warm = _http(daemon.url + "/v1/run", run_body)
+        warm_daemon_s = time.perf_counter() - start
+        assert warm["state"] == "done", warm
+        assert warm["result"]["prices"] == cold_prices, "daemon diverged from cold run"
+
+        start = time.perf_counter()
+        cached = _http(daemon.url + "/v1/run", run_body)
+        warm_cache_s = time.perf_counter() - start
+        assert cached["result"]["scheduler"] == "cache", cached["result"]["scheduler"]
+        assert cached["result"]["prices"] == cold_prices
+
+        stats = _http(daemon.url + "/v1/stats")
+    finally:
+        daemon.shutdown()
+
+    return {
+        "n_positions": n_positions,
+        "cold_start_s": round(cold_start_s, 4),
+        "warm_daemon_s": round(warm_daemon_s, 4),
+        "warm_cache_s": round(warm_cache_s, 4),
+        "speedup_warm_daemon": round(cold_start_s / warm_daemon_s, 2),
+        "speedup_warm_cache": round(cold_start_s / warm_cache_s, 2),
+        "cache_hits": stats["cache"]["hits"],
+        "cache_hit_rate": stats["cache"]["hit_rate"],
+        "cache_only_runs": stats["requests"]["cache_only_runs"],
+    }
+
+
+def run_daemon_smoke() -> None:
+    """The CI lifecycle check: healthz, price, run, SSE, clean shutdown."""
+    daemon = Daemon()
+    try:
+        health = _http(daemon.url + "/healthz")
+        assert health["status"] == "ok", health
+
+        quote = _http(daemon.url + "/v1/price", _position(100.0))
+        assert round(quote["price"], 4) == 10.4506, quote
+
+        record = _http(
+            daemon.url + "/v1/run",
+            {"positions": _positions(SMOKE_POSITIONS), "wait": True},
+        )
+        assert record["state"] == "done", record
+
+        stream = _read_sse(daemon.url + "/v1/stream/" + record["job"])
+        assert stream.count("event: progress") >= 1, stream
+        assert "event: done" in stream, stream
+    finally:
+        daemon.shutdown()
+    assert daemon.proc.returncode == 0, f"daemon exit code {daemon.proc.returncode}"
+
+
+def test_serving_latency(benchmark):
+    """Warm-daemon and warm-cache requests beat cold-start sessions."""
+    payload = benchmark.pedantic(
+        run_serving_benchmark, args=(FULL_POSITIONS,), rounds=1, iterations=1
+    )
+    write_bench_json("serving", payload)
+    assert payload["warm_daemon_s"] < payload["cold_start_s"]
+    assert payload["warm_cache_s"] < payload["cold_start_s"]
+    assert payload["cache_only_runs"] >= 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    run_daemon_smoke()
+    print("daemon smoke: healthz + price + run + SSE + clean shutdown OK")
+    n_positions = SMOKE_POSITIONS if smoke else FULL_POSITIONS
+    payload = run_serving_benchmark(n_positions)
+    name = "serving_smoke" if smoke else "serving"
+    path = write_bench_json(name, payload)
+    print(f"wrote {path}")
+    for key, value in payload.items():
+        print(f"  {key} = {value}")
+    if payload["warm_cache_s"] >= payload["cold_start_s"]:
+        print("FAIL: warm-cache request slower than a cold-start session",
+              file=sys.stderr)
+        return 1
+    if payload["cache_only_runs"] < 1:
+        print("FAIL: identical rerun was not answered from the cache",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

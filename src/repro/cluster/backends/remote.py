@@ -31,6 +31,7 @@ Build one through the registry --
 
 from __future__ import annotations
 
+import os
 import selectors
 import socket
 import time
@@ -52,6 +53,8 @@ from repro.serial.frames import (
     FRAME_HELLO,
     FRAME_JOB,
     FRAME_JOB_BATCH,
+    FRAME_PING,
+    FRAME_PONG,
     FRAME_RESULT,
     FRAME_STOP,
     FrameAssembler,
@@ -175,6 +178,8 @@ class RemoteBackend(WorkerBackend):
         #: calls (dispatch/collect) so poll() can never stall on a send
         self._redispatch: list[int] = []
         self._ready: list[CompletedJob] = []
+        #: conn index -> token of the last pong received (see ping_workers)
+        self._pongs: dict[int, bytes] = {}
         self._n_jobs = 0
         self._bytes_sent = 0
         self._busy: dict[int, float] = {i: 0.0 for i in range(self._n_workers)}
@@ -325,6 +330,48 @@ class RemoteBackend(WorkerBackend):
             return self._ready.pop(0)
         return None
 
+    def ping_workers(self, timeout: float = 5.0) -> dict[str, bool]:
+        """Keepalive-probe every live connection; return address -> alive.
+
+        Sends a :data:`FRAME_PING` with a fresh token down each live
+        connection and waits up to ``timeout`` seconds for the matching
+        pongs.  A connection that fails the send or stays silent is declared
+        dead exactly as if it had dropped mid-campaign: its in-flight jobs
+        (if any) are requeued to the survivors.  This is how a long-lived
+        master notices dead TCP workers *between* campaigns, when no result
+        traffic would expose them.  Addresses whose connection was already
+        buried report ``False``.
+        """
+        if self._finalized:
+            raise ClusterError("backend already finalized")
+        token = os.urandom(8)
+        pending: set[int] = set()
+        for index in self._live_indices():
+            self._pongs.pop(index, None)
+            try:
+                self._conns[index].sock.sendall(encode_frame(FRAME_PING, token))
+            except OSError:
+                self._on_conn_dead(index)
+                continue
+            pending.add(index)
+        deadline = time.monotonic() + timeout
+        while pending:
+            answered = {i for i in pending if self._pongs.get(i) == token}
+            pending -= answered
+            if not pending:
+                break
+            wait = deadline - time.monotonic()
+            if wait <= 0:
+                for index in sorted(pending):
+                    # silent past the deadline: bury it like a dropped socket
+                    self._on_conn_dead(index)
+                break
+            self._pump(wait)
+        live = set(self._live_indices())
+        return {
+            conn.address: index in live for index, conn in enumerate(self._conns)
+        }
+
     def send_stop(self, worker_id: int) -> None:
         conn = self._conns[self._route[worker_id]]
         self._stop_conn(conn)
@@ -405,6 +452,8 @@ class RemoteBackend(WorkerBackend):
                         # confused, not the run -- bury it, requeue its jobs
                         self._on_conn_dead(index)
                         break
+                elif kind == FRAME_PONG:
+                    self._pongs[index] = payload
                 # hello frames (reconnect chatter) and anything else: ignore
 
     def _absorb_result(self, payload: bytes) -> None:

@@ -42,6 +42,8 @@ from repro.serial.frames import (
     FRAME_HELLO,
     FRAME_JOB,
     FRAME_JOB_BATCH,
+    FRAME_PING,
+    FRAME_PONG,
     FRAME_STOP,
     FRAME_RESULT,
     PROTOCOL_VERSION,
@@ -49,7 +51,7 @@ from repro.serial.frames import (
     read_frame,
 )
 
-__all__ = ["serve", "spawn_local_workers", "LocalWorkerPool", "main"]
+__all__ = ["serve", "spawn_local_workers", "LocalWorkerPool", "probe_worker", "main"]
 
 
 def _hello_payload() -> bytes:
@@ -105,6 +107,11 @@ def _handle_connection(conn: socket.socket, cache: Any, log) -> bool:
         kind, payload = frame
         if kind == FRAME_STOP:
             return True
+        if kind == FRAME_PING:
+            # keepalive (protocol v3): echo the opaque token straight back so
+            # an idle master can tell a live worker from a dead TCP endpoint
+            conn.sendall(encode_frame(FRAME_PONG, payload))
+            continue
         if kind not in (FRAME_JOB, FRAME_JOB_BATCH):
             log(f"ignoring unexpected frame kind {kind}")
             continue
@@ -393,6 +400,43 @@ def spawn_local_workers(
 
         atexit.register(pool.stop)
     return pool
+
+
+def probe_worker(address: str, *, timeout: float = 5.0) -> bool:
+    """Liveness-probe one worker over a throwaway connection.
+
+    Connects to ``"host:port"``, waits for the worker's HELLO, sends a
+    :data:`FRAME_PING` and expects the token echoed back in a
+    :data:`FRAME_PONG`, then leaves with a clean stop frame (the worker's
+    accept loop survives, exactly like after a campaign).  Returns ``True``
+    for a live protocol-compatible worker and ``False`` for anything else:
+    refused connection, dead endpoint, timeout, version mismatch.
+
+    This is how an idle daemon (``repro-serve``) notices dead TCP workers
+    *between* campaigns instead of at next dispatch; a long-lived
+    :class:`~repro.cluster.backends.remote.RemoteBackend` uses
+    ``ping_workers()`` on its own live connections instead.
+    """
+    host, _, port_text = address.rpartition(":")
+    token = os.urandom(8)
+    try:
+        with socket.create_connection((host, int(port_text)), timeout=timeout) as conn:
+            conn.settimeout(timeout)
+            frame = read_frame(conn.recv)
+            if frame is None or frame[0] != FRAME_HELLO:
+                return False
+            conn.sendall(encode_frame(FRAME_PING, token))
+            while True:
+                frame = read_frame(conn.recv)
+                if frame is None:
+                    return False
+                if frame[0] == FRAME_PONG:
+                    if frame[1] != token:
+                        return False
+                    conn.sendall(encode_frame(FRAME_STOP))
+                    return True
+    except (OSError, ValueError, SerializationError):
+        return False
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -96,3 +96,9 @@ class FutureTimeoutError(ValuationError):
     """Raised when :meth:`~repro.api.futures.PricingFuture.result` (or
     ``wait``/``as_completed``) does not complete within its ``timeout``.
     The underlying job keeps running; the call can simply be retried."""
+
+
+class ServeError(ReproError):
+    """Raised by the ``repro-serve`` daemon layer on malformed requests or
+    invalid server configurations.  Request-parsing failures surface to HTTP
+    clients as 400 responses; they never kill the daemon."""

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -120,6 +122,7 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     puts: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -138,6 +141,7 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "puts": self.puts,
+            "corrupt": self.corrupt,
             "hit_rate": self.hit_rate,
         }
 
@@ -155,7 +159,14 @@ class ResultCache:
     directory:
         Optional directory for the on-disk JSON store.  Results evicted from
         memory remain readable from disk; several processes may share one
-        directory (files are written atomically via ``os.replace``).
+        directory (files are written atomically via ``os.replace`` of a
+        per-process temporary, so readers only ever see complete entries).
+        A corrupt / truncated entry file -- e.g. left behind by a crashed
+        writer -- is treated as a miss: it is deleted (the next ``put``
+        rewrites it) and counted in :attr:`CacheStats.corrupt`.
+
+    Instances are thread-safe: a long-lived daemon may share one cache
+    between concurrent request handlers.
     """
 
     max_entries: int = 4096
@@ -166,33 +177,37 @@ class ResultCache:
         if self.max_entries < 1:
             raise PricingError("ResultCache.max_entries must be >= 1")
         self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._lock = threading.RLock()
         if self.directory is not None:
             self.directory = Path(self.directory)
             self.directory.mkdir(parents=True, exist_ok=True)
 
     # -- core mapping ------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, digest: str) -> bool:
-        return digest in self._entries or self._disk_path(digest) is not None
+        with self._lock:
+            return digest in self._entries or self._disk_path(digest) is not None
 
     def get(self, digest: str) -> "PricingResult | None":
         """Return the cached result for ``digest`` or ``None`` on a miss."""
         from repro.pricing.methods.base import PricingResult
 
-        entry = self._entries.get(digest)
-        if entry is None:
-            entry = self._read_disk(digest)
-            if entry is not None:
-                self.stats.disk_hits += 1
-                self._remember(digest, entry, write_disk=False)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(digest)
-        self.stats.hits += 1
-        return PricingResult.from_dict(entry)
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                entry = self._read_disk(digest)
+                if entry is not None:
+                    self.stats.disk_hits += 1
+                    self._remember(digest, entry, write_disk=False)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.stats.hits += 1
+            return PricingResult.from_dict(entry)
 
     def put(self, digest: str, result: "PricingResult | dict[str, Any]") -> None:
         """Store ``result`` (a :class:`PricingResult` or its ``as_dict()``)."""
@@ -200,12 +215,14 @@ class ResultCache:
         entry.pop("cache_hit", None)  # transport marker, not part of the result
         if entry.get("price") is None:
             raise PricingError("refusing to cache a result without a price")
-        self.stats.puts += 1
-        self._remember(digest, entry, write_disk=True)
+        with self._lock:
+            self.stats.puts += 1
+            self._remember(digest, entry, write_disk=True)
 
     def clear(self) -> None:
         """Drop every in-memory entry (disk files are left in place)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # -- problem-level convenience -------------------------------------------------
     def get_problem(self, problem: "PricingProblem") -> "PricingResult | None":
@@ -241,16 +258,29 @@ class ResultCache:
         if path is None:
             return None
         try:
-            return json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):  # pragma: no cover - corrupt file
+            entry = json.loads(path.read_text())
+        except OSError:
             return None
+        except json.JSONDecodeError:
+            entry = None
+        if not isinstance(entry, dict) or entry.get("price") is None:
+            # truncated / partially-written / garbage entry: a daemon sharing
+            # one cache dir across requests must treat this as a miss, not an
+            # error -- delete the file so the next put rewrites it cleanly
+            self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - already removed by a peer
+                pass
+            return None
+        return entry
 
     def _write_disk(self, digest: str, entry: dict[str, Any]) -> None:
-        import os
-
         path = self._disk_file(digest)
         assert path is not None
-        tmp = path.with_suffix(".json.tmp")
+        # per-process temporary: two processes putting the same digest must
+        # not interleave writes into one tmp file before the atomic rename
+        tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(entry))
         os.replace(tmp, path)
 

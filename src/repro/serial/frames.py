@@ -45,6 +45,8 @@ __all__ = [
     "FRAME_RESULT",
     "FRAME_STOP",
     "FRAME_JOB_BATCH",
+    "FRAME_PING",
+    "FRAME_PONG",
     "FRAME_HEADER_BYTES",
     "MAX_FRAME_BYTES",
     "encode_frame",
@@ -60,8 +62,12 @@ _MAGIC = b"RWF\x01"
 #: dictionaries; both ends refuse to talk across versions.
 #: v2 added :data:`FRAME_JOB_BATCH` (chunked dispatch: several jobs in one
 #: message) -- a v1 peer would silently drop batch frames, so the whole
-#: protocol is gated on the version instead
-PROTOCOL_VERSION = 2
+#: protocol is gated on the version instead.
+#: v3 added the :data:`FRAME_PING` / :data:`FRAME_PONG` keepalive so an idle
+#: master (e.g. the ``repro-serve`` daemon between campaigns) can detect dead
+#: workers without dispatching a job -- an older worker would treat a ping as
+#: an unknown kind, so the keepalive is version-gated like everything else
+PROTOCOL_VERSION = 3
 
 #: worker -> master greeting sent once per connection (worker identity)
 FRAME_HELLO = 1
@@ -78,9 +84,15 @@ FRAME_STOP = 4
 #: "it is always advisable to send a single large message rather [than]
 #: several smaller messages"
 FRAME_JOB_BATCH = 5
+#: master -> worker: liveness probe (payload: opaque token bytes, echoed
+#: back verbatim); cheap enough to send between campaigns
+FRAME_PING = 6
+#: worker -> master: keepalive answer carrying the ping's token unchanged
+FRAME_PONG = 7
 
 _KNOWN_KINDS = frozenset(
-    (FRAME_HELLO, FRAME_JOB, FRAME_RESULT, FRAME_STOP, FRAME_JOB_BATCH)
+    (FRAME_HELLO, FRAME_JOB, FRAME_RESULT, FRAME_STOP, FRAME_JOB_BATCH,
+     FRAME_PING, FRAME_PONG)
 )
 
 _HEADER = struct.Struct(">4sHHI")

@@ -1,0 +1,32 @@
+"""``repro-serve``: the pricing cluster as a long-lived HTTP service.
+
+The paper's runtime amortizes cluster spin-up across one portfolio; this
+subsystem amortizes it across arbitrarily many clients.  A daemon owns a
+warm execution backend and a shared :class:`~repro.pricing.cache.ResultCache`
+and exposes pricing over plain HTTP: synchronous single-problem quotes,
+queued portfolio runs with cross-request priorities, server-sent-event
+progress streams, and a live monitoring dashboard.
+
+Programmatic use mirrors the CLI::
+
+    from repro.serve import ReproServer
+
+    with ReproServer(port=0, backend="local", n_workers=2) as server:
+        ...  # POST {server.url}/v1/run, stream /v1/stream/{id}
+
+Everything is standard library on top of the existing repro stack -- see
+:mod:`repro.serve.app` for the endpoint table and :doc:`docs/serving.md`
+for the wire contract.
+"""
+
+from repro.serve.app import ReproServer, main
+from repro.serve.config import SERVABLE_BACKENDS, ServerConfig
+from repro.serve.service import PricingService
+
+__all__ = [
+    "ReproServer",
+    "PricingService",
+    "ServerConfig",
+    "SERVABLE_BACKENDS",
+    "main",
+]

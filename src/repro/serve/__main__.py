@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` -- the uninstalled spelling of ``repro-serve``."""
+
+import sys
+
+from repro.serve.app import main
+
+sys.exit(main())

@@ -1,0 +1,101 @@
+"""Multi-tenancy guards of the daemon: shared-secret auth and rate limits.
+
+Both are deliberately boring, stdlib-only mechanisms:
+
+* :func:`token_matches` compares the configured shared secret against the
+  ``Authorization: Bearer ...`` / ``X-Auth-Token`` header value in constant
+  time (``hmac.compare_digest``);
+* :class:`RateLimiter` keeps one token bucket per client address: ``rate``
+  tokens per second refill up to a ``burst`` capacity, one request spends
+  one token, an empty bucket means HTTP 429 with a ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import hmac
+import threading
+import time
+
+__all__ = ["token_matches", "TokenBucket", "RateLimiter"]
+
+
+def token_matches(expected: str | None, presented: str | None) -> bool:
+    """Whether a presented secret grants access (constant-time compare).
+
+    ``expected is None`` means auth is disabled: everything is allowed.
+    """
+    if expected is None:
+        return True
+    if not presented:
+        return False
+    return hmac.compare_digest(expected.encode(), presented.encode())
+
+
+class TokenBucket:
+    """One client's budget: ``rate`` tokens/second up to ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: int, now: float):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def allow(self, now: float) -> bool:
+        self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next token exists (advisory ``Retry-After``)."""
+        missing = 1.0 - self.tokens
+        return max(missing / self.rate, 0.0) if self.rate > 0 else 1.0
+
+
+class RateLimiter:
+    """Per-client token buckets behind one lock.
+
+    ``rate <= 0`` disables limiting entirely (every ``allow`` succeeds).
+    The bucket table is pruned opportunistically: entries idle long enough
+    to have refilled to full capacity carry no state worth keeping.
+    """
+
+    def __init__(self, rate: float, burst: int = 20, *, clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, client: str) -> tuple[bool, float]:
+        """``(allowed, retry_after_seconds)`` for one request by ``client``."""
+        if not self.enabled:
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(self.rate, self.burst, now)
+                if len(self._buckets) > 4096:
+                    self._prune(now)
+            if bucket.allow(now):
+                return True, 0.0
+            return False, bucket.retry_after()
+
+    def _prune(self, now: float) -> None:
+        full_after = self.burst / self.rate
+        for client, bucket in list(self._buckets.items()):
+            if now - bucket.updated > full_after:
+                del self._buckets[client]
+
+    def n_clients(self) -> int:
+        with self._lock:
+            return len(self._buckets)

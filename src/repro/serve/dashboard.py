@@ -1,0 +1,182 @@
+"""The daemon's monitoring page: one self-contained HTML string.
+
+Served at ``/``; polls ``GET /v1/stats`` every two seconds with ``fetch``
+and re-renders in place -- no build step, no external assets, works with the
+shared-secret auth enabled because the stats endpoint is deliberately open
+(it exposes counters, never prices or request bodies).
+
+Presentation choices follow the house dataviz rules: headline figures are
+stat tiles (a number's job is to be read, not charted), per-worker
+utilization is a magnitude and gets a single-hue bar, job states are shown
+as a label next to a colored dot (never color alone), and all text wears
+ink tokens rather than series colors.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro-serve</title>
+<style>
+  :root {
+    --ink: #1f2430; --ink-2: #5b6372; --ink-3: #8a92a3;
+    --surface: #ffffff; --surface-2: #f4f5f7; --line: #e3e6ea;
+    --accent: #3566b0; --accent-soft: #d7e2f2;
+    --good: #2e7d4f; --warn: #b3700e; --bad: #b3392e;
+  }
+  * { box-sizing: border-box; }
+  body { margin: 0; background: var(--surface-2); color: var(--ink);
+         font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
+  header { display: flex; align-items: baseline; gap: 12px;
+           padding: 14px 22px; background: var(--surface);
+           border-bottom: 1px solid var(--line); }
+  header h1 { font-size: 16px; margin: 0; font-weight: 650; }
+  header .sub { color: var(--ink-2); font-size: 13px; }
+  main { padding: 18px 22px; max-width: 1080px; margin: 0 auto; }
+  .tiles { display: grid; gap: 12px;
+           grid-template-columns: repeat(auto-fit, minmax(150px, 1fr)); }
+  .tile { background: var(--surface); border: 1px solid var(--line);
+          border-radius: 8px; padding: 12px 14px; }
+  .tile .label { color: var(--ink-2); font-size: 12px; letter-spacing: .02em;
+                 text-transform: uppercase; }
+  .tile .value { font-size: 26px; font-weight: 650; font-variant-numeric: tabular-nums; }
+  .tile .hint { color: var(--ink-3); font-size: 12px; }
+  section { margin-top: 20px; }
+  section h2 { font-size: 13px; color: var(--ink-2); text-transform: uppercase;
+               letter-spacing: .04em; margin: 0 0 8px; font-weight: 600; }
+  .card { background: var(--surface); border: 1px solid var(--line);
+          border-radius: 8px; padding: 12px 14px; }
+  .bar-row { display: grid; grid-template-columns: minmax(120px, 220px) 1fr 64px;
+             gap: 10px; align-items: center; padding: 3px 0; }
+  .bar-row .name { color: var(--ink-2); font-variant-numeric: tabular-nums;
+                   overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+  .bar-track { height: 8px; background: var(--accent-soft); border-radius: 4px; }
+  .bar-fill { height: 8px; background: var(--accent); border-radius: 4px;
+              min-width: 2px; transition: width .4s; }
+  .bar-row .pct { text-align: right; font-variant-numeric: tabular-nums;
+                  color: var(--ink-2); }
+  table { width: 100%; border-collapse: collapse; font-variant-numeric: tabular-nums; }
+  th { text-align: left; color: var(--ink-2); font-weight: 600; font-size: 12px;
+       text-transform: uppercase; letter-spacing: .03em;
+       border-bottom: 1px solid var(--line); padding: 6px 8px; }
+  td { padding: 6px 8px; border-bottom: 1px solid var(--surface-2); }
+  .dot { display: inline-block; width: 8px; height: 8px; border-radius: 50%;
+         margin-right: 6px; vertical-align: 1px; background: var(--ink-3); }
+  .state-done .dot { background: var(--good); }
+  .state-running .dot { background: var(--accent); }
+  .state-queued .dot { background: var(--ink-3); }
+  .state-failed .dot { background: var(--bad); }
+  .state-cancelled .dot { background: var(--warn); }
+  .muted { color: var(--ink-3); }
+  #error { display: none; margin-top: 12px; color: var(--bad); }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro-serve</h1>
+  <span class="sub" id="meta">connecting&hellip;</span>
+</header>
+<main>
+  <div class="tiles">
+    <div class="tile"><div class="label">Uptime</div>
+      <div class="value" id="uptime">&ndash;</div></div>
+    <div class="tile"><div class="label">Queue depth</div>
+      <div class="value" id="queue">&ndash;</div>
+      <div class="hint" id="running"></div></div>
+    <div class="tile"><div class="label">Runs completed</div>
+      <div class="value" id="done">&ndash;</div>
+      <div class="hint" id="done-detail"></div></div>
+    <div class="tile"><div class="label">Cache hit rate</div>
+      <div class="value" id="hitrate">&ndash;</div>
+      <div class="hint" id="cache-detail"></div></div>
+  </div>
+  <section>
+    <h2>Worker utilization <span class="muted">(busy seconds / campaign wall seconds)</span></h2>
+    <div class="card" id="workers"><span class="muted">no campaigns yet</span></div>
+  </section>
+  <section>
+    <h2>Recent jobs</h2>
+    <div class="card">
+      <table>
+        <thead><tr><th>Job</th><th>State</th><th>Progress</th>
+                   <th>Priority</th><th>Error</th></tr></thead>
+        <tbody id="jobs"><tr><td colspan="5" class="muted">none yet</td></tr></tbody>
+      </table>
+    </div>
+  </section>
+  <p id="error">stats unreachable &mdash; retrying&hellip;</p>
+</main>
+<script>
+"use strict";
+const fmtDur = (s) => {
+  s = Math.floor(s);
+  if (s < 60) return s + "s";
+  if (s < 3600) return Math.floor(s / 60) + "m " + (s % 60) + "s";
+  return Math.floor(s / 3600) + "h " + Math.floor((s % 3600) / 60) + "m";
+};
+const esc = (t) => String(t).replace(/[&<>"]/g,
+  (c) => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+function render(s) {
+  document.getElementById("meta").textContent =
+    s.backend + " backend \\u00b7 " + s.n_workers + " workers";
+  document.getElementById("uptime").textContent = fmtDur(s.uptime_s);
+  document.getElementById("queue").textContent = s.queue_depth;
+  document.getElementById("running").textContent =
+    s.running_job ? "running " + s.running_job : "idle";
+  document.getElementById("done").textContent = s.jobs.done;
+  document.getElementById("done-detail").textContent =
+    s.jobs.failed + " failed \\u00b7 " + s.jobs.cancelled + " cancelled";
+  document.getElementById("hitrate").textContent =
+    Math.round(s.cache.hit_rate * 100) + "%";
+  document.getElementById("cache-detail").textContent =
+    s.cache.hits + " hits \\u00b7 " + s.cache.misses + " misses \\u00b7 " +
+    s.cache.evictions + " evicted \\u00b7 " + s.cache.corrupt + " corrupt";
+  const names = Object.keys(s.workers.utilization).sort();
+  const workers = document.getElementById("workers");
+  if (names.length === 0) {
+    workers.innerHTML = '<span class="muted">no campaigns yet</span>';
+  } else {
+    workers.innerHTML = names.map((name) => {
+      const u = s.workers.utilization[name];
+      const dead = s.workers.dead.indexOf(name) >= 0;
+      const pct = Math.max(0, Math.min(100, Math.round(u * 100)));
+      return '<div class="bar-row"><span class="name">' + esc(name) +
+        (dead ? ' <span class="muted">(dead)</span>' : "") + "</span>" +
+        '<div class="bar-track"><div class="bar-fill" style="width:' +
+        pct + '%"></div></div><span class="pct">' + pct + "%</span></div>";
+    }).join("");
+  }
+  const body = document.getElementById("jobs");
+  if (!s.recent_jobs || s.recent_jobs.length === 0) {
+    body.innerHTML = '<tr><td colspan="5" class="muted">none yet</td></tr>';
+  } else {
+    body.innerHTML = s.recent_jobs.map((j) =>
+      '<tr class="state-' + esc(j.state) + '"><td>' + esc(j.job) +
+      '</td><td><span class="dot"></span>' + esc(j.state) +
+      "</td><td>" + j.done + " / " + j.total +
+      "</td><td>" + j.priority +
+      '</td><td class="muted">' + (j.error ? esc(j.error) : "") +
+      "</td></tr>").join("");
+  }
+}
+async function tick() {
+  try {
+    const response = await fetch("/v1/stats", {cache: "no-store"});
+    if (!response.ok) throw new Error(response.status);
+    render(await response.json());
+    document.getElementById("error").style.display = "none";
+  } catch (err) {
+    document.getElementById("error").style.display = "block";
+  }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+"""

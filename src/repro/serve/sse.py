@@ -1,0 +1,41 @@
+"""Server-sent-events encoding (the ``GET /v1/stream/{id}`` wire format).
+
+SSE is the natural HTTP spelling of the streaming futures API: one
+``text/event-stream`` response carries one ``event:``/``data:`` block per
+:class:`~repro.api.futures.StreamProgress` tick, then a single terminal
+event named after the job's final state.  The encoder below is the whole
+protocol -- data is always one JSON object per event, ids are the event's
+position in the job's progress buffer (so a reconnecting client can resume
+with ``Last-Event-ID`` semantics client-side).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["format_sse"]
+
+
+def format_sse(
+    data: Any,
+    *,
+    event: str | None = None,
+    event_id: int | None = None,
+) -> bytes:
+    """Encode one SSE block: optional ``id`` and ``event`` lines, JSON data.
+
+    ``data`` is rendered as compact JSON on a single ``data:`` line (JSON
+    contains no raw newlines, so no multi-line splitting is needed); the
+    block ends with the blank line the SSE framing requires.
+    """
+    lines: list[str] = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    if event is not None:
+        if any(c in event for c in "\r\n"):
+            raise ValueError("SSE event names must be single-line")
+        lines.append(f"event: {event}")
+    payload = json.dumps(data, separators=(",", ":"))
+    lines.append(f"data: {payload}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")

@@ -9,6 +9,7 @@ from repro.cluster.simcluster import ClusterSpec, CommunicationModel, SimulatedC
 from repro.core.scheduler import (
     SCHEDULERS,
     ChunkedRobinHoodScheduler,
+    PriorityScheduler,
     RobinHoodScheduler,
     StaticBlockScheduler,
     simulate_hierarchical,
@@ -154,12 +155,53 @@ class TestHierarchical:
             simulate_hierarchical([], n_workers=4, n_groups=2)
 
 
+class TestPriority:
+    def test_all_jobs_completed(self):
+        jobs = _jobs([0.1] * 20)
+        outcome = PriorityScheduler().run(jobs, _backend(4), STRATEGY)
+        assert sorted(c.job_id for c in outcome.completed) == list(range(20))
+        assert outcome.scheduler_name == "priority"
+
+    def test_equal_priorities_match_robin_hood(self):
+        jobs = _jobs([0.05 * (i % 5 + 1) for i in range(30)])
+        robin = RobinHoodScheduler().run(jobs, _backend(3), STRATEGY)
+        priority = PriorityScheduler().run(jobs, _backend(3), STRATEGY)
+        # no priorities at all means the policy *is* Robin Hood: identical
+        # dispatch order, bit-identical simulated virtual time
+        assert [c.job_id for c in priority.completed] == [
+            c.job_id for c in robin.completed
+        ]
+        assert priority.total_time == robin.total_time
+
+    def test_high_priority_jobs_run_first(self):
+        jobs = _jobs([0.1] * 12)
+        urgent = {9, 10, 11}
+        outcome = PriorityScheduler(priority={job_id: 1.0 for job_id in urgent}).run(
+            jobs, _backend(1), STRATEGY
+        )
+        assert [c.job_id for c in outcome.completed[:3]] == sorted(urgent)
+        # ties keep submission order behind the urgent ones
+        assert [c.job_id for c in outcome.completed[3:]] == list(range(9))
+
+    def test_callable_priority(self):
+        jobs = _jobs([0.1] * 8)
+        outcome = PriorityScheduler(priority=lambda job: job.job_id).run(
+            jobs, _backend(1), STRATEGY
+        )
+        assert [c.job_id for c in outcome.completed] == list(range(7, -1, -1))
+
+    def test_invalid_priority_rejected(self):
+        with pytest.raises(SchedulingError):
+            PriorityScheduler(priority=42)
+
+
 def test_scheduler_registry():
     assert set(SCHEDULERS) == {
         "robin_hood",
         "static_block",
         "chunked_robin_hood",
         "work_stealing",
+        "priority",
     }
     # the streaming-first contract: every registered scheduler streams
     for cls in SCHEDULERS.values():

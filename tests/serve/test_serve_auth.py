@@ -1,0 +1,83 @@
+"""Tests of :mod:`repro.serve.auth` (shared secret + token buckets)."""
+
+from __future__ import annotations
+
+from repro.serve.auth import RateLimiter, TokenBucket, token_matches
+
+
+class TestTokenMatches:
+    def test_disabled_auth_allows_everything(self):
+        assert token_matches(None, None)
+        assert token_matches(None, "anything")
+
+    def test_exact_match_required(self):
+        assert token_matches("s3cret", "s3cret")
+        assert not token_matches("s3cret", "s3cret ")
+        assert not token_matches("s3cret", "S3CRET")
+
+    def test_missing_token_denied(self):
+        assert not token_matches("s3cret", None)
+        assert not token_matches("s3cret", "")
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=3, now=0.0)
+        assert [bucket.allow(0.0) for _ in range(4)] == [True, True, True, False]
+        # half a second at 2 tokens/s buys exactly one more request
+        assert bucket.allow(0.5)
+        assert not bucket.allow(0.5)
+
+    def test_retry_after_hint(self):
+        bucket = TokenBucket(rate=2.0, burst=1, now=0.0)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+        assert 0.0 < bucket.retry_after() <= 0.5
+
+    def test_capacity_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2, now=0.0)
+        allowed = sum(bucket.allow(3600.0) for _ in range(10))
+        assert allowed == 2
+
+
+class TestRateLimiter:
+    def test_disabled_when_rate_zero(self):
+        limiter = RateLimiter(0.0)
+        assert not limiter.enabled
+        for _ in range(100):
+            assert limiter.allow("1.2.3.4") == (True, 0.0)
+        assert limiter.n_clients() == 0
+
+    def test_per_client_buckets(self):
+        clock = _Clock()
+        limiter = RateLimiter(1.0, burst=2, clock=clock)
+        assert limiter.allow("a")[0] and limiter.allow("a")[0]
+        allowed, retry_after = limiter.allow("a")
+        assert not allowed and retry_after > 0
+        # a different client has its own untouched budget
+        assert limiter.allow("b")[0]
+        assert limiter.n_clients() == 2
+
+    def test_refill_restores_service(self):
+        clock = _Clock()
+        limiter = RateLimiter(10.0, burst=1, clock=clock)
+        assert limiter.allow("a")[0]
+        assert not limiter.allow("a")[0]
+        clock.now += 0.2
+        assert limiter.allow("a")[0]
+
+    def test_idle_buckets_pruned(self):
+        clock = _Clock()
+        limiter = RateLimiter(1.0, burst=2, clock=clock)
+        for index in range(4097):
+            limiter.allow(f"client-{index}")
+            clock.now += 10.0  # every earlier bucket refills to capacity
+        assert limiter.n_clients() < 4097

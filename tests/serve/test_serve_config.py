@@ -1,0 +1,56 @@
+"""Tests of :mod:`repro.serve.config` (daemon configuration validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError, ServeError
+from repro.serve import SERVABLE_BACKENDS, ServerConfig
+
+
+class TestServerConfig:
+    def test_defaults_are_valid(self):
+        config = ServerConfig()
+        assert config.backend == "local"
+        assert config.auth_token is None
+        assert config.rate_limit == 0.0
+
+    @pytest.mark.parametrize("backend", SERVABLE_BACKENDS)
+    def test_every_servable_backend_accepted(self, backend):
+        hosts = ("localhost:9631",) if backend == "remote" else ()
+        assert ServerConfig(backend=backend, hosts=hosts).backend == backend
+
+    def test_simulated_backend_rejected(self):
+        # the simulated cluster prices nothing; serving it would be a lie
+        with pytest.raises(ServeError, match="simulated"):
+            ServerConfig(backend="simulated")
+
+    def test_serve_error_is_a_repro_error(self):
+        with pytest.raises(ReproError):
+            ServerConfig(backend="nope")
+
+    def test_hosts_normalized_to_tuple(self):
+        config = ServerConfig(backend="remote", hosts=["h1:9631", "h2:9632"])
+        assert config.hosts == ("h1:9631", "h2:9632")
+
+    def test_hosts_require_remote_backend(self):
+        with pytest.raises(ServeError, match="remote"):
+            ServerConfig(backend="local", hosts=("h1:9631",))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_workers": 0},
+            {"rate_limit": -1.0},
+            {"rate_burst": 0},
+            {"keepalive_interval": -5.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ServeError):
+            ServerConfig(**kwargs)
+
+    def test_frozen(self):
+        config = ServerConfig()
+        with pytest.raises(AttributeError):
+            config.port = 80

@@ -1,0 +1,148 @@
+"""Tests of :mod:`repro.serve.jobs` (job records, events, the table)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.futures import StreamProgress
+from repro.core import build_toy_portfolio
+from repro.serve.jobs import JOB_STATES, TERMINAL_STATES, JobRecord, JobTable
+
+
+def _tick(done: int, total: int = 5, **kwargs) -> StreamProgress:
+    defaults = dict(job_id=done - 1, label=f"pos_{done - 1}")
+    defaults.update(kwargs)
+    return StreamProgress(done=done, total=total, **defaults)
+
+
+@pytest.fixture(scope="module")
+def portfolio():
+    return build_toy_portfolio(n_options=5)
+
+
+class TestJobRecord:
+    def test_lifecycle_done(self, portfolio):
+        record = JobRecord("j1", portfolio)
+        assert record.state == "queued" and not record.terminal
+        record.mark_running()
+        assert record.state == "running"
+        record.finish({"prices": {}})
+        assert record.state == "done" and record.terminal
+        assert record.finished_at is not None
+
+    def test_lifecycle_failed_and_cancelled(self, portfolio):
+        failed = JobRecord("j2", portfolio)
+        failed.fail("boom")
+        assert failed.state == "failed" and failed.error == "boom"
+
+        cancelled = JobRecord("j3", portfolio)
+        cancelled.mark_cancelled()
+        assert cancelled.state == "cancelled"
+
+        finished_cancelled = JobRecord("j4", portfolio)
+        finished_cancelled.mark_running()
+        finished_cancelled.finish({}, cancelled=True)
+        assert finished_cancelled.state == "cancelled"
+
+    def test_mark_cancelled_only_withdraws_queued_jobs(self, portfolio):
+        record = JobRecord("j5", portfolio)
+        record.mark_running()
+        record.mark_cancelled()  # too late to withdraw: executor owns it now
+        assert record.state == "running"
+
+    def test_event_replay_and_cursor(self, portfolio):
+        record = JobRecord("j6", portfolio)
+        for done in (1, 2, 3):
+            record.add_progress(_tick(done))
+        events, cursor = record.events_since(0)
+        assert [event["done"] for event in events] == [1, 2, 3]
+        assert cursor == 3
+        more, cursor2 = record.events_since(cursor)
+        assert more == [] and cursor2 == 3
+        assert record.n_done == 3
+
+    def test_ring_buffer_drops_oldest_and_keeps_cursor_semantics(self, portfolio):
+        record = JobRecord("j7", portfolio, max_events=3)
+        for done in range(1, 6):  # 5 events into a 3-slot ring
+            record.add_progress(_tick(done))
+        events, cursor = record.events_since(0)
+        assert [event["done"] for event in events] == [3, 4, 5]
+        assert cursor == 5
+
+    def test_wait_event_wakes_on_progress(self, portfolio):
+        record = JobRecord("j8", portfolio)
+        seen = threading.Event()
+
+        def follower():
+            if record.wait_event(0, timeout=10.0):
+                seen.set()
+
+        thread = threading.Thread(target=follower)
+        thread.start()
+        record.add_progress(_tick(1))
+        thread.join(timeout=10.0)
+        assert seen.is_set()
+
+    def test_wait_event_wakes_on_terminal_without_events(self, portfolio):
+        record = JobRecord("j9", portfolio)
+        record.fail("dead on arrival")
+        assert record.wait_event(0, timeout=0.1)
+
+    def test_wait_terminal(self, portfolio):
+        record = JobRecord("j10", portfolio)
+        assert not record.wait_terminal(timeout=0.05)
+        record.finish({})
+        assert record.wait_terminal(timeout=0.05)
+
+    def test_snapshot_shape(self, portfolio):
+        record = JobRecord("j11", portfolio, priority=2.0, batch=True)
+        record.add_progress(_tick(1))
+        view = record.snapshot()
+        assert view["job"] == "j11"
+        assert view["state"] == "queued"
+        assert view["priority"] == 2.0
+        assert view["batch"] is True
+        assert view["done"] == 1 and view["total"] == len(portfolio)
+        assert "result" in view
+        assert "result" not in record.snapshot(include_result=False)
+
+    def test_progress_event_carries_price_and_error(self, portfolio):
+        record = JobRecord("j12", portfolio)
+        record.add_progress(_tick(1, error="overflow"))
+        (event,), _ = record.events_since(0)
+        assert event["error"] == "overflow"
+        assert event["price"] is None
+
+
+class TestJobTable:
+    def test_create_get_and_unique_ids(self, portfolio):
+        table = JobTable()
+        first, second = table.create(portfolio), table.create(portfolio)
+        assert first.id != second.id
+        assert table.get(first.id) is first
+        assert table.get("nope") is None
+        assert len(table) == 2
+
+    def test_counts_cover_every_state(self, portfolio):
+        table = JobTable()
+        table.create(portfolio)
+        running = table.create(portfolio)
+        running.mark_running()
+        counts = table.counts()
+        assert set(counts) == set(JOB_STATES)
+        assert counts["queued"] == 1 and counts["running"] == 1
+
+    def test_recent_is_newest_first_without_results(self, portfolio):
+        table = JobTable()
+        records = [table.create(portfolio) for _ in range(5)]
+        records[-1].finish({"prices": {"0": 1.0}})
+        recent = table.recent(3)
+        assert [view["job"] for view in recent] == [
+            record.id for record in reversed(records[-3:])
+        ]
+        assert all("result" not in view for view in recent)
+
+    def test_terminal_states_constant(self):
+        assert TERMINAL_STATES == {"done", "failed", "cancelled"}
