@@ -13,11 +13,19 @@ jobs, so whichever worker draws the band becomes the static critical path.
 Dynamic policies (robin hood, work stealing) must beat the static baseline;
 work stealing must land in the same league as robin hood.
 
-Results land in ``benchmarks/results/BENCH_scheduler_ablation.json``.
+A second axis stresses the same policies under **churn**: a
+:class:`~repro.cluster.chaos.ChurnSchedule` kills a slice of the workers
+mid-run and joins a replacement later, all in deterministic virtual time, so
+the benchmark answers "how gracefully does each policy degrade when the
+cluster shrinks under it?" without a single real socket.
 
-Run standalone for the CI smoke check::
+Results land in ``benchmarks/results/BENCH_scheduler_ablation.json`` and
+``benchmarks/results/BENCH_churn.json``.
+
+Run standalone for the CI smoke checks::
 
     PYTHONPATH=src python benchmarks/bench_scheduler_ablation.py --smoke
+    PYTHONPATH=src python benchmarks/bench_scheduler_ablation.py --churn --smoke
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ for entry in (str(_ROOT), str(_ROOT / "src")):
 
 from benchmarks.conftest import write_bench_json  # noqa: E402
 from repro.cluster.backends.base import Job  # noqa: E402
+from repro.cluster.chaos import ChurnSchedule  # noqa: E402
 from repro.cluster.simcluster import ClusterSpec, SimulatedClusterBackend  # noqa: E402
 from repro.core.scheduler import (  # noqa: E402
     ChunkedRobinHoodScheduler,
@@ -112,6 +121,96 @@ def run_scheduler_ablation(n_cheap: int, n_expensive: int, n_workers: int) -> di
     }
 
 
+def _churn_schedule(n_workers: int, ideal: float) -> ChurnSchedule:
+    """Kill a quarter of the pool mid-run, join one replacement later.
+
+    Times are fractions of the ideal makespan so the same *shape* of churn
+    scales from the smoke profile to the full profile.
+    """
+    schedule = ChurnSchedule()
+    for index in range(max(1, n_workers // 4)):
+        schedule.kill(index, at=(0.25 + 0.1 * index) * ideal)
+    schedule.join(at=0.6 * ideal)
+    return schedule
+
+
+def run_churn_ablation(n_cheap: int, n_expensive: int, n_workers: int) -> dict:
+    """The churn axis: the same skewed workload, with workers dying under it."""
+    jobs = build_skewed_jobs(n_cheap, n_expensive)
+    strategy = get_strategy(STRATEGY_NAME)
+    ideal = sum(job.compute_cost for job in jobs) / n_workers
+    schedulers = {
+        "robin_hood": RobinHoodScheduler,
+        "work_stealing": WorkStealingScheduler,
+    }
+    baseline: dict[str, float] = {}
+    churned: dict[str, float] = {}
+    counters: dict[str, dict] = {}
+    for name, scheduler_cls in schedulers.items():
+        backend = SimulatedClusterBackend(
+            ClusterSpec.homogeneous(n_workers), strategy=STRATEGY_NAME
+        )
+        out = scheduler_cls().stream(jobs, backend, strategy).finish()
+        assert len(out.completed) == len(jobs)
+        baseline[name] = round(out.stats.total_time, 6)
+
+        schedule = _churn_schedule(n_workers, ideal)
+        backend = SimulatedClusterBackend(
+            ClusterSpec.homogeneous(n_workers),
+            strategy=STRATEGY_NAME,
+            churn=schedule,
+        )
+        out = scheduler_cls().stream(jobs, backend, strategy).finish()
+        assert len(out.completed) == len(jobs)
+        churned[name] = round(out.stats.total_time, 6)
+        counters[name] = {
+            key: value
+            for key, value in out.stats.extra.items()
+            if key.startswith("churn_")
+        }
+
+    schedule = _churn_schedule(n_workers, ideal)
+    return {
+        "n_jobs": len(jobs),
+        "n_workers": n_workers,
+        "strategy": STRATEGY_NAME,
+        "ideal_makespan_s": round(ideal, 6),
+        "churn_schedule": {
+            "kills": [
+                {"worker_id": wid, "at_s": round(at, 6)}
+                for wid, at in sorted(schedule.kills.items())
+            ],
+            "joins": [
+                {"at_s": round(at, 6), "speed": speed}
+                for at, speed in schedule.joins
+            ],
+        },
+        "virtual_makespan_s": {
+            name: {"baseline": baseline[name], "churn": churned[name]}
+            for name in schedulers
+        },
+        "degradation": {
+            name: round(churned[name] / baseline[name], 3) for name in schedulers
+        },
+        "churn_counters": counters,
+    }
+
+
+def _check_churn(payload: dict) -> list[str]:
+    """The churn axis' acceptance conditions; returns failure messages."""
+    failures = []
+    for name, times in payload["virtual_makespan_s"].items():
+        if not times["churn"] >= times["baseline"]:
+            failures.append(f"{name}: churn cannot be faster than a healthy pool")
+    for name, counters in payload["churn_counters"].items():
+        disrupted = counters.get("churn_redirects", 0) + counters.get(
+            "churn_restarts", 0
+        )
+        if payload["churn_schedule"]["kills"] and disrupted == 0:
+            failures.append(f"{name}: churn killed workers but disrupted no job")
+    return failures
+
+
 def _check(payload: dict) -> list[str]:
     """The ablation's acceptance conditions; returns failure messages."""
     times = payload["virtual_makespan_s"]
@@ -137,21 +236,45 @@ def test_scheduler_ablation_emits_bench_json(benchmark):
     assert not _check(payload)
 
 
+def test_churn_ablation_emits_bench_json(benchmark):
+    """Full-profile churn axis: graceful degradation under worker deaths."""
+    payload = benchmark.pedantic(
+        run_churn_ablation,
+        args=(FULL_CHEAP, FULL_EXPENSIVE, FULL_WORKERS),
+        rounds=1,
+        iterations=1,
+    )
+    write_bench_json("churn", payload)
+    assert not _check_churn(payload)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Standalone entry point (CI smoke: tiny sizes, same invariants)."""
-    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
-    if smoke:
-        payload = run_scheduler_ablation(SMOKE_CHEAP, SMOKE_EXPENSIVE, SMOKE_WORKERS)
-        name = "scheduler_ablation_smoke"
+    args = argv if argv is not None else sys.argv[1:]
+    smoke = "--smoke" in args
+    sizes = (
+        (SMOKE_CHEAP, SMOKE_EXPENSIVE, SMOKE_WORKERS)
+        if smoke
+        else (FULL_CHEAP, FULL_EXPENSIVE, FULL_WORKERS)
+    )
+    if "--churn" in args:
+        payload = run_churn_ablation(*sizes)
+        path = write_bench_json("churn_smoke" if smoke else "churn", payload)
+        print(f"wrote {path}")
+        for scheduler, times in payload["virtual_makespan_s"].items():
+            print(f"  {scheduler:24s} healthy {times['baseline']:10.3f}s  "
+                  f"churn {times['churn']:10.3f}s  "
+                  f"({payload['degradation'][scheduler]:.2f}x degradation)")
+        failures = _check_churn(payload)
     else:
-        payload = run_scheduler_ablation(FULL_CHEAP, FULL_EXPENSIVE, FULL_WORKERS)
-        name = "scheduler_ablation"
-    path = write_bench_json(name, payload)
-    print(f"wrote {path}")
-    for scheduler, time in payload["virtual_makespan_s"].items():
-        print(f"  {scheduler:24s} {time:10.3f}s  "
-              f"({payload['speedup_vs_static'][scheduler]:.2f}x vs static)")
-    failures = _check(payload)
+        payload = run_scheduler_ablation(*sizes)
+        name = "scheduler_ablation_smoke" if smoke else "scheduler_ablation"
+        path = write_bench_json(name, payload)
+        print(f"wrote {path}")
+        for scheduler, time in payload["virtual_makespan_s"].items():
+            print(f"  {scheduler:24s} {time:10.3f}s  "
+                  f"({payload['speedup_vs_static'][scheduler]:.2f}x vs static)")
+        failures = _check(payload)
     for message in failures:
         print(f"FAIL: {message}", file=sys.stderr)
     return 1 if failures else 0

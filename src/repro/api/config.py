@@ -18,7 +18,7 @@ from repro.core.scheduler import SCHEDULERS, Scheduler
 from repro.core.strategies import STRATEGIES
 from repro.errors import ValuationError
 
-__all__ = ["BackendSpec", "RunConfig", "SweepConfig"]
+__all__ = ["BackendSpec", "RetryPolicy", "RunConfig", "SweepConfig"]
 
 
 def _frozen_options(options: Mapping[str, Any] | None) -> tuple[tuple[str, Any], ...]:
@@ -127,6 +127,39 @@ class BackendSpec:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """When and how a run survives losing the whole worker pool.
+
+    A :class:`~repro.errors.WorkerLostError` carries the ``job_ids`` that
+    were still unresolved when the pool died.  With a retry policy on the
+    :class:`RunConfig`, the session catches that error, rebuilds a fresh
+    backend from its :class:`BackendSpec` and transparently resubmits only
+    the unresolved positions -- up to ``max_attempts`` total attempts, with
+    ``backoff * backoff_factor**(k-1)`` seconds before the ``k``-th retry so
+    crashed workers have time to come back.  Results from all attempts merge
+    into one submission-ordered report, bit-identical to a clean run.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValuationError("RetryPolicy.max_attempts must be >= 1")
+        if self.backoff < 0:
+            raise ValuationError("RetryPolicy.backoff must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValuationError("RetryPolicy.backoff_factor must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            return 0.0
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """How one portfolio (or job-list) valuation is executed.
 
@@ -145,6 +178,11 @@ class RunConfig:
     :class:`~repro.api.futures.CancelToken` that withdraws still-queued
     positions when fired (in-flight jobs finish; withdrawn positions are
     marked cancelled in the run result).
+
+    ``retry`` (a :class:`RetryPolicy`) makes the session survive total pool
+    loss: unresolved positions from a :class:`~repro.errors.WorkerLostError`
+    are transparently resubmitted on a fresh backend built from the
+    session's :class:`BackendSpec`.
     """
 
     strategy: str = "serialized_load"
@@ -157,10 +195,16 @@ class RunConfig:
     cache: bool | None = None
     progress: Callable[..., None] | None = field(default=None, compare=False)
     cancel: Any | None = field(default=None, compare=False)
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.batch_group_size is not None and self.batch_group_size < 2:
             raise ValuationError("RunConfig.batch_group_size must be >= 2 when given")
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise ValuationError(
+                "RunConfig.retry must be a RetryPolicy (or None), got "
+                f"{type(self.retry).__name__}"
+            )
         if self.strategy not in STRATEGIES:
             raise ValuationError(
                 f"unknown strategy {self.strategy!r}; known: {sorted(STRATEGIES)}"

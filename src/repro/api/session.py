@@ -35,11 +35,12 @@ shims delegating here, so both spellings stay equivalent.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.api.config import BackendSpec, RunConfig, SweepConfig
+from repro.api.config import BackendSpec, RetryPolicy, RunConfig, SweepConfig
 from repro.api.futures import (
     CancelToken,
     JobSet,
@@ -56,7 +57,7 @@ from repro.core.portfolio import Portfolio
 from repro.core.runner import RunReport
 from repro.core.scheduler import SCHEDULERS, RobinHoodScheduler, Scheduler
 from repro.core.strategies import TransmissionStrategy, get_strategy
-from repro.errors import SchedulingError, ValuationError
+from repro.errors import ClusterError, SchedulingError, ValuationError, WorkerLostError
 from repro.pricing.batch import ProblemBatch, batch_digest, plan_batches
 from repro.pricing.cache import ResultCache, problem_digest
 from repro.pricing.engine import PricingProblem
@@ -588,10 +589,13 @@ class ValuationSession:
         result marks as ``"cancelled before dispatch"`` errors.
         """
         cost_model: CostModel | None = None
+        scheduler_factory: Callable[[], Scheduler] | None = None
+        retry: RetryPolicy | None = None
         if config is not None:
             strategy = strategy if strategy is not None else config.strategy
             if scheduler is None and config.scheduler is not None:
-                scheduler = config.scheduler_factory()()
+                scheduler_factory = config.scheduler_factory()
+            retry = config.retry
             if attach_problems is None:
                 attach_problems = config.attach_problems
             cost_model = config.cost_model
@@ -608,7 +612,14 @@ class ValuationSession:
         batch = bool(batch)
         run_cache = self._resolve_run_cache(cache)
         strategy_name = self._strategy_name(strategy)
-        runner = scheduler or self._new_scheduler()
+
+        def make_runner() -> Scheduler:
+            if scheduler is not None:
+                return scheduler
+            if scheduler_factory is not None:
+                return scheduler_factory()
+            return self._new_scheduler()
+
         plan = self._source_plan(
             source,
             strategy_name=strategy_name,
@@ -619,8 +630,153 @@ class ValuationSession:
             attach_problems=attach_problems,
             cost_model=cost_model,
         )
-        core, _ = self._make_core(plan, runner, strategy, progress, cancel)
+        core, jobs = self._make_core(plan, make_runner(), strategy, progress, cancel)
+        if (
+            retry is not None
+            and retry.max_attempts > 1
+            and self._backend_spec is not None
+        ):
+            return self._run_with_retry(
+                plan, core, jobs, retry, make_runner,
+                strategy=strategy, progress=progress, cancel=cancel,
+            )
         return core.finish()
+
+    # -- pool-loss retry layer ---------------------------------------------------
+    def _run_with_retry(
+        self,
+        plan: _RunPlan,
+        core: _StreamCore,
+        jobs: JobSet,
+        retry: RetryPolicy,
+        make_runner: Callable[[], Scheduler],
+        *,
+        strategy: str | TransmissionStrategy | None,
+        progress: Callable[[StreamProgress], None] | None,
+        cancel: CancelToken | None,
+    ) -> RunResult:
+        """Drain the campaign, resubmitting pool losses per the retry policy.
+
+        Each :class:`~repro.errors.WorkerLostError` consumes one attempt:
+        results already collected are harvested from the resolved futures, a
+        fresh backend is built from the session's :class:`BackendSpec` after
+        the policy's backoff, and only the unresolved positions go back out.
+        A backend that cannot even be rebuilt (workers still down at
+        connect time) consumes an attempt too, so the backoff schedule also
+        paces re-connection storms.  Results from every attempt merge into
+        one submission-ordered report, bit-identical to a clean run.
+        """
+        settled: dict[int, tuple[dict[str, Any] | None, str | None]] = {}
+        cur_plan, cur_core = plan, core
+        cur_futures: dict[int, PricingFuture] = {f.job_id: f for f in jobs}
+        retries = 0
+        last_error: Exception | None = None
+        for attempt in range(1, retry.max_attempts + 1):
+            if cur_core is not None:
+                try:
+                    result = cur_core.finish()
+                except WorkerLostError as exc:
+                    last_error = exc
+                    for job_id, future in cur_futures.items():
+                        if future.done() and job_id not in settled:
+                            settled[job_id] = (future._result, future._error)
+                    try:
+                        cur_plan.backend.finalize()
+                    except Exception:
+                        pass  # the pool is already gone; nothing to release
+                else:
+                    return self._merge_retry_result(plan, result, settled, retries)
+            if attempt == retry.max_attempts:
+                break
+            delay = retry.delay(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                cur_plan = self._retry_plan(plan, settled)
+                cur_core, retry_jobs = self._make_core(
+                    cur_plan, make_runner(), strategy, progress, cancel
+                )
+                cur_futures = {f.job_id: f for f in retry_jobs}
+                retries += 1
+            except ClusterError as exc:
+                # the replacement pool could not even be dialed: consume the
+                # attempt and let the backoff schedule pace the next try
+                last_error = exc
+                cur_core = None
+        assert last_error is not None
+        raise last_error
+
+    def _retry_plan(
+        self,
+        plan: _RunPlan,
+        settled: Mapping[int, tuple[dict[str, Any] | None, str | None]],
+    ) -> _RunPlan:
+        """A fresh-backend plan covering only the still-unresolved positions."""
+        unresolved = [jid for jid in plan.original_ids if jid not in settled]
+        if not unresolved:
+            raise SchedulingError(
+                "worker pool lost but every position already resolved"
+            )
+        unresolved_set = set(unresolved)
+        backend = self._acquire_backend(plan.strategy_name, cache=plan.run_cache)
+        retry_jobs = [
+            job
+            for job in plan.jobs
+            if any(
+                member in unresolved_set
+                for member in plan.batch_members.get(job.job_id, (job.job_id,))
+            )
+        ]
+        return _RunPlan(
+            backend=backend,
+            executing=getattr(backend, "requires_payload", True),
+            strategy_name=plan.strategy_name,
+            jobs=retry_jobs,
+            original_ids=unresolved,
+            n_total=len(unresolved),
+            problem_by_id=plan.problem_by_id,
+            digests={
+                jid: digest
+                for jid, digest in plan.digests.items()
+                if jid in unresolved_set
+            },
+            batch_members={
+                job.job_id: plan.batch_members[job.job_id]
+                for job in retry_jobs
+                if job.job_id in plan.batch_members
+            },
+            run_cache=plan.run_cache,
+            portfolio=None,
+        )
+
+    def _merge_retry_result(
+        self,
+        plan: _RunPlan,
+        result: RunResult,
+        settled: Mapping[int, tuple[dict[str, Any] | None, str | None]],
+        retries: int,
+    ) -> RunResult:
+        """Fold earlier attempts' harvested results into the final report."""
+        if retries == 0:
+            return result
+        report = result.report
+        results = dict(report.results)
+        errors = dict(report.errors)
+        for job_id, (entry, error) in settled.items():
+            if error is not None:
+                errors.setdefault(job_id, error)
+                results.setdefault(job_id, None)
+            else:
+                results.setdefault(job_id, entry)
+        report.results = {
+            jid: results[jid] for jid in plan.original_ids if jid in results
+        }
+        report.errors = {
+            jid: errors[jid] for jid in plan.original_ids if jid in errors
+        }
+        report.n_jobs = plan.n_total
+        report.extra["retries"] = retries
+        return RunResult(report=report, portfolio=plan.portfolio)
 
     def stream(
         self,

@@ -151,6 +151,9 @@ def _make_remote(
     hosts: Any = None,
     connect_timeout: float = 10.0,
     send_timeout: float = 60.0,
+    reconnect: Any = None,
+    liveness_timeout: float | None = None,
+    secret: str | None = None,
     **options: Any,
 ) -> WorkerBackend:
     # imported lazily so plain backend users do not pay for the socket layer
@@ -163,7 +166,14 @@ def _make_remote(
             "use repro.cluster.worker.spawn_local_workers for a loopback pool"
         )
     # one logical worker per address: the addresses, not n_workers, size the pool
-    return RemoteBackend(hosts, connect_timeout=connect_timeout, send_timeout=send_timeout)
+    return RemoteBackend(
+        hosts,
+        connect_timeout=connect_timeout,
+        send_timeout=send_timeout,
+        reconnect=reconnect,
+        liveness_timeout=liveness_timeout,
+        secret=secret,
+    )
 
 
 @register_backend("simulated")

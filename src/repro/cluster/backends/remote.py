@@ -15,12 +15,29 @@ result frames with :mod:`selectors`:
   whatever already arrived without blocking -- ``MPI_Iprobe`` -- which is
   all the streaming futures API needs to work over the wire unchanged.
 
-Worker death is survivable: the master keeps the encoded frame of every
-in-flight job, so when a connection drops its jobs are redispatched to the
-surviving workers and the run completes (the freed logical worker slot is
-remapped onto a live connection).  Only when the *whole* pool is gone does a
-retryable :class:`~repro.errors.WorkerLostError` surface, carrying the ids
-of the jobs that were in flight so a caller can resubmit them against fresh
+The pool is *elastic*, not just damage-tolerant:
+
+* **death** -- the master keeps the wire entry of every in-flight job, so
+  when a connection drops its jobs are redispatched to the surviving
+  workers and the run completes (the freed logical worker slot is remapped
+  onto a live connection);
+* **rebirth** -- with a :class:`ReconnectPolicy` a dead host is re-dialed
+  from the blocking calls (capped exponential backoff, bounded attempts)
+  and, once back, gets its original logical slots again;
+* **growth/shrinkage** -- :meth:`RemoteBackend.attach_host` /
+  :meth:`~RemoteBackend.detach_host` add and retire capacity mid-run;
+* **liveness** -- a ``liveness_timeout`` turns a wedged-but-connected worker
+  (one that answers neither a :data:`~repro.serial.frames.FRAME_PING` nor a
+  result inside the window) into an ordinary death within seconds, instead
+  of stalling ``collect`` for its full timeout;
+* **identity** -- a ``secret`` arms the protocol-v4 HMAC-SHA256 handshake,
+  so the master only dispatches jobs to workers that proved knowledge of
+  the shared secret (and vice versa).
+
+Only when the whole pool is gone *and* cannot come back does a retryable
+:class:`~repro.errors.WorkerLostError` surface, carrying the ids of the
+jobs that were in flight so a caller (or the session-layer
+:class:`~repro.api.config.RetryPolicy`) can resubmit them against fresh
 workers.
 
 Build one through the registry --
@@ -36,7 +53,7 @@ import selectors
 import socket
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.cluster.backends.base import (
     PAYLOAD_PROBLEM,
@@ -50,6 +67,8 @@ from repro.cluster.backends.base import (
 from repro.errors import ClusterError, CollectTimeoutError, SerializationError, WorkerLostError
 from repro.serial import Serial, serialize, xdr
 from repro.serial.frames import (
+    FRAME_AUTH,
+    FRAME_CHALLENGE,
     FRAME_HELLO,
     FRAME_JOB,
     FRAME_JOB_BATCH,
@@ -57,12 +76,15 @@ from repro.serial.frames import (
     FRAME_PONG,
     FRAME_RESULT,
     FRAME_STOP,
+    PROTOCOL_VERSION,
     FrameAssembler,
+    auth_proof,
     encode_frame,
     read_frame,
+    verify_proof,
 )
 
-__all__ = ["RemoteBackend", "normalize_hosts"]
+__all__ = ["ReconnectPolicy", "RemoteBackend", "normalize_hosts"]
 
 _RECV_BYTES = 1 << 16
 
@@ -109,6 +131,64 @@ def normalize_hosts(hosts: Any) -> tuple[str, ...]:
     return tuple(normalized)
 
 
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """How (and how hard) the master re-dials a dead worker host.
+
+    A host that drops mid-run is retried with capped exponential backoff:
+    the ``k``-th dial waits ``initial_backoff * backoff_factor**(k-1)``
+    seconds (at most ``max_backoff``) after the previous failure, for up to
+    ``max_attempts`` dials.  Re-dialing happens from the *blocking* backend
+    calls (``dispatch``/``collect``), never from ``poll()``, so the
+    non-blocking surface stays non-blocking.  A host that comes back gets
+    its original logical worker slots again; one that exhausts its attempts
+    stays buried, and only when *no* host is live or re-dialable does
+    :class:`~repro.errors.WorkerLostError` surface.
+    """
+
+    max_attempts: int = 5
+    initial_backoff: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ClusterError("ReconnectPolicy needs max_attempts >= 1")
+        if self.initial_backoff < 0:
+            raise ClusterError("ReconnectPolicy needs initial_backoff >= 0")
+        if self.backoff_factor < 1.0:
+            raise ClusterError("ReconnectPolicy needs backoff_factor >= 1")
+        if self.max_backoff < self.initial_backoff:
+            raise ClusterError(
+                "ReconnectPolicy needs max_backoff >= initial_backoff"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before dial number ``attempt`` (1-based)."""
+        return min(
+            self.max_backoff,
+            self.initial_backoff * self.backoff_factor ** max(0, attempt - 1),
+        )
+
+
+def _coerce_reconnect(value: Any) -> ReconnectPolicy | None:
+    """Accept the spellings a backend option can arrive in."""
+    if value is None or value is False:
+        return None
+    if value is True:
+        return ReconnectPolicy()
+    if isinstance(value, ReconnectPolicy):
+        return value
+    if isinstance(value, int):
+        return ReconnectPolicy(max_attempts=value)
+    if isinstance(value, Mapping):
+        return ReconnectPolicy(**value)
+    raise ClusterError(
+        f"reconnect must be a ReconnectPolicy, True, a max-attempts int or "
+        f"a mapping of policy fields, got {type(value).__name__}"
+    )
+
+
 @dataclass
 class _Connection:
     """Master-side state of one worker link."""
@@ -116,28 +196,48 @@ class _Connection:
     address: str
     sock: socket.socket
     assembler: FrameAssembler = field(default_factory=FrameAssembler)
+    #: protocol version this peer greeted with (frames to it are encoded at
+    #: this version, so a v3 worker keeps working under a v4 master)
+    version: int = PROTOCOL_VERSION
     alive: bool = True
     stop_sent: bool = False
+    #: detached on purpose -- never re-dialed by the reconnect policy
+    detached: bool = False
+    #: monotonic time of the last byte received (liveness bookkeeping)
+    last_recv: float = 0.0
+    #: outstanding liveness-ping token (None when not probing)
+    ping_token: bytes | None = None
+    ping_sent: float = 0.0
+
+
+@dataclass
+class _ReconnectState:
+    """Backoff bookkeeping for one dead, re-dialable connection slot."""
+
+    attempts: int = 0  # failed dials so far
+    next_try: float = 0.0  # monotonic time of the next allowed dial
 
 
 @dataclass
 class _InFlight:
     """A dispatched, not-yet-answered job (kept for redispatch on death).
 
-    Singly-dispatched jobs keep their already-encoded ``frame``; chunk
-    members keep only the wire ``entry`` dictionary (whose payload bytes
-    are shared with the batch frame) and encode a solo frame lazily, on
-    the rare death-redispatch path.
+    Every record keeps the wire ``entry`` dictionary (chunk members share
+    payload bytes with their batch frame); the solo frame is encoded
+    lazily -- at the receiving connection's protocol version -- on the
+    dispatch and death-redispatch paths.
     """
 
     worker_id: int
     conn_index: int
+    entry: dict[str, Any]
     frame: bytes | None = None
-    entry: dict[str, Any] | None = None
 
-    def redispatch_frame(self) -> bytes:
+    def frame_for(self, version: int) -> bytes:
+        if version != PROTOCOL_VERSION:
+            # rare (old-protocol peer): encode fresh, don't poison the cache
+            return encode_frame(FRAME_JOB, xdr.encode(self.entry), version=version)
         if self.frame is None:
-            assert self.entry is not None
             self.frame = encode_frame(FRAME_JOB, xdr.encode(self.entry))
         return self.frame
 
@@ -150,14 +250,32 @@ class RemoteBackend(WorkerBackend):
     hosts:
         Worker addresses (``"host:port"`` strings or ``(host, port)``
         pairs); one logical worker per address.  The scheduler-facing
-        ``n_workers`` is ``len(hosts)``.
+        ``n_workers`` is ``len(hosts)`` (plus any :meth:`attach_host`).
     connect_timeout:
-        Seconds allowed for each TCP connect + protocol handshake.
+        Seconds allowed for each TCP connect + protocol handshake (also
+        per reconnect dial).
     send_timeout:
         Seconds a single frame send may block before the worker is declared
         lost (its jobs are requeued).  Bounds ``collect(timeout=...)``: a
         network-partitioned worker whose TCP buffer filled up cannot hang
         the master forever on ``sendall``.
+    reconnect:
+        ``None`` (default) keeps the PR-4 behaviour: a dead host stays
+        dead.  A :class:`ReconnectPolicy` (or ``True`` for the defaults, an
+        int for ``max_attempts``, or a mapping of policy fields) re-dials
+        dead hosts from the blocking calls and remaps their logical slots
+        back on success.
+    liveness_timeout:
+        Seconds of in-campaign silence after which a connection with jobs
+        in flight is PINGed; a worker that then answers neither the pong
+        nor a result within another window is buried like a dropped
+        socket.  ``None`` disables the probe (a wedged worker then costs
+        the full ``collect`` timeout).
+    secret:
+        Shared secret arming the protocol-v4 HMAC-SHA256 handshake: every
+        worker must prove knowledge of the secret at connect time, before
+        any job is dispatched.  Workers that require a secret are refused
+        when ``secret`` is ``None`` -- loudly, at connect.
     """
 
     def __init__(
@@ -165,14 +283,30 @@ class RemoteBackend(WorkerBackend):
         hosts: Any,
         connect_timeout: float = 10.0,
         send_timeout: float = 60.0,
+        *,
+        reconnect: Any = None,
+        liveness_timeout: float | None = None,
+        secret: str | None = None,
     ):
         addresses = normalize_hosts(hosts)
+        if liveness_timeout is not None and liveness_timeout <= 0:
+            raise ClusterError("liveness_timeout must be positive (or None)")
         self._n_workers = len(addresses)
+        self._connect_timeout = connect_timeout
         self._send_timeout = send_timeout
+        self._reconnect_policy = _coerce_reconnect(reconnect)
+        self._liveness_timeout = liveness_timeout
+        self._secret = secret
         self._selector = selectors.DefaultSelector()
         self._conns: list[_Connection] = []
         #: logical worker id -> index into ``_conns`` (remapped on death)
         self._route: list[int] = list(range(self._n_workers))
+        #: logical worker id -> its *original* connection slot, so a host
+        #: that reconnects gets its own slots back instead of staying a
+        #: spectator behind the remapped survivors
+        self._home: list[int] = list(range(self._n_workers))
+        #: conn index -> backoff state of a pending re-dial
+        self._redial: dict[int, _ReconnectState] = {}
         self._inflight: dict[int, _InFlight] = {}
         #: orphaned job ids awaiting redispatch; flushed only from blocking
         #: calls (dispatch/collect) so poll() can never stall on a send
@@ -182,6 +316,9 @@ class RemoteBackend(WorkerBackend):
         self._pongs: dict[int, bytes] = {}
         self._n_jobs = 0
         self._bytes_sent = 0
+        self._reconnects = 0
+        self._redispatches = 0
+        self._liveness_buried = 0
         self._busy: dict[int, float] = {i: 0.0 for i in range(self._n_workers)}
         self._start = time.perf_counter()
         self._finalized = False
@@ -212,6 +349,7 @@ class RemoteBackend(WorkerBackend):
                     f"worker {address} did not greet with a hello frame "
                     f"(is it a repro-worker?)"
                 )
+            version = self._handshake(sock, address, frame[1])
         except (SerializationError, OSError) as exc:
             # OSError covers the silent peer: connect_timeout is still armed,
             # so a listener that never greets surfaces here, wrapped
@@ -223,12 +361,88 @@ class RemoteBackend(WorkerBackend):
         # bounds every later sendall; recv never blocks on it because the
         # selector only hands over sockets with data pending
         sock.settimeout(self._send_timeout)
-        return _Connection(address=address, sock=sock)
+        return _Connection(
+            address=address, sock=sock, version=version, last_recv=time.monotonic()
+        )
+
+    def _handshake(self, sock: socket.socket, address: str, hello: bytes) -> int:
+        """Finish the greeting: negotiate the version, run the v4 auth.
+
+        Returns the protocol version to *speak* on this connection (the
+        worker's hello version, capped at ours).  Raises
+        :class:`~repro.errors.ClusterError` on any authentication problem --
+        before a single job frame is sent.
+        """
+        try:
+            greeting = xdr.decode(hello)
+        except SerializationError:
+            greeting = {}
+        if not isinstance(greeting, dict):
+            greeting = {}
+        try:
+            version = int(greeting.get("version", PROTOCOL_VERSION))
+        except (TypeError, ValueError):
+            version = PROTOCOL_VERSION
+        version = min(version, PROTOCOL_VERSION)
+        requires_secret = bool(greeting.get("auth", False))
+        if self._secret is None:
+            if requires_secret:
+                raise ClusterError(
+                    f"worker {address} requires a shared secret; pass "
+                    f"secret=... to the remote backend (or unset the "
+                    f"worker's --secret)"
+                )
+            return version
+        worker_nonce = greeting.get("nonce")
+        if version < 4 or not isinstance(worker_nonce, bytes):
+            raise ClusterError(
+                f"this master requires a shared secret, but worker {address} "
+                f"speaks protocol v{version} without handshake support; "
+                f"upgrade the worker or drop the secret"
+            )
+        master_nonce = os.urandom(16)
+        sock.sendall(
+            encode_frame(
+                FRAME_CHALLENGE,
+                xdr.encode(
+                    {
+                        "nonce": master_nonce,
+                        "proof": auth_proof(self._secret, worker_nonce),
+                    }
+                ),
+            )
+        )
+        answer = read_frame(sock.recv)
+        if answer is None or answer[0] != FRAME_AUTH:
+            raise ClusterError(
+                f"worker {address} refused the shared-secret handshake "
+                f"(secret mismatch, or the worker has no --secret configured)"
+            )
+        try:
+            proof = xdr.decode(answer[1]).get("proof")
+        except (SerializationError, AttributeError):
+            proof = None
+        if not verify_proof(self._secret, master_nonce, proof):
+            raise ClusterError(
+                f"worker {address} failed the shared-secret handshake "
+                f"(wrong secret)"
+            )
+        return version
 
     # -- WorkerBackend contract --------------------------------------------------
     @property
     def n_workers(self) -> int:
         return self._n_workers
+
+    @property
+    def reconnects(self) -> int:
+        """Dead hosts successfully re-dialed so far."""
+        return self._reconnects
+
+    @property
+    def redispatches(self) -> int:
+        """Orphaned in-flight jobs re-sent to another connection so far."""
+        return self._redispatches
 
     def on_run_start(self, n_jobs: int) -> None:
         self._start = time.perf_counter()
@@ -251,10 +465,10 @@ class RemoteBackend(WorkerBackend):
             raise ClusterError(f"invalid worker id {worker_id}")
         if self._finalized:
             raise ClusterError("backend already finalized")
-        frame = encode_frame(FRAME_JOB, xdr.encode(self._wire_entry(job, message)))
+        record = _InFlight(worker_id, _UNROUTED, entry=self._wire_entry(job, message))
         self._n_jobs += 1
-        self._bytes_sent += len(frame)
-        self._send(job.job_id, worker_id, frame)
+        self._send(job.job_id, record)
+        self._maybe_reconnect()
         self._flush_redispatch()
 
     def dispatch_batch(
@@ -267,7 +481,7 @@ class RemoteBackend(WorkerBackend):
 
         The worker answers with one result frame per member, so collection
         stays incremental.  For death recovery each member is tracked with
-        its own single-job frame: if the connection dies mid-chunk, the
+        its own single-job entry: if the connection dies mid-chunk, the
         unanswered members are redispatched individually to the survivors
         (an answered member is never re-sent).
         """
@@ -280,8 +494,21 @@ class RemoteBackend(WorkerBackend):
         entries = [
             self._wire_entry(job, message) for job, message in zip(jobs, messages)
         ]
+        conn_index = self._route_for(worker_id)
+        if conn_index is None:
+            # no live connection right now: park every member; the next
+            # blocking call redispatches them once a host is back
+            self._n_jobs += len(entries)
+            for entry in entries:
+                self._park(int(entry["job_id"]), _InFlight(worker_id, _UNROUTED, entry))
+            if not self._reconnect_pending():
+                self._raise_pool_lost()
+            return
+        conn = self._conns[conn_index]
         try:
-            frame = encode_frame(FRAME_JOB_BATCH, xdr.encode({"jobs": entries}))
+            frame = encode_frame(
+                FRAME_JOB_BATCH, xdr.encode({"jobs": entries}), version=conn.version
+            )
         except SerializationError:
             # the combined chunk overflows the frame-size guard; individual
             # jobs may still fit, so degrade to per-job dispatch rather than
@@ -290,15 +517,14 @@ class RemoteBackend(WorkerBackend):
                 self.dispatch(worker_id, job, message)
             return
         self._n_jobs += len(jobs)
-        self._bytes_sent += len(frame)
-        conn_index = self._route_for(worker_id)
         for entry in entries:
             # the solo redispatch frame is only built if the connection dies
             self._inflight[int(entry["job_id"])] = _InFlight(
-                worker_id, conn_index, frame=None, entry=entry
+                worker_id, conn_index, entry
             )
         try:
-            self._conns[conn_index].sock.sendall(frame)
+            conn.sock.sendall(frame)
+            self._bytes_sent += len(frame)
         except OSError:
             self._on_conn_dead(conn_index)
         self._flush_redispatch()
@@ -308,7 +534,11 @@ class RemoteBackend(WorkerBackend):
             raise ClusterError("no job in flight")
         deadline = None if timeout is None else time.monotonic() + timeout
         while not self._ready:
+            self._maybe_reconnect()
             self._flush_redispatch()
+            self._check_liveness()
+            if self._ready:
+                break  # a liveness burial can orphan+answer via redispatch
             if deadline is None:
                 wait: float | None = None
             else:
@@ -317,8 +547,26 @@ class RemoteBackend(WorkerBackend):
                     raise CollectTimeoutError(
                         f"timed out after {timeout}s waiting for a remote worker result"
                     )
-            self._pump(wait)
+            if not self._live_indices():
+                # nothing to select on: sleep toward the next re-dial
+                if not self._reconnect_pending():
+                    self._raise_pool_lost()
+                pause = max(0.0, self._next_redial_at() - time.monotonic())
+                if wait is not None:
+                    pause = min(pause, wait)
+                time.sleep(min(max(pause, 0.005), 0.5))
+                continue
+            self._pump(self._cap_wait(wait))
         return self._ready.pop(0)
+
+    def _cap_wait(self, wait: float | None) -> float | None:
+        """Bound a selector wait so liveness/reconnect timers keep firing."""
+        caps = [wait] if wait is not None else []
+        if self._liveness_timeout is not None:
+            caps.append(max(self._liveness_timeout / 4.0, 0.01))
+        if self._reconnect_pending():
+            caps.append(max(self._next_redial_at() - time.monotonic(), 0.01))
+        return min(caps) if caps else None
 
     def poll(self) -> bool:
         if self._inflight:
@@ -348,8 +596,11 @@ class RemoteBackend(WorkerBackend):
         pending: set[int] = set()
         for index in self._live_indices():
             self._pongs.pop(index, None)
+            conn = self._conns[index]
             try:
-                self._conns[index].sock.sendall(encode_frame(FRAME_PING, token))
+                conn.sock.sendall(
+                    encode_frame(FRAME_PING, token, version=conn.version)
+                )
             except OSError:
                 self._on_conn_dead(index)
                 continue
@@ -372,6 +623,58 @@ class RemoteBackend(WorkerBackend):
             conn.address: index in live for index, conn in enumerate(self._conns)
         }
 
+    # -- elasticity ---------------------------------------------------------------
+    def attach_host(self, address: Any, *, connect_timeout: float | None = None) -> int:
+        """Connect one more worker host mid-run; return its logical worker id.
+
+        The pool grows: ``n_workers`` increases by one and the new id routes
+        to the fresh connection.  Schedulers that planned against the old
+        ``n_workers`` simply ignore the extra slot until their next plan;
+        redispatched orphans and new streams use it immediately.
+        """
+        if self._finalized:
+            raise ClusterError("backend already finalized")
+        normalized = normalize_hosts([address])[0]
+        conn = self._connect(
+            normalized,
+            self._connect_timeout if connect_timeout is None else connect_timeout,
+        )
+        index = len(self._conns)
+        self._conns.append(conn)
+        self._selector.register(conn.sock, selectors.EVENT_READ, index)
+        worker_id = self._n_workers
+        self._n_workers += 1
+        self._route.append(index)
+        self._home.append(index)
+        self._busy[worker_id] = 0.0
+        return worker_id
+
+    def detach_host(self, address: Any) -> bool:
+        """Retire one worker host mid-run; ``True`` if a connection matched.
+
+        The connection gets a clean stop frame and is buried like a death --
+        its in-flight jobs are redispatched to the survivors -- but it is
+        marked *detached*, so a reconnect policy never re-dials it.  The
+        logical slot stays (remapped onto survivors); detaching the last
+        live host while jobs are in flight raises
+        :class:`~repro.errors.WorkerLostError` unless a reconnect of some
+        other host is still possible.
+        """
+        if self._finalized:
+            raise ClusterError("backend already finalized")
+        normalized = normalize_hosts([address])[0]
+        found = False
+        for index, conn in enumerate(self._conns):
+            if conn.address != normalized or conn.detached:
+                continue
+            conn.detached = True
+            self._redial.pop(index, None)  # a pending re-dial is cancelled too
+            found = True
+            if conn.alive:
+                self._stop_conn(conn)
+                self._on_conn_dead(index)
+        return found
+
     def send_stop(self, worker_id: int) -> None:
         conn = self._conns[self._route[worker_id]]
         self._stop_conn(conn)
@@ -379,6 +682,7 @@ class RemoteBackend(WorkerBackend):
     def finalize(self) -> BackendStats:
         if not self._finalized:
             self._finalized = True
+            self._redial.clear()
             for conn in self._conns:
                 self._stop_conn(conn)
                 if conn.alive:
@@ -397,34 +701,72 @@ class RemoteBackend(WorkerBackend):
             worker_busy=dict(self._busy),
             master_busy=total,
             bytes_sent=self._bytes_sent,
-            extra={"hosts": [conn.address for conn in self._conns]},
+            extra={
+                "hosts": [conn.address for conn in self._conns],
+                "reconnects": self._reconnects,
+                "redispatches": self._redispatches,
+                "liveness_buried": self._liveness_buried,
+            },
         )
 
     # -- wire plumbing -----------------------------------------------------------
     def _live_indices(self) -> list[int]:
         return [index for index, conn in enumerate(self._conns) if conn.alive]
 
-    def _route_for(self, worker_id: int) -> int:
-        """The live connection index a logical worker currently routes to."""
-        conn_index = self._route[worker_id]
-        if not self._conns[conn_index].alive:
-            # the routed connection died between collects; remap first
-            self._remap_route(conn_index)
-            conn_index = self._route[worker_id]
-        return conn_index
+    def _route_for(self, worker_id: int) -> int | None:
+        """The live connection index a logical worker currently routes to.
 
-    def _send(self, job_id: int, worker_id: int, frame: bytes) -> None:
-        """Record ``job_id`` as in flight and push its frame down the wire."""
-        conn_index = self._route_for(worker_id)
-        self._inflight[job_id] = _InFlight(worker_id, conn_index, frame)
+        ``None`` when no connection is live at all (the caller parks the
+        job for redispatch, or raises if the pool can never come back).
+        """
+        conn_index = self._route[worker_id]
+        if self._conns[conn_index].alive:
+            return conn_index
+        survivors = self._live_indices()
+        if not survivors:
+            return None
+        # the routed connection died between collects; remap first
+        self._remap_route(conn_index, survivors)
+        return self._route[worker_id]
+
+    def _park(self, job_id: int, record: _InFlight) -> None:
+        """Queue an unroutable in-flight job for a later redispatch."""
+        record.conn_index = _UNROUTED
+        self._inflight[job_id] = record
+        if job_id not in self._redispatch:
+            self._redispatch.append(job_id)
+
+    def _send(self, job_id: int, record: _InFlight) -> bool:
+        """Record ``job_id`` as in flight and push its frame down the wire.
+
+        Returns ``False`` when the job could not be sent: either no live
+        connection exists (the job is parked; raises
+        :class:`~repro.errors.WorkerLostError` instead if no reconnect can
+        ever succeed) or the target connection died under the send (the
+        job is parked among its orphans).
+        """
+        conn_index = self._route_for(record.worker_id)
+        if conn_index is None:
+            self._park(job_id, record)
+            if not self._reconnect_pending():
+                self._raise_pool_lost()
+            return False
+        conn = self._conns[conn_index]
+        record.conn_index = conn_index
+        self._inflight[job_id] = record
+        frame = record.frame_for(conn.version)
         try:
-            self._conns[conn_index].sock.sendall(frame)
+            conn.sock.sendall(frame)
         except OSError:
             self._on_conn_dead(conn_index)
+            return False
+        self._bytes_sent += len(frame)
+        return True
 
     def _pump(self, timeout: float | None) -> None:
         """Wait up to ``timeout`` for socket activity and absorb it."""
         events = self._selector.select(timeout)
+        now = time.monotonic()
         for key, _mask in events:
             index = key.data
             conn = self._conns[index]
@@ -437,6 +779,10 @@ class RemoteBackend(WorkerBackend):
             if not data:
                 self._on_conn_dead(index)
                 continue
+            # any received byte proves the worker is alive and making
+            # progress; an outstanding liveness probe is thereby answered
+            conn.last_recv = now
+            conn.ping_token = None
             try:
                 conn.assembler.feed(data)
             except SerializationError:
@@ -485,54 +831,147 @@ class RemoteBackend(WorkerBackend):
             job_ids=lost,
         )
 
-    def _remap_route(self, dead_index: int) -> None:
+    def _remap_route(self, dead_index: int, survivors: list[int]) -> None:
         """Point logical workers routed at ``dead_index`` to live connections."""
-        survivors = self._live_indices()
-        if not survivors:
-            self._raise_pool_lost()
         for worker_id, conn_index in enumerate(self._route):
             if conn_index == dead_index:
                 self._route[worker_id] = survivors[worker_id % len(survivors)]
 
     def _on_conn_dead(self, index: int) -> None:
-        """Bury a connection; redispatch its in-flight jobs to survivors."""
+        """Bury a connection; queue its in-flight jobs for redispatch."""
         conn = self._conns[index]
         if not conn.alive:
             return
         conn.alive = False
+        conn.ping_token = None
         try:
             self._selector.unregister(conn.sock)
         except (KeyError, ValueError):  # pragma: no cover - defensive
             pass
         conn.sock.close()
-        if not self._live_indices():
-            if self._inflight:
-                self._raise_pool_lost()
-            return  # nothing was lost; the pool just wound down
-        self._remap_route(index)
+        if (
+            self._reconnect_policy is not None
+            and not conn.detached
+            and not self._finalized
+        ):
+            self._redial[index] = _ReconnectState(
+                attempts=0,
+                next_try=time.monotonic() + self._reconnect_policy.backoff(1),
+            )
         for job_id, entry in self._inflight.items():
             if entry.conn_index == index:
                 # park the orphan: no connection holds it until the next
                 # blocking call flushes it to a survivor (a sendall here
                 # could stall a nominally non-blocking poll())
                 entry.conn_index = _UNROUTED
-                self._redispatch.append(job_id)
+                if job_id not in self._redispatch:
+                    self._redispatch.append(job_id)
+        survivors = self._live_indices()
+        if survivors:
+            self._remap_route(index, survivors)
+        elif self._inflight and not self._reconnect_pending():
+            self._raise_pool_lost()
+
+    # -- reconnect ---------------------------------------------------------------
+    def _redial_candidates(self) -> list[int]:
+        if self._reconnect_policy is None:
+            return []
+        limit = self._reconnect_policy.max_attempts
+        return sorted(
+            index for index, state in self._redial.items() if state.attempts < limit
+        )
+
+    def _reconnect_pending(self) -> bool:
+        """Is any dead host still allowed another dial?"""
+        return bool(self._redial_candidates())
+
+    def _next_redial_at(self) -> float:
+        due = [self._redial[index].next_try for index in self._redial_candidates()]
+        return min(due) if due else time.monotonic()
+
+    def _maybe_reconnect(self) -> None:
+        """Re-dial dead hosts whose backoff expired (blocking contexts only)."""
+        if self._reconnect_policy is None or self._finalized:
+            return
+        for index in self._redial_candidates():
+            state = self._redial[index]
+            if state.next_try > time.monotonic():
+                continue
+            address = self._conns[index].address
+            try:
+                conn = self._connect(address, self._connect_timeout)
+            except ClusterError:
+                state.attempts += 1
+                state.next_try = time.monotonic() + self._reconnect_policy.backoff(
+                    state.attempts + 1
+                )
+                continue
+            self._conns[index] = conn
+            self._selector.register(conn.sock, selectors.EVENT_READ, index)
+            del self._redial[index]
+            self._reconnects += 1
+            # hand the reborn host its original logical slots back
+            for worker_id, home in enumerate(self._home):
+                if home == index:
+                    self._route[worker_id] = index
+
+    # -- liveness ----------------------------------------------------------------
+    def _check_liveness(self) -> None:
+        """PING silent busy connections; bury the ones that never answer."""
+        if self._liveness_timeout is None:
+            return
+        now = time.monotonic()
+        busy = {entry.conn_index for entry in self._inflight.values()}
+        for index in self._live_indices():
+            conn = self._conns[index]
+            if index not in busy:
+                conn.ping_token = None  # idle connections owe us nothing
+                continue
+            if conn.ping_token is not None:
+                if now - conn.ping_sent > self._liveness_timeout:
+                    # neither a pong nor a result inside the window: the
+                    # worker is wedged -- bury it like a dropped socket so
+                    # its jobs move on within seconds, not collect-timeouts
+                    self._liveness_buried += 1
+                    self._on_conn_dead(index)
+                continue
+            if now - conn.last_recv > self._liveness_timeout:
+                token = os.urandom(8)
+                try:
+                    conn.sock.sendall(
+                        encode_frame(FRAME_PING, token, version=conn.version)
+                    )
+                except OSError:
+                    self._on_conn_dead(index)
+                    continue
+                conn.ping_token = token
+                conn.ping_sent = now
 
     def _flush_redispatch(self) -> None:
         """Re-send parked orphans (blocking contexts only)."""
-        while self._redispatch:
-            job_id = self._redispatch.pop(0)
+        pending, self._redispatch = self._redispatch, []
+        while pending:
+            job_id = pending.pop(0)
             entry = self._inflight.get(job_id)
             if entry is None or entry.conn_index != _UNROUTED:
                 continue  # answered meanwhile, or already re-sent
             # same logical worker slot, surviving connection
-            self._send(job_id, entry.worker_id, entry.redispatch_frame())
+            if self._send(job_id, entry):
+                self._redispatches += 1
+            else:
+                # no live route (re-parked) or the target died mid-send
+                # (re-parked among its orphans): stop flushing this round
+                break
+        # whatever was not attempted stays parked for the next flush
+        for job_id in pending:
+            if job_id not in self._redispatch:
+                self._redispatch.append(job_id)
 
     def _stop_conn(self, conn: _Connection) -> None:
         if not conn.alive or conn.stop_sent:
             return
         conn.stop_sent = True
         try:
-            conn.sock.sendall(encode_frame(FRAME_STOP))
+            conn.sock.sendall(encode_frame(FRAME_STOP, version=conn.version))
         except OSError:  # the worker is already gone; nothing left to stop
             pass

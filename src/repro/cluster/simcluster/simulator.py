@@ -41,7 +41,7 @@ from repro.cluster.backends.execution import execute_payload
 from repro.cluster.simcluster.comm import CommunicationModel
 from repro.cluster.simcluster.events import EventQueue
 from repro.cluster.simcluster.node import ClusterSpec
-from repro.errors import ClusterError, SimulationError
+from repro.errors import ClusterError, SimulationError, WorkerLostError
 
 __all__ = ["SimulatedClusterBackend", "SimulationTrace"]
 
@@ -92,6 +92,15 @@ class SimulatedClusterBackend(WorkerBackend):
         an in-memory problem or a real file).  Virtual time is still advanced
         from the cost model, not from the measured time, so simulated results
         stay machine-independent.
+    churn:
+        Optional :class:`~repro.cluster.chaos.ChurnSchedule`: workers die or
+        join at virtual times.  A dispatch routed to a dead worker is
+        deterministically redirected to the live worker that frees up
+        earliest; a job computing when its worker dies restarts on a
+        survivor at the death instant (charging the lost partial work); a
+        joining worker's clock starts at its join time.  The scheduler sees
+        the joiners in ``n_workers`` from the start -- jobs sent to an
+        unborn worker simply wait for its birth.
     """
 
     requires_payload = False
@@ -102,17 +111,36 @@ class SimulatedClusterBackend(WorkerBackend):
         strategy: str = "serialized_load",
         comm: CommunicationModel | None = None,
         execute: bool = False,
+        churn: Any = None,
     ):
         self.cluster = cluster
         self.strategy = strategy
         self.comm = comm if comm is not None else CommunicationModel()
         self.comm._check_strategy(strategy)
         self.execute = bool(execute)
+        self.churn = churn
 
+        base = cluster.n_workers
+        joins = list(churn.joins) if churn is not None else []
+        self._birth = [0.0] * base + [birth for birth, _speed in joins]
+        self._join_speed = {
+            base + index: speed for index, (_birth, speed) in enumerate(joins)
+        }
+        self._death: dict[int, float] = dict(churn.kills) if churn is not None else {}
+        for worker_id in self._death:
+            if not 0 <= worker_id < base + len(joins):
+                raise SimulationError(
+                    f"churn schedule kills unknown worker {worker_id} "
+                    f"(cluster has workers 0..{base + len(joins) - 1})"
+                )
+        self._churn_redirects = 0
+        self._churn_restarts = 0
+
+        n_total = base + len(joins)
         self._master_time = 0.0
         self._master_busy = 0.0
-        self._worker_free = [0.0] * cluster.n_workers
-        self._worker_busy = [0.0] * cluster.n_workers
+        self._worker_free = [0.0] * n_total
+        self._worker_busy = [0.0] * n_total
         self._events = EventQueue()
         self._in_flight = 0
         self._n_jobs = 0
@@ -123,7 +151,7 @@ class SimulatedClusterBackend(WorkerBackend):
     # -- WorkerBackend interface ---------------------------------------------------
     @property
     def n_workers(self) -> int:
-        return self.cluster.n_workers
+        return len(self._worker_free)
 
     @property
     def virtual_time(self) -> float:
@@ -145,13 +173,10 @@ class SimulatedClusterBackend(WorkerBackend):
         self._bytes_sent += nbytes
 
         arrival = self._master_time
-        start = max(arrival, self._worker_free[worker_id])
         worker_prep = self.comm.worker_prep_time(self.strategy, job)
-        speed = self.cluster.speed_of(worker_id)
-        compute = job.compute_cost / speed
-        done = start + worker_prep + compute
-        self._worker_free[worker_id] = done
-        self._worker_busy[worker_id] += worker_prep + compute
+        worker_id, start, done, compute = self._place(
+            worker_id, arrival, worker_prep, job
+        )
 
         result: dict[str, Any] | None = None
         error: str | None = None
@@ -200,21 +225,21 @@ class SimulatedClusterBackend(WorkerBackend):
         self._bytes_sent += nbytes
         arrival = self._master_time
 
-        start = max(arrival, self._worker_free[worker_id])
-        speed = self.cluster.speed_of(worker_id)
         for index, job in enumerate(jobs):
             message = messages[index] if messages else None
             worker_prep = self.comm.worker_prep_time(self.strategy, job)
-            compute = job.compute_cost / speed
-            done = start + worker_prep + compute
-            self._worker_busy[worker_id] += worker_prep + compute
+            # _place commits the worker's free time, so chunk members chain
+            # on the same worker exactly as the sequential in-order model did
+            placed_id, start, done, compute = self._place(
+                worker_id, arrival, worker_prep, job
+            )
             result: dict[str, Any] | None = None
             error: str | None = None
             if self.execute:
                 result, _elapsed, error = self._execute_job(job, message)
             record = _InFlight(
                 job=job,
-                worker_id=worker_id,
+                worker_id=placed_id,
                 dispatched_at=arrival,
                 worker_start=start,
                 worker_done=done,
@@ -225,8 +250,6 @@ class SimulatedClusterBackend(WorkerBackend):
             self._events.push(done + self.comm.result_return_time(), "result", record)
             self._in_flight += 1
             self._n_jobs += 1
-            start = done
-        self._worker_free[worker_id] = start
 
     def poll(self) -> bool:
         # in virtual time the next completion event is always "ready":
@@ -278,6 +301,15 @@ class SimulatedClusterBackend(WorkerBackend):
             )
         self._finalized = True
         total = self._master_time
+        extra: dict[str, Any] = {
+            "strategy": self.strategy,
+            "nfs_cached_paths": self.comm.nfs.cached_count,
+        }
+        if self.churn is not None:
+            extra["churn_kills"] = len(self._death)
+            extra["churn_joins"] = len(self._join_speed)
+            extra["churn_redirects"] = self._churn_redirects
+            extra["churn_restarts"] = self._churn_restarts
         return BackendStats(
             total_time=total,
             n_jobs=self._n_jobs,
@@ -285,10 +317,82 @@ class SimulatedClusterBackend(WorkerBackend):
             worker_busy={i: busy for i, busy in enumerate(self._worker_busy)},
             master_busy=self._master_busy,
             bytes_sent=self._bytes_sent,
-            extra={
-                "strategy": self.strategy,
-                "nfs_cached_paths": self.comm.nfs.cached_count,
-            },
+            extra=extra,
+        )
+
+    # -- placement ---------------------------------------------------------------
+    def _speed_of(self, worker_id: int) -> float:
+        if worker_id >= self.cluster.n_workers:
+            return self._join_speed[worker_id]
+        return self.cluster.speed_of(worker_id)
+
+    def _pick_survivor(self, now: float, job: Job) -> int:
+        """The live worker that can start soonest at virtual time ``now``.
+
+        Joiners not yet born count as live (the job waits for their birth),
+        so a schedule that kills the whole initial pool but joins a
+        replacement still completes.  Ties break on the lowest worker id,
+        keeping the redirect fully deterministic.
+        """
+        best: int | None = None
+        best_start = 0.0
+        for wid in range(self.n_workers):
+            death = self._death.get(wid)
+            if death is not None and death <= max(now, self._birth[wid]):
+                continue
+            start = max(now, self._worker_free[wid], self._birth[wid])
+            if best is None or (start, wid) < (best_start, best):
+                best, best_start = wid, start
+        if best is None:
+            raise WorkerLostError(
+                f"churn schedule killed the whole simulated cluster by "
+                f"t={now:.3f}",
+                job_ids=(job.job_id,),
+            )
+        return best
+
+    def _place(
+        self, worker_id: int, arrival: float, worker_prep: float, job: Job
+    ) -> tuple[int, float, float, float]:
+        """Put one job on a worker; returns ``(worker, start, done, compute)``.
+
+        Without churn this is the original placement arithmetic verbatim.
+        With churn, a dispatch aimed at a dead worker is redirected to the
+        earliest-free survivor, and a worker dying mid-compute charges the
+        lost partial work and restarts the job on a survivor at the death
+        instant -- the master never loses a job, it just pays for it.
+        """
+        if self.churn is None:
+            compute = job.compute_cost / self._speed_of(worker_id)
+            start = max(arrival, self._worker_free[worker_id])
+            done = start + worker_prep + compute
+            self._worker_free[worker_id] = done
+            self._worker_busy[worker_id] += worker_prep + compute
+            return worker_id, start, done, compute
+
+        wid, now = worker_id, arrival
+        for _attempt in range(2 * self.n_workers + 4):
+            death = self._death.get(wid)
+            if death is not None and death <= max(now, self._birth[wid]):
+                wid = self._pick_survivor(now, job)
+                self._churn_redirects += 1
+                continue
+            start = max(now, self._worker_free[wid], self._birth[wid])
+            compute = job.compute_cost / self._speed_of(wid)
+            done = start + worker_prep + compute
+            death = self._death.get(wid)
+            if death is None or done <= death:
+                self._worker_free[wid] = done
+                self._worker_busy[wid] += worker_prep + compute
+                return wid, start, done, compute
+            # the worker dies mid-job: charge the partial work, restart
+            self._worker_busy[wid] += max(0.0, death - start)
+            self._worker_free[wid] = death
+            self._churn_restarts += 1
+            now = death
+            wid = self._pick_survivor(now, job)
+        raise SimulationError(
+            f"churn placement for job {job.job_id} did not converge"
         )
 
     # -- helpers -----------------------------------------------------------------

@@ -30,33 +30,51 @@ from __future__ import annotations
 import argparse
 import multiprocessing as mp
 import os
+import queue
 import signal
 import socket
 import sys
+import threading
 from typing import Any, Sequence
 
 from repro._version import __version__
 from repro.errors import ClusterError, SerializationError
 from repro.serial import xdr
 from repro.serial.frames import (
+    FRAME_AUTH,
+    FRAME_CHALLENGE,
     FRAME_HELLO,
     FRAME_JOB,
     FRAME_JOB_BATCH,
     FRAME_PING,
     FRAME_PONG,
-    FRAME_STOP,
     FRAME_RESULT,
+    FRAME_STOP,
     PROTOCOL_VERSION,
+    auth_proof,
     encode_frame,
     read_frame,
+    verify_proof,
 )
 
 __all__ = ["serve", "spawn_local_workers", "LocalWorkerPool", "probe_worker", "main"]
 
+#: environment variable consulted when ``repro-worker --secret`` is absent
+SECRET_ENV_VAR = "REPRO_WORKER_SECRET"
 
-def _hello_payload() -> bytes:
+
+def _hello_payload(nonce: bytes, secret: str | None) -> bytes:
     return xdr.encode(
-        {"role": "repro-worker", "pid": os.getpid(), "version": PROTOCOL_VERSION}
+        {
+            "role": "repro-worker",
+            "pid": os.getpid(),
+            "version": PROTOCOL_VERSION,
+            # v4 handshake material: the master proves its secret over this
+            # nonce; ``auth`` tells secretless masters to fail loudly instead
+            # of dispatching jobs a protected worker would silently drop
+            "nonce": nonce,
+            "auth": secret is not None,
+        }
     )
 
 
@@ -87,52 +105,174 @@ def _result_frame(
         )
 
 
-def _handle_connection(conn: socket.socket, cache: Any, log) -> bool:
-    """Run the slave loop over one master connection.
+class _ComputeLane:
+    """The pricing half of one connection, on its own thread.
 
-    Returns ``True`` when the master sent a clean stop frame, ``False`` when
-    the connection ended any other way (master died, stream corrupted).
+    Since protocol v4 the receive loop must stay responsive while a job
+    computes -- an in-campaign liveness :data:`FRAME_PING` that waits behind
+    a 30-second Monte-Carlo job looks exactly like a wedged worker to the
+    master.  So job frames are queued here and priced off-thread, and the
+    receive loop keeps draining the socket (answering pings instantly).
+    Results are sent under a lock shared with the receive loop so frames
+    never interleave on the wire.
     """
-    from repro.cluster.backends.execution import execute_payload
 
-    conn.sendall(encode_frame(FRAME_HELLO, _hello_payload()))
+    def __init__(self, conn: socket.socket, cache: Any, send_lock: threading.Lock):
+        self._conn = conn
+        self._cache = cache
+        self._send_lock = send_lock
+        self._jobs: queue.SimpleQueue = queue.SimpleQueue()
+        self._dead = False  # set when the socket broke under a result send
+        self._thread = threading.Thread(
+            target=self._run, name="repro-worker-compute", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, job_id: int, payload_kind: str, payload: Any) -> None:
+        self._jobs.put((job_id, payload_kind, payload))
+
+    def finish(self) -> None:
+        """Price everything queued, send the results, then stop the lane."""
+        self._jobs.put(None)
+        self._thread.join()
+
+    def _run(self) -> None:
+        from repro.cluster.backends.execution import execute_payload
+
+        while True:
+            item = self._jobs.get()
+            if item is None:
+                return
+            job_id, payload_kind, payload = item
+            result, elapsed, error = execute_payload(
+                payload_kind, payload, cache=self._cache
+            )
+            if self._dead:
+                continue  # keep draining, but the master is gone
+            try:
+                with self._send_lock:
+                    self._conn.sendall(_result_frame(job_id, result, elapsed, error))
+            except OSError:
+                self._dead = True
+
+
+def _authenticate_master(
+    conn: socket.socket, secret: str, nonce: bytes, log
+) -> bool:
+    """Worker side of the v4 challenge/response; ``True`` iff the peer is in.
+
+    The master must open with a :data:`FRAME_CHALLENGE` whose proof is
+    HMAC-SHA256(secret, our hello ``nonce``); we answer its challenge nonce
+    the same way.  Liveness probes (:data:`FRAME_PING`) and clean goodbyes
+    (:data:`FRAME_STOP`) stay allowed before authentication -- an echo leaks
+    nothing -- but no job frame is accepted from an unproven peer.
+    """
     while True:
         try:
             frame = read_frame(conn.recv)
         except SerializationError as exc:
-            log(f"dropping connection: {exc}")
+            log(f"dropping connection during handshake: {exc}")
             return False
-        if frame is None:  # master closed the socket without a stop frame
+        if frame is None:
             return False
         kind, payload = frame
-        if kind == FRAME_STOP:
-            return True
         if kind == FRAME_PING:
-            # keepalive (protocol v3): echo the opaque token straight back so
-            # an idle master can tell a live worker from a dead TCP endpoint
             conn.sendall(encode_frame(FRAME_PONG, payload))
             continue
-        if kind not in (FRAME_JOB, FRAME_JOB_BATCH):
-            log(f"ignoring unexpected frame kind {kind}")
-            continue
-        try:
-            decoded = xdr.decode(payload)
-            # a batch frame is one message carrying a whole chunk; answers
-            # still go back one result frame per member so the master's
-            # collection loop stays incremental
-            entries = decoded["jobs"] if kind == FRAME_JOB_BATCH else [decoded]
-            parsed = [
-                (int(entry["job_id"]), entry["kind"], entry["payload"])
-                for entry in entries
-            ]
-        except (SerializationError, KeyError, TypeError, ValueError) as exc:
-            log(f"dropping connection on undecodable job frame: {exc}")
-            return False
-        for job_id, payload_kind, job_payload in parsed:
-            result, elapsed, error = execute_payload(
-                payload_kind, job_payload, cache=cache
+        if kind == FRAME_STOP:
+            return False  # clean goodbye; nothing was authenticated
+        if kind != FRAME_CHALLENGE:
+            log(
+                "dropping connection: this worker requires a shared secret "
+                f"but the master sent frame kind {kind} instead of a challenge"
             )
-            conn.sendall(_result_frame(job_id, result, elapsed, error))
+            return False
+        try:
+            challenge = xdr.decode(payload)
+            master_nonce = challenge["nonce"]
+            proof = challenge["proof"]
+        except (SerializationError, KeyError, TypeError, ValueError) as exc:
+            log(f"dropping connection on malformed challenge: {exc}")
+            return False
+        if not isinstance(master_nonce, bytes) or not verify_proof(
+            secret, nonce, proof
+        ):
+            log("dropping connection: master failed the shared-secret handshake")
+            return False
+        conn.sendall(
+            encode_frame(
+                FRAME_AUTH, xdr.encode({"proof": auth_proof(secret, master_nonce)})
+            )
+        )
+        return True
+
+
+def _handle_connection(
+    conn: socket.socket, cache: Any, log, secret: str | None = None
+) -> bool:
+    """Run the slave loop over one master connection.
+
+    Returns ``True`` when the master sent a clean stop frame, ``False`` when
+    the connection ended any other way (master died, stream corrupted, or
+    the shared-secret handshake failed).
+    """
+    nonce = os.urandom(16)
+    conn.sendall(encode_frame(FRAME_HELLO, _hello_payload(nonce, secret)))
+    if secret is not None and not _authenticate_master(conn, secret, nonce, log):
+        return False
+    send_lock = threading.Lock()
+    lane = _ComputeLane(conn, cache, send_lock)
+    try:
+        while True:
+            try:
+                frame = read_frame(conn.recv)
+            except SerializationError as exc:
+                log(f"dropping connection: {exc}")
+                return False
+            if frame is None:  # master closed the socket without a stop frame
+                return False
+            kind, payload = frame
+            if kind == FRAME_STOP:
+                return True
+            if kind == FRAME_PING:
+                # keepalive (protocol v3): echo the opaque token straight back
+                # -- answered here, off the compute lane, so a master's
+                # liveness probe is not stuck behind a long job
+                with send_lock:
+                    conn.sendall(encode_frame(FRAME_PONG, payload))
+                continue
+            if kind == FRAME_CHALLENGE:
+                # the master wants an authenticated pool but this worker has
+                # no secret: hang up at once so the master fails fast and
+                # loud instead of waiting out its handshake timeout
+                log(
+                    "dropping connection: master requires a shared secret "
+                    "but this worker has none (start it with --secret)"
+                )
+                return False
+            if kind not in (FRAME_JOB, FRAME_JOB_BATCH):
+                log(f"ignoring unexpected frame kind {kind}")
+                continue
+            try:
+                decoded = xdr.decode(payload)
+                # a batch frame is one message carrying a whole chunk; answers
+                # still go back one result frame per member so the master's
+                # collection loop stays incremental
+                entries = decoded["jobs"] if kind == FRAME_JOB_BATCH else [decoded]
+                parsed = [
+                    (int(entry["job_id"]), entry["kind"], entry["payload"])
+                    for entry in entries
+                ]
+            except (SerializationError, KeyError, TypeError, ValueError) as exc:
+                log(f"dropping connection on undecodable job frame: {exc}")
+                return False
+            for job_id, payload_kind, job_payload in parsed:
+                lane.submit(job_id, payload_kind, job_payload)
+    finally:
+        # on a clean stop the queue is already priced (the master collects
+        # every result before stopping workers), so this join is instant;
+        # on a dirty loss it finishes the in-flight job and bails on send
+        lane.finish()
 
 
 def _make_log(quiet: bool):
@@ -148,6 +288,7 @@ def _accept_loop(
     cache_dir: str | None,
     once: bool,
     quiet: bool,
+    secret: str | None = None,
 ) -> None:
     """Accept master connections on an already-listening socket, forever.
 
@@ -166,11 +307,17 @@ def _accept_loop(
         except KeyboardInterrupt:
             log("interrupted, shutting down")
             return
+        except OSError as exc:
+            # the listening socket was closed under us (teardown, or a
+            # sibling process shutting the shared socket down): leave the
+            # loop cleanly instead of dying with a traceback
+            log(f"listening socket closed ({exc}), shutting down")
+            return
         with conn:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             log(f"master connected from {peer[0]}:{peer[1]}")
             try:
-                stopped = _handle_connection(conn, cache, log)
+                stopped = _handle_connection(conn, cache, log, secret=secret)
             except (BrokenPipeError, ConnectionResetError, OSError) as exc:
                 log(f"connection lost: {exc}")
                 stopped = False
@@ -188,6 +335,7 @@ def serve(
     ready: Any = None,
     quiet: bool = True,
     workers: int = 1,
+    secret: str | None = None,
 ) -> None:
     """Accept master connections and price their jobs until interrupted.
 
@@ -196,6 +344,8 @@ def serve(
     after the first connection ends -- useful for tests and one-shot
     deployments.  ``cache_dir`` opens the shared on-disk result cache every
     other executing backend understands (see :mod:`repro.pricing.cache`).
+    ``secret`` arms the protocol-v4 HMAC handshake: every master connection
+    must prove knowledge of the shared secret before any job is accepted.
 
     ``workers=N`` forks ``N`` pricing processes behind the one listening
     socket: each child runs the accept loop on the shared socket, so a
@@ -217,7 +367,7 @@ def serve(
             ready(bound_port)
         log(f"listening on {host}:{bound_port} ({workers} pricing process(es))")
         if workers == 1:
-            _accept_loop(server, cache_dir, once, quiet)
+            _accept_loop(server, cache_dir, once, quiet, secret)
             return
         if "fork" not in mp.get_all_start_methods():
             raise ClusterError(
@@ -235,7 +385,7 @@ def serve(
         children = [
             ctx.Process(
                 target=_accept_loop,
-                args=(server, cache_dir, once, quiet),
+                args=(server, cache_dir, once, quiet, secret),
                 # daemonic: multiprocessing also reaps them if this parent
                 # exits through a path that skips the finally block below
                 daemon=True,
@@ -260,14 +410,28 @@ def serve(
 
 
 def _spawned_worker(
-    index: int, host: str, port_queue: Any, cache_dir: str | None, workers: int = 1
+    index: int,
+    host: str,
+    port_queue: Any,
+    cache_dir: str | None,
+    workers: int = 1,
+    port: int = 0,
+    secret: str | None = None,
 ) -> None:
     """Entry point of one :func:`spawn_local_workers` process."""
     if workers > 1:
+        # lead a fresh process group so LocalWorkerPool.kill() can SIGKILL
+        # the whole server -- the accepting parent *and* its forked pricing
+        # children -- in one os.killpg() (a plain kill() on the parent would
+        # orphan the children onto the shared listening socket)
+        try:
+            os.setpgid(0, 0)
+        except OSError:  # pragma: no cover - already a group leader
+            pass
         # a multi-process server cannot be daemonic (it forks children), so
         # if the caller dies without pool.stop() nothing reaps it; watch for
         # reparenting and tear down via the SIGTERM path serve() installs
-        import threading
+        import threading as _threading
         import time
 
         original_ppid = os.getppid()
@@ -277,13 +441,14 @@ def _spawned_worker(
                 time.sleep(1.0)
             os.kill(os.getpid(), signal.SIGTERM)
 
-        threading.Thread(target=_exit_when_orphaned, daemon=True).start()
+        _threading.Thread(target=_exit_when_orphaned, daemon=True).start()
     serve(
         host=host,
-        port=0,
+        port=port,
         cache_dir=cache_dir,
         workers=workers,
-        ready=lambda port: port_queue.put((index, port)),
+        secret=secret,
+        ready=lambda bound: port_queue.put((index, bound)),
     )
 
 
@@ -293,12 +458,26 @@ class LocalWorkerPool:
     Iterable/indexable as its ``"host:port"`` address list, usable as a
     context manager (``stop()`` on exit), and deliberately easy to sabotage:
     :meth:`kill` hard-kills one worker so the master's death-recovery path
-    can be exercised.
+    can be exercised, and :meth:`restart` brings it back **on the same
+    port** so the master's reconnect path can be exercised too.
     """
 
-    def __init__(self, processes: list[Any], hosts: list[str]):
+    def __init__(
+        self,
+        processes: list[Any],
+        hosts: list[str],
+        *,
+        ctx: Any = None,
+        cache_dir: str | None = None,
+        workers_per_server: int = 1,
+        secret: str | None = None,
+    ):
         self._processes = processes
         self.hosts = list(hosts)
+        self._ctx = ctx if ctx is not None else mp.get_context()
+        self._cache_dir = cache_dir
+        self._workers_per_server = workers_per_server
+        self._secret = secret
 
     def __len__(self) -> int:
         return len(self.hosts)
@@ -310,15 +489,67 @@ class LocalWorkerPool:
         return self.hosts[index]
 
     def kill(self, index: int) -> None:
-        """Hard-kill one worker process (simulates a node failure).
+        """Hard-kill one worker server (simulates a node failure).
 
-        Meant for single-process servers (the default): with
-        ``workers_per_server > 1`` the SIGKILL hits the accepting parent
-        and its forked pricing children are left to the kernel, so death
-        tests should stick to one pricing process per server.
+        A single-process server dies from one SIGKILL.  A multi-process
+        server (``workers_per_server > 1``) leads its own process group, so
+        the kill lands on the whole group -- the accepting parent *and* its
+        forked pricing children -- instead of silently orphaning the
+        children onto the shared listening socket.
         """
-        self._processes[index].kill()
-        self._processes[index].join(timeout=10.0)
+        process = self._processes[index]
+        if self._workers_per_server > 1 and process.pid is not None:
+            try:
+                os.killpg(process.pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):  # already collapsed
+                pass
+        process.kill()
+        process.join(timeout=10.0)
+
+    def restart(self, index: int, *, timeout: float = 30.0) -> str:
+        """Respawn a killed worker server on its original port.
+
+        The listening sockets bind with ``SO_REUSEADDR``, so the address in
+        ``hosts[index]`` comes straight back -- which is exactly what a
+        master-side :class:`~repro.cluster.backends.remote.ReconnectPolicy`
+        needs to re-dial.  Returns the (unchanged) ``"host:port"`` address.
+        Raises :class:`~repro.errors.ClusterError` if the worker it replaces
+        is still alive or the new server does not come up in ``timeout``
+        seconds (e.g. another process grabbed the port meanwhile).
+        """
+        process = self._processes[index]
+        if process.is_alive():
+            raise ClusterError(
+                f"worker {index} ({self.hosts[index]}) is still alive; "
+                f"kill() it before restart()"
+            )
+        host, _, port_text = self.hosts[index].rpartition(":")
+        port_queue = self._ctx.Queue()
+        replacement = self._ctx.Process(
+            target=_spawned_worker,
+            args=(
+                index,
+                host,
+                port_queue,
+                self._cache_dir,
+                self._workers_per_server,
+                int(port_text),
+                self._secret,
+            ),
+            daemon=self._workers_per_server == 1,
+        )
+        replacement.start()
+        try:
+            port_queue.get(timeout=timeout)
+        except Exception:
+            replacement.terminate()
+            replacement.join(timeout=5.0)
+            raise ClusterError(
+                f"restarted worker {index} did not come back on "
+                f"{self.hosts[index]} within {timeout}s"
+            ) from None
+        self._processes[index] = replacement
+        return self.hosts[index]
 
     def stop(self) -> None:
         """Terminate every worker process still alive."""
@@ -345,6 +576,7 @@ def spawn_local_workers(
     start_method: str | None = None,
     timeout: float = 30.0,
     workers_per_server: int = 1,
+    secret: str | None = None,
 ) -> LocalWorkerPool:
     """Start ``n`` worker servers on ``127.0.0.1`` and return their pool.
 
@@ -371,7 +603,8 @@ def spawn_local_workers(
         for index in range(n):
             process = ctx.Process(
                 target=_spawned_worker,
-                args=(index, "127.0.0.1", port_queue, cache_dir, workers_per_server),
+                args=(index, "127.0.0.1", port_queue, cache_dir, workers_per_server,
+                      0, secret),
                 # a multi-process server must fork children, which daemonic
                 # processes may not do
                 daemon=workers_per_server == 1,
@@ -391,7 +624,14 @@ def spawn_local_workers(
             if process.is_alive():
                 process.terminate()
         raise
-    pool = LocalWorkerPool(processes, hosts)
+    pool = LocalWorkerPool(
+        processes,
+        hosts,
+        ctx=ctx,
+        cache_dir=cache_dir,
+        workers_per_server=workers_per_server,
+        secret=secret,
+    )
     if workers_per_server > 1:
         # non-daemonic servers would otherwise block multiprocessing's
         # exit-time join if the caller forgets pool.stop(); atexit handlers
@@ -425,7 +665,14 @@ def probe_worker(address: str, *, timeout: float = 5.0) -> bool:
             frame = read_frame(conn.recv)
             if frame is None or frame[0] != FRAME_HELLO:
                 return False
-            conn.sendall(encode_frame(FRAME_PING, token))
+            # speak the worker's own hello version so a not-yet-upgraded v3
+            # worker still probes as alive (its header check is strict)
+            try:
+                version = int(xdr.decode(frame[1]).get("version", PROTOCOL_VERSION))
+            except (SerializationError, TypeError, ValueError):
+                version = PROTOCOL_VERSION
+            version = min(version, PROTOCOL_VERSION)
+            conn.sendall(encode_frame(FRAME_PING, token, version=version))
             while True:
                 frame = read_frame(conn.recv)
                 if frame is None:
@@ -433,7 +680,7 @@ def probe_worker(address: str, *, timeout: float = 5.0) -> bool:
                 if frame[0] == FRAME_PONG:
                     if frame[1] != token:
                         return False
-                    conn.sendall(encode_frame(FRAME_STOP))
+                    conn.sendall(encode_frame(FRAME_STOP, version=version))
                     return True
     except (OSError, ValueError, SerializationError):
         return False
@@ -460,6 +707,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "start method)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="open the shared on-disk result cache in DIR")
+    parser.add_argument("--secret", default=None, metavar="SECRET",
+                        help="require masters to prove this shared secret in "
+                        "an HMAC-SHA256 handshake (protocol v4) before any "
+                        f"job is accepted; defaults to ${SECRET_ENV_VAR} "
+                        "when set (prefer the environment variable: argv is "
+                        "world-readable in `ps`)")
     parser.add_argument("--once", action="store_true",
                         help="exit after the first master connection ends")
     parser.add_argument("--quiet", action="store_true",
@@ -470,6 +723,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro-worker`` console script."""
     args = build_parser().parse_args(argv)
+    secret = args.secret if args.secret is not None else os.environ.get(SECRET_ENV_VAR)
     serve(
         host=args.host,
         port=args.port,
@@ -477,6 +731,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         once=args.once,
         quiet=args.quiet,
         workers=args.workers,
+        secret=secret or None,
         ready=lambda port: print(f"repro-worker listening on {args.host}:{port}"),
     )
     return 0

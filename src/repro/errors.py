@@ -51,14 +51,17 @@ class CollectTimeoutError(ClusterError):
 
 
 class WorkerLostError(ClusterError):
-    """Raised by the remote backend when worker connections die.
+    """Raised when the worker pool is lost with jobs still unanswered.
 
-    As long as at least one worker survives, the backend requeues the lost
-    worker's in-flight jobs onto the survivors transparently; this error
-    surfaces only when the *whole* pool is gone.  It is retryable in the
-    scheduling sense: :attr:`job_ids` lists the jobs that were in flight, so
-    a caller can rebuild a backend against fresh workers and resubmit
-    exactly those jobs."""
+    As long as at least one worker survives (or a
+    :class:`~repro.cluster.backends.remote.ReconnectPolicy` can still re-dial
+    a dead host), the remote backend requeues the lost worker's in-flight
+    jobs transparently; this error surfaces only when the *whole* pool is
+    gone for good.  It is retryable in the scheduling sense: :attr:`job_ids`
+    lists the jobs that were in flight, so a caller can rebuild a backend
+    against fresh workers and resubmit exactly those jobs -- which is what
+    the session layer does automatically under
+    ``RunConfig(retry=RetryPolicy(...))``."""
 
     def __init__(self, message: str, job_ids: tuple[int, ...] = ()):
         super().__init__(message)

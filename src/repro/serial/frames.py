@@ -32,6 +32,8 @@ and the worker, the byte format lives here, next to the other codecs.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import struct
 from collections import deque
 from typing import Callable, Iterator
@@ -40,6 +42,7 @@ from repro.errors import SerializationError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
     "FRAME_HELLO",
     "FRAME_JOB",
     "FRAME_RESULT",
@@ -47,16 +50,22 @@ __all__ = [
     "FRAME_JOB_BATCH",
     "FRAME_PING",
     "FRAME_PONG",
+    "FRAME_CHALLENGE",
+    "FRAME_AUTH",
+    "FRAME_MAGIC",
     "FRAME_HEADER_BYTES",
     "MAX_FRAME_BYTES",
     "encode_frame",
     "decode_header",
     "FrameAssembler",
     "read_frame",
+    "auth_proof",
+    "verify_proof",
 ]
 
 #: bytes opening every frame ("Repro Worker Frame")
-_MAGIC = b"RWF\x01"
+FRAME_MAGIC = b"RWF\x01"
+_MAGIC = FRAME_MAGIC
 
 #: bump on any incompatible change to the frame layout *or* the payload
 #: dictionaries; both ends refuse to talk across versions.
@@ -66,8 +75,17 @@ _MAGIC = b"RWF\x01"
 #: v3 added the :data:`FRAME_PING` / :data:`FRAME_PONG` keepalive so an idle
 #: master (e.g. the ``repro-serve`` daemon between campaigns) can detect dead
 #: workers without dispatching a job -- an older worker would treat a ping as
-#: an unknown kind, so the keepalive is version-gated like everything else
-PROTOCOL_VERSION = 3
+#: an unknown kind, so the keepalive is version-gated like everything else.
+#: v4 added the optional HMAC-SHA256 handshake (:data:`FRAME_CHALLENGE` /
+#: :data:`FRAME_AUTH`) plus a ``nonce`` in the worker hello; it is the first
+#: *backwards-compatible* bump -- see :data:`MIN_PROTOCOL_VERSION`.
+PROTOCOL_VERSION = 4
+
+#: oldest peer version this end still decodes.  A v4 master speaks v3 on a
+#: connection whose worker greeted at v3 (no handshake frames, same job and
+#: result payloads), so upgrading the master fleet before the workers is
+#: safe -- as long as no shared secret is configured, which v3 cannot carry.
+MIN_PROTOCOL_VERSION = 3
 
 #: worker -> master greeting sent once per connection (worker identity)
 FRAME_HELLO = 1
@@ -89,10 +107,18 @@ FRAME_JOB_BATCH = 5
 FRAME_PING = 6
 #: worker -> master: keepalive answer carrying the ping's token unchanged
 FRAME_PONG = 7
+#: master -> worker (v4): authentication challenge.  Payload:
+#: ``{"nonce": master_nonce, "proof": HMAC-SHA256(secret, worker_nonce)}`` --
+#: the master proves knowledge of the shared secret over the nonce the
+#: worker published in its hello, and challenges the worker back
+FRAME_CHALLENGE = 8
+#: worker -> master (v4): handshake answer.  Payload:
+#: ``{"proof": HMAC-SHA256(secret, master_nonce)}``
+FRAME_AUTH = 9
 
 _KNOWN_KINDS = frozenset(
     (FRAME_HELLO, FRAME_JOB, FRAME_RESULT, FRAME_STOP, FRAME_JOB_BATCH,
-     FRAME_PING, FRAME_PONG)
+     FRAME_PING, FRAME_PONG, FRAME_CHALLENGE, FRAME_AUTH)
 )
 
 _HEADER = struct.Struct(">4sHHI")
@@ -105,17 +131,44 @@ FRAME_HEADER_BYTES = _HEADER.size
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 
-def encode_frame(kind: int, payload: bytes = b"", *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
-    """Frame ``payload`` as one self-delimiting message."""
+#: frame kinds that only exist from a given protocol version on; encoding
+#: one for an older peer is a programming error, caught before the send
+_KIND_SINCE = {FRAME_JOB_BATCH: 2, FRAME_PING: 3, FRAME_PONG: 3,
+               FRAME_CHALLENGE: 4, FRAME_AUTH: 4}
+
+
+def encode_frame(
+    kind: int,
+    payload: bytes = b"",
+    *,
+    version: int = PROTOCOL_VERSION,
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """Frame ``payload`` as one self-delimiting message.
+
+    ``version`` stamps the header; a master talking to an old worker passes
+    the version that worker greeted with (any value in
+    ``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]``) so the peer's strict
+    header check accepts the frame.
+    """
     if kind not in _KNOWN_KINDS:
         raise SerializationError(f"unknown frame kind {kind!r}")
+    if not MIN_PROTOCOL_VERSION <= version <= PROTOCOL_VERSION:
+        raise SerializationError(
+            f"cannot encode protocol v{version} frames (this end supports "
+            f"v{MIN_PROTOCOL_VERSION}..v{PROTOCOL_VERSION})"
+        )
+    if version < _KIND_SINCE.get(kind, 1):
+        raise SerializationError(
+            f"frame kind {kind} does not exist in protocol v{version}"
+        )
     payload = bytes(payload)
     if len(payload) > max_bytes:
         raise SerializationError(
             f"frame payload of {len(payload)} bytes exceeds the "
             f"{max_bytes}-byte limit"
         )
-    return _HEADER.pack(_MAGIC, PROTOCOL_VERSION, kind, len(payload)) + payload
+    return _HEADER.pack(_MAGIC, version, kind, len(payload)) + payload
 
 
 def decode_header(header: bytes, *, max_bytes: int = MAX_FRAME_BYTES) -> tuple[int, int]:
@@ -132,10 +185,10 @@ def decode_header(header: bytes, *, max_bytes: int = MAX_FRAME_BYTES) -> tuple[i
     magic, version, kind, length = _HEADER.unpack(header[:FRAME_HEADER_BYTES])
     if magic != _MAGIC:
         raise SerializationError(f"bad frame magic {magic!r}: not a repro worker stream")
-    if version != PROTOCOL_VERSION:
+    if not MIN_PROTOCOL_VERSION <= version <= PROTOCOL_VERSION:
         raise SerializationError(
             f"frame protocol version mismatch: peer speaks v{version}, "
-            f"this end speaks v{PROTOCOL_VERSION}"
+            f"this end speaks v{MIN_PROTOCOL_VERSION}..v{PROTOCOL_VERSION}"
         )
     if kind not in _KNOWN_KINDS:
         raise SerializationError(f"unknown frame kind {kind}")
@@ -230,3 +283,26 @@ def read_frame(
     payload = _read_exactly(length, at_message_boundary=False)
     assert payload is not None
     return kind, payload
+
+
+def auth_proof(secret: str | bytes, nonce: bytes) -> bytes:
+    """HMAC-SHA256 proof of ``secret`` over a peer-supplied ``nonce``.
+
+    Both handshake directions use this: the master proves itself over the
+    worker's hello nonce, the worker answers over the master's challenge
+    nonce.  Only the proofs cross the wire -- never the secret itself.
+    """
+    if isinstance(secret, str):
+        secret = secret.encode("utf-8")
+    return hmac.new(secret, bytes(nonce), hashlib.sha256).digest()
+
+
+def verify_proof(secret: str | bytes, nonce: bytes, proof: object) -> bool:
+    """Constant-time check of a peer's handshake ``proof``.
+
+    ``hmac.compare_digest`` keeps the comparison timing-independent of how
+    many leading bytes match, so a peer cannot binary-search the digest.
+    """
+    if not isinstance(proof, (bytes, bytearray)):
+        return False
+    return hmac.compare_digest(auth_proof(secret, nonce), bytes(proof))

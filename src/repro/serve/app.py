@@ -399,6 +399,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between idle PING probes of remote workers (0 disables)",
     )
     parser.add_argument(
+        "--worker-secret",
+        default=None,
+        help="shared secret of the worker handshake (remote backend; "
+        "default: $REPRO_WORKER_SECRET if set)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     return parser
@@ -418,6 +424,11 @@ def main(argv: list[str] | None = None) -> int:
         rate_limit=args.rate_limit,
         rate_burst=args.rate_burst,
         keepalive_interval=args.keepalive,
+        worker_secret=(
+            args.worker_secret or os.environ.get("REPRO_WORKER_SECRET") or None
+        )
+        if args.backend == "remote"
+        else None,
         verbose=args.verbose,
     )
     server = ReproServer(config)

@@ -60,6 +60,12 @@ class ServerConfig:
         Seconds between liveness probes of idle remote workers
         (:func:`~repro.cluster.worker.probe_worker`); ``0`` disables the
         monitor.  Only meaningful with ``backend="remote"``.
+    worker_secret:
+        Shared secret of the protocol-v4 worker handshake.  When set, the
+        daemon authenticates every remote worker connection
+        (HMAC-SHA256 challenge/response) and passes the secret to the
+        loopback pool it spawns.  Only meaningful with ``backend="remote"``;
+        distinct from ``auth_token``, which protects the HTTP side.
     max_body_bytes:
         Refusal threshold for request bodies (HTTP 413 above it).
     max_events_per_job:
@@ -79,6 +85,7 @@ class ServerConfig:
     rate_limit: float = 0.0
     rate_burst: int = 20
     keepalive_interval: float = 0.0
+    worker_secret: str | None = None
     max_body_bytes: int = 8 * 1024 * 1024
     max_events_per_job: int = 10_000
     verbose: bool = False
@@ -99,4 +106,6 @@ class ServerConfig:
             raise ServeError("rate_burst must be >= 1")
         if self.keepalive_interval < 0:
             raise ServeError("keepalive_interval must be >= 0 (0 disables it)")
+        if self.worker_secret is not None and self.backend != "remote":
+            raise ServeError("worker_secret needs backend='remote'")
         object.__setattr__(self, "hosts", tuple(self.hosts))

@@ -74,6 +74,8 @@ class PricingService:
             "runs_failed": 0,
             "runs_cancelled": 0,
             "cache_only_runs": 0,
+            "reconnects": 0,
+            "redispatches": 0,
         }
         self._started_monotonic = time.monotonic()
 
@@ -86,7 +88,9 @@ class PricingService:
             from repro.cluster.worker import spawn_local_workers
 
             self._pool = spawn_local_workers(
-                self.config.n_workers, cache_dir=self.config.cache_dir
+                self.config.n_workers,
+                cache_dir=self.config.cache_dir,
+                secret=self.config.worker_secret,
             )
             self._hosts = tuple(self._pool.hosts)
         self._executor = threading.Thread(
@@ -198,6 +202,12 @@ class PricingService:
         options: dict[str, Any] = {}
         if self.config.backend == "remote":
             options["hosts"] = list(self.live_hosts()) or list(self._hosts)
+            # a campaign survives a worker restart: re-dial dead hosts with a
+            # capped backoff and bury wedged-but-connected ones in seconds
+            options["reconnect"] = True
+            options["liveness_timeout"] = 30.0
+            if self.config.worker_secret is not None:
+                options["secret"] = self.config.worker_secret
         session_kwargs: dict[str, Any] = {
             "backend": self.config.backend,
             "cache": self.cache,
@@ -226,11 +236,15 @@ class PricingService:
             self.count("runs_failed")
             return
         report = result.report
+        extra = getattr(report, "extra", None) or {}
         with self._state_lock:
             self._campaign_wall_s += float(report.total_time)
             for worker_id, busy in report.worker_busy.items():
                 name = self._worker_name(int(worker_id))
                 self._busy_s[name] = self._busy_s.get(name, 0.0) + float(busy)
+            for key in ("reconnects", "redispatches"):
+                if extra.get(key):
+                    self._counters[key] = self._counters.get(key, 0) + int(extra[key])
         if report.scheduler == "cache":
             self.count("cache_only_runs")
         record.finish(self._run_payload(result), cancelled=record.cancel.cancelled)
@@ -304,12 +318,17 @@ class PricingService:
         from repro._version import __version__
 
         dead = len(self._hosts) - len(self.live_hosts()) if self._hosts else 0
+        with self._state_lock:
+            reconnects = self._counters.get("reconnects", 0)
+            redispatches = self._counters.get("redispatches", 0)
         return {
             "status": "degraded" if dead else "ok",
             "version": __version__,
             "backend": self.config.backend,
             "uptime_s": self.uptime_s,
             "workers_dead": dead,
+            "reconnects": reconnects,
+            "redispatches": redispatches,
         }
 
     def stats(self) -> dict[str, Any]:
@@ -346,5 +365,7 @@ class PricingService:
                 "busy_s": busy_s,
                 "utilization": utilization,
                 "campaign_wall_s": wall,
+                "reconnects": counters.get("reconnects", 0),
+                "redispatches": counters.get("redispatches", 0),
             },
         }

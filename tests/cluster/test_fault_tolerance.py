@@ -1,0 +1,474 @@
+"""Elastic-cluster fault tolerance: reconnects, liveness burials, the
+authenticated handshake, attach/detach, and the session retry layer.
+
+The acceptance shape throughout: a campaign that loses workers mid-run must
+either finish bit-identical to an undisturbed run (when the elasticity
+machinery can save it) or fail loudly with a resubmittable
+:class:`~repro.errors.WorkerLostError` (when it cannot).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api import BackendSpec, ValuationSession
+from repro.api.config import RetryPolicy, RunConfig
+from repro.cluster.backends import Job, PAYLOAD_SERIAL, PreparedMessage
+from repro.cluster.backends.execution import execute_payload
+from repro.cluster.backends.remote import ReconnectPolicy, RemoteBackend
+from repro.cluster.worker import spawn_local_workers
+from repro.core.portfolio import Portfolio, Position
+from repro.errors import (
+    ClusterError,
+    CollectTimeoutError,
+    ValuationError,
+    WorkerLostError,
+)
+from repro.pricing import PricingProblem
+from repro.serial import serialize, xdr
+from repro.serial.frames import (
+    FRAME_HELLO,
+    FRAME_JOB,
+    FRAME_PING,
+    FRAME_PONG,
+    FRAME_RESULT,
+    FRAME_STOP,
+    FrameAssembler,
+    encode_frame,
+)
+
+
+def _make_problem(strike: float = 100.0, method: str = "CF_Call", **params) -> PricingProblem:
+    problem = PricingProblem(label=f"fault_{strike:.0f}")
+    problem.set_asset("equity")
+    problem.set_model("BlackScholes1D", spot=100.0, rate=0.05, volatility=0.2)
+    problem.set_option("CallEuro", strike=strike, maturity=1.0)
+    problem.set_method(method, **params)
+    return problem
+
+
+def _dispatch(backend: RemoteBackend, worker_id: int, job_id: int, problem) -> None:
+    data = serialize(problem).to_bytes()
+    backend.dispatch(
+        worker_id,
+        Job(job_id=job_id, path="", file_size=len(data), compute_cost=1e-3),
+        PreparedMessage(kind=PAYLOAD_SERIAL, payload=data, nbytes=len(data)),
+    )
+
+
+def _collect_sorted(backend: RemoteBackend, n: int, timeout: float = 60.0):
+    return sorted(
+        (backend.collect(timeout=timeout) for _ in range(n)),
+        key=lambda done: done.job_id,
+    )
+
+
+class _MuteWorker:
+    """Greets like a repro-worker, then swallows every frame in silence.
+
+    The deterministic way to keep jobs *in flight*: real workers answer
+    closed-form jobs faster than a test can kill them.
+    """
+
+    def __init__(self):
+        self._server = socket.create_server(("127.0.0.1", 0))
+        self.address = f"127.0.0.1:{self._server.getsockname()[1]}"
+        self._release = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        try:
+            conn, _ = self._server.accept()
+        except OSError:
+            return
+        with conn:
+            conn.sendall(
+                encode_frame(FRAME_HELLO, xdr.encode({"role": "repro-worker"}))
+            )
+            self._release.wait(60.0)
+
+    def drop(self) -> None:
+        """Close the connection, jobs still unanswered (a crash, seen from
+        the master)."""
+        self._release.set()
+
+    def close(self) -> None:
+        self._release.set()
+        self._server.close()
+        self._thread.join(timeout=5.0)
+
+
+class _FakeV3Worker:
+    """A single-connection worker frozen at protocol v3: no nonce in its
+    hello, no challenge/response support -- but it prices jobs correctly."""
+
+    def __init__(self):
+        self._server = socket.create_server(("127.0.0.1", 0))
+        self.address = f"127.0.0.1:{self._server.getsockname()[1]}"
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        try:
+            conn, _ = self._server.accept()
+        except OSError:
+            return
+        with conn:
+            conn.sendall(
+                encode_frame(
+                    FRAME_HELLO,
+                    xdr.encode({"role": "repro-worker", "pid": 0, "version": 3}),
+                    version=3,
+                )
+            )
+            assembler = FrameAssembler()
+            while True:
+                try:
+                    data = conn.recv(65536)
+                except OSError:
+                    return
+                if not data:
+                    return
+                assembler.feed(data)
+                for kind, payload in assembler:
+                    if kind == FRAME_STOP:
+                        return
+                    if kind == FRAME_PING:
+                        conn.sendall(encode_frame(FRAME_PONG, payload, version=3))
+                    elif kind == FRAME_JOB:
+                        entry = xdr.decode(payload)
+                        result, elapsed, error = execute_payload(
+                            entry["kind"], entry["payload"]
+                        )
+                        conn.sendall(
+                            encode_frame(
+                                FRAME_RESULT,
+                                xdr.encode(
+                                    {
+                                        "job_id": entry["job_id"],
+                                        "result": result,
+                                        "elapsed": elapsed,
+                                        "error": error,
+                                    }
+                                ),
+                                version=3,
+                            )
+                        )
+
+    def close(self) -> None:
+        self._server.close()
+        self._thread.join(timeout=5.0)
+
+
+class TestReconnectPolicy:
+    def test_backoff_is_capped_exponential(self):
+        policy = ReconnectPolicy(
+            max_attempts=6, initial_backoff=0.1, backoff_factor=2.0, max_backoff=0.5
+        )
+        assert policy.backoff(1) == 0.1
+        assert policy.backoff(2) == 0.2
+        assert policy.backoff(3) == 0.4
+        assert policy.backoff(4) == 0.5  # capped
+        assert policy.backoff(10) == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_attempts=0),
+            dict(initial_backoff=-0.1),
+            dict(backoff_factor=0.9),
+            dict(initial_backoff=1.0, max_backoff=0.5),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ClusterError):
+            ReconnectPolicy(**kwargs)
+
+
+class TestKillAndRestart:
+    def test_campaign_survives_a_worker_restart(self):
+        """The acceptance e2e: the only worker is hard-killed mid-campaign
+        and restarted on the same port; the reconnect policy finishes the
+        run bit-identical, with no WorkerLostError and >= 1 reconnect."""
+        problems = [_make_problem(80.0 + 5 * k) for k in range(6)]
+        reference = [p.compute().price for p in problems]
+        with spawn_local_workers(1) as pool:
+            backend = RemoteBackend(
+                pool.hosts,
+                reconnect=ReconnectPolicy(
+                    max_attempts=30, initial_backoff=0.1, max_backoff=0.5
+                ),
+            )
+            for index in range(2):
+                _dispatch(backend, 0, index, problems[index])
+            first = _collect_sorted(backend, 2)
+            assert [done.error for done in first] == [None, None]
+
+            pool.kill(0)
+            reviver = threading.Thread(
+                target=lambda: (time.sleep(0.6), pool.restart(0)), daemon=True
+            )
+            reviver.start()
+            # dispatched into the dead pool: the backend parks/redials and
+            # completes once the worker is back on its original port
+            for index in range(2, 6):
+                _dispatch(backend, 0, index, problems[index])
+            rest = _collect_sorted(backend, 4)
+            stats = backend.finalize()
+            reviver.join(timeout=10.0)
+
+            collected = first + rest
+            assert [done.job_id for done in collected] == list(range(6))
+            assert [done.error for done in collected] == [None] * 6
+            assert [done.result["price"] for done in collected] == reference
+            assert stats.extra["reconnects"] >= 1
+            assert backend.reconnects >= 1
+
+
+class TestCascadingFailures:
+    def test_survivors_absorb_orphans_until_the_pool_is_gone(self):
+        """Kill workers one at a time: orphans redispatch to survivors; only
+        the last death surfaces WorkerLostError, whose job_ids resubmit
+        bit-identical on a fresh pool."""
+        problems = [_make_problem(80.0 + 5 * k) for k in range(6)]
+        reference = [p.compute().price for p in problems]
+        mutes = [_MuteWorker() for _ in range(3)]
+        try:
+            backend = RemoteBackend([m.address for m in mutes], connect_timeout=5.0)
+            for index, problem in enumerate(problems):
+                _dispatch(backend, index % 3, index, problem)
+
+            mutes[0].drop()  # first death: orphans move to the survivors...
+            with pytest.raises(CollectTimeoutError):
+                backend.collect(timeout=0.5)
+            assert backend.redispatches >= 2  # ...which hold them, silently
+
+            mutes[1].drop()
+            mutes[2].drop()  # last survivor gone: now the run is lost
+            with pytest.raises(WorkerLostError) as excinfo:
+                backend.collect(timeout=10.0)
+            backend.finalize()
+            assert set(excinfo.value.job_ids) == set(range(6))
+        finally:
+            for mute in mutes:
+                mute.close()
+
+        # the error is retryable by construction: resubmit exactly job_ids
+        with spawn_local_workers(2) as pool:
+            fresh = RemoteBackend(pool.hosts)
+            for job_id in sorted(excinfo.value.job_ids):
+                _dispatch(fresh, job_id % 2, job_id, problems[job_id])
+            collected = _collect_sorted(fresh, len(excinfo.value.job_ids))
+            fresh.finalize()
+            assert [done.error for done in collected] == [None] * 6
+            assert [done.result["price"] for done in collected] == reference
+
+    def test_ping_buries_a_busy_silent_worker_and_redispatches(self):
+        """ping_workers() must treat a silent worker *with jobs in flight*
+        as dead: its orphans redispatch and the campaign completes."""
+        mute = _MuteWorker()
+        try:
+            with spawn_local_workers(1) as pool:
+                backend = RemoteBackend([mute.address, pool.hosts[0]])
+                problems = [_make_problem(90.0 + 10 * k) for k in range(3)]
+                _dispatch(backend, 0, 0, problems[0])  # into the silent worker
+                _dispatch(backend, 0, 1, problems[1])
+                _dispatch(backend, 1, 2, problems[2])  # into the live worker
+                first = backend.collect(timeout=30.0)
+                assert first.job_id == 2
+
+                alive = backend.ping_workers(timeout=0.5)
+                assert alive == {mute.address: False, pool.hosts[0]: True}
+
+                rescued = _collect_sorted(backend, 2, timeout=30.0)
+                stats = backend.finalize()
+                assert [done.job_id for done in rescued] == [0, 1]
+                assert [done.error for done in rescued] == [None, None]
+                assert [done.result["price"] for done in rescued] == [
+                    problems[0].compute().price,
+                    problems[1].compute().price,
+                ]
+                assert stats.extra["redispatches"] >= 2
+        finally:
+            mute.close()
+
+    def test_liveness_timeout_buries_mid_campaign(self):
+        """With liveness_timeout set, collect() itself notices the wedged
+        worker -- no explicit ping call anywhere."""
+        mute = _MuteWorker()
+        try:
+            with spawn_local_workers(1) as pool:
+                backend = RemoteBackend(
+                    [mute.address, pool.hosts[0]], liveness_timeout=0.4
+                )
+                problems = [_make_problem(95.0), _make_problem(105.0)]
+                _dispatch(backend, 0, 0, problems[0])  # wedged worker
+                _dispatch(backend, 1, 1, problems[1])
+                collected = _collect_sorted(backend, 2, timeout=30.0)
+                stats = backend.finalize()
+                assert [done.job_id for done in collected] == [0, 1]
+                assert [done.error for done in collected] == [None, None]
+                assert stats.extra["liveness_buried"] >= 1
+        finally:
+            mute.close()
+
+
+class TestAttachDetach:
+    def test_pool_grows_and_shrinks_mid_run(self):
+        problems = [_make_problem(85.0 + 10 * k) for k in range(3)]
+        with spawn_local_workers(2) as pool:
+            backend = RemoteBackend([pool.hosts[0]])
+            assert backend.n_workers == 1
+
+            new_id = backend.attach_host(pool.hosts[1])
+            assert (new_id, backend.n_workers) == (1, 2)
+            _dispatch(backend, new_id, 0, problems[0])
+            done = backend.collect(timeout=30.0)
+            assert done.error is None
+
+            assert backend.detach_host(pool.hosts[1]) is True
+            assert backend.detach_host(pool.hosts[1]) is False  # already gone
+            # the logical slot stays valid, remapped onto the survivor
+            _dispatch(backend, new_id, 1, problems[1])
+            _dispatch(backend, 0, 2, problems[2])
+            rest = _collect_sorted(backend, 2, timeout=30.0)
+            backend.finalize()
+            assert [done.error for done in rest] == [None, None]
+            assert [done.result["price"] for done in rest] == [
+                problems[1].compute().price,
+                problems[2].compute().price,
+            ]
+
+
+class TestAuthenticatedHandshake:
+    def test_matching_secrets_price_jobs(self):
+        problem = _make_problem()
+        with spawn_local_workers(1, secret="tok-123") as pool:
+            backend = RemoteBackend(pool.hosts, secret="tok-123")
+            _dispatch(backend, 0, 0, problem)
+            done = backend.collect(timeout=30.0)
+            backend.finalize()
+            assert done.error is None
+            assert done.result["price"] == problem.compute().price
+
+    def test_secret_master_refuses_secretless_worker(self):
+        # loud, at connect time -- before a single job frame is sent
+        with spawn_local_workers(1) as pool:
+            with pytest.raises(ClusterError, match="refused the shared-secret"):
+                RemoteBackend(pool.hosts, secret="tok-123", connect_timeout=5.0)
+
+    def test_wrong_secret_refused(self):
+        with spawn_local_workers(1, secret="right-secret") as pool:
+            with pytest.raises(ClusterError, match="refused the shared-secret"):
+                RemoteBackend(pool.hosts, secret="wrong-secret", connect_timeout=5.0)
+
+    def test_secretless_master_refused_by_secret_worker(self):
+        with spawn_local_workers(1, secret="right-secret") as pool:
+            with pytest.raises(ClusterError, match="requires a shared secret"):
+                RemoteBackend(pool.hosts, connect_timeout=5.0)
+
+    def test_v3_worker_interoperates_without_secrets(self):
+        worker = _FakeV3Worker()
+        try:
+            problem = _make_problem()
+            backend = RemoteBackend([worker.address], connect_timeout=5.0)
+            _dispatch(backend, 0, 0, problem)
+            done = backend.collect(timeout=30.0)
+            backend.finalize()
+            assert done.error is None
+            assert done.result["price"] == problem.compute().price
+        finally:
+            worker.close()
+
+    def test_v3_worker_cannot_join_a_secret_pool(self):
+        worker = _FakeV3Worker()
+        try:
+            with pytest.raises(ClusterError, match="without handshake support"):
+                RemoteBackend([worker.address], secret="tok", connect_timeout=5.0)
+        finally:
+            worker.close()
+
+
+class TestRetryPolicy:
+    def test_delay_schedule(self):
+        policy = RetryPolicy(max_attempts=4, backoff=0.5, backoff_factor=2.0)
+        assert policy.delay(0) == 0.0
+        assert [policy.delay(k) for k in (1, 2, 3)] == [0.5, 1.0, 2.0]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(max_attempts=0), dict(backoff=-1.0), dict(backoff_factor=0.5)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValuationError):
+            RetryPolicy(**kwargs)
+
+    def test_runconfig_rejects_non_policy(self):
+        with pytest.raises(ValuationError, match="retry"):
+            RunConfig(retry=3)
+
+
+class TestSessionRetry:
+    def _portfolio_and_reference(self, n: int = 10):
+        problems = [
+            _make_problem(80.0 + 3 * k, method="MC_European", n_paths=20_000, seed=7)
+            for k in range(n)
+        ]
+        portfolio = Portfolio(
+            positions=[Position(p, label=f"p{k}") for k, p in enumerate(problems)]
+        )
+        return portfolio, [p.compute().price for p in problems]
+
+    def test_pool_loss_is_retried_transparently(self):
+        portfolio, reference = self._portfolio_and_reference()
+        with spawn_local_workers(1) as pool:
+            spec = BackendSpec(
+                "remote",
+                options={"hosts": pool.hosts, "connect_timeout": 5.0,
+                         "send_timeout": 30.0},
+            )
+            session = ValuationSession(backend=spec, strategy="serialized_load")
+            killed = threading.Event()
+
+            def on_progress(event):
+                if not killed.is_set():
+                    killed.set()
+                    pool.kill(0)
+                    threading.Thread(
+                        target=lambda: (time.sleep(0.8), pool.restart(0)),
+                        daemon=True,
+                    ).start()
+
+            config = RunConfig(
+                retry=RetryPolicy(max_attempts=5, backoff=0.6, backoff_factor=1.5),
+                progress=on_progress,
+            )
+            result = session.run(portfolio, config=config)
+            report = result.report
+            assert not report.errors
+            assert report.extra.get("retries", 0) >= 1
+            assert [entry["price"] for entry in report.results.values()] == reference
+
+    def test_pool_loss_without_retry_raises(self):
+        portfolio, _reference = self._portfolio_and_reference()
+        with spawn_local_workers(1) as pool:
+            spec = BackendSpec(
+                "remote",
+                options={"hosts": pool.hosts, "connect_timeout": 5.0,
+                         "send_timeout": 30.0},
+            )
+            session = ValuationSession(backend=spec, strategy="serialized_load")
+            killed = threading.Event()
+
+            def on_progress(event):
+                if not killed.is_set():
+                    killed.set()
+                    pool.kill(0)
+
+            with pytest.raises(WorkerLostError):
+                session.run(portfolio, config=RunConfig(progress=on_progress))
