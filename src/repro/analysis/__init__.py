@@ -1,0 +1,52 @@
+"""repro-lint: AST-based invariant checks for the repro codebase.
+
+The pricing library keeps several contracts that Python cannot express in
+types and the test suite can only probe pointwise: lock discipline in the
+threaded daemon, version-gating of wire-protocol frames, immutability of
+frozen config, determinism of cacheable subsystems, registry/doc parity,
+and exception hygiene.  This package enforces them statically over the
+stdlib :mod:`ast`, with the same plugin shape as the backend and scheduler
+registries:
+
+>>> from repro.analysis import lint_paths
+>>> result = lint_paths(["src"])          # doctest: +SKIP
+>>> [f.render() for f in result.findings] # doctest: +SKIP
+
+New checkers subclass :class:`Checker` and register with
+:func:`register_checker`; the ``repro-lint`` console script (see
+:mod:`repro.analysis.cli`) drives them over a source tree.
+"""
+
+from repro.analysis.core import (
+    AnalysisError,
+    Checker,
+    Finding,
+    LintResult,
+    ModuleInfo,
+    Project,
+    Suppression,
+    all_rules,
+    build_project,
+    create_checkers,
+    find_suppressions,
+    lint_paths,
+    list_checkers,
+    register_checker,
+)
+
+__all__ = [
+    "AnalysisError",
+    "Checker",
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Project",
+    "Suppression",
+    "all_rules",
+    "build_project",
+    "create_checkers",
+    "find_suppressions",
+    "lint_paths",
+    "list_checkers",
+    "register_checker",
+]

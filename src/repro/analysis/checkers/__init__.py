@@ -1,0 +1,39 @@
+"""Built-in ``repro-lint`` checkers.
+
+Importing this package registers every built-in checker with
+:func:`repro.analysis.core.register_checker`; third-party checkers can do
+the same from their own modules.  One module per contract:
+
+* :mod:`~repro.analysis.checkers.locks` -- lock discipline in the
+  threaded serving/cluster layers;
+* :mod:`~repro.analysis.checkers.frames` -- frame-protocol gating of the
+  remote worker wire format;
+* :mod:`~repro.analysis.checkers.frozen` -- no mutation of frozen config
+  dataclasses;
+* :mod:`~repro.analysis.checkers.determinism` -- no wall clock or entropy
+  in the bit-identical subsystems;
+* :mod:`~repro.analysis.checkers.registry_docs` -- registered backend and
+  scheduler names stay documented and CLI-discoverable;
+* :mod:`~repro.analysis.checkers.exceptions` -- no error-swallowing
+  ``except`` handlers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import (  # noqa: F401  (imported to register)
+    determinism,
+    exceptions,
+    frames,
+    frozen,
+    locks,
+    registry_docs,
+)
+
+__all__ = [
+    "determinism",
+    "exceptions",
+    "frames",
+    "frozen",
+    "locks",
+    "registry_docs",
+]

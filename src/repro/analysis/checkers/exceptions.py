@@ -1,0 +1,103 @@
+"""No error-swallowing ``except`` handlers.
+
+The worker accept/serve loops and the daemon's executor are exactly the
+places where a swallowed exception turns into a silent outage: the loop
+keeps spinning, the job never answers, and nothing is logged.  Two shapes
+are flagged everywhere (the repository has no sanctioned use for either):
+
+* ``except:`` with no exception type also catches ``KeyboardInterrupt``
+  and ``SystemExit``, making a worker unkillable (``except-bare``);
+* ``except Exception:`` (or ``BaseException``) whose body does nothing --
+  just ``pass``, ``continue`` or ``...`` -- erases the error without
+  handling, logging or re-raising it (``except-swallow``).  A handler
+  that *does* something with the failure (assigns a fallback, returns,
+  raises, logs, counts) is fine, however broad its clause.
+
+The rare legitimate swallow (tearing down an already-dead pool, skipping
+an unbuildable scenario bump) documents itself with a justified inline
+suppression -- which is the point: the justification is reviewable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    Project,
+    register_checker,
+)
+
+__all__ = ["ExceptionHygieneChecker"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _caught_names(handler: ast.ExceptHandler) -> set[str]:
+    node = handler.type
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: set[str] = set()
+    for item in nodes:
+        if isinstance(item, ast.Name):
+            names.add(item.id)
+        elif isinstance(item, ast.Attribute):
+            names.add(item.attr)
+    return names
+
+
+def _body_does_nothing(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # a docstring or bare ``...``
+        return False
+    return True
+
+
+@register_checker("exception-hygiene")
+class ExceptionHygieneChecker(Checker):
+    """Bare excepts, and broad excepts that discard the error."""
+
+    name = "exception-hygiene"
+    description = (
+        "no bare except; no except Exception whose body drops the error "
+        "on the floor (pass/continue only)"
+    )
+    rules = {
+        "except-bare": (
+            "a bare 'except:' catches KeyboardInterrupt/SystemExit too; "
+            "name the exceptions (or 'except Exception' at the least)"
+        ),
+        "except-swallow": (
+            "an 'except Exception' handler whose body only passes or "
+            "continues swallows the error without a trace"
+        ),
+    }
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.walk():
+            assert module.tree is not None
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if node.type is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "except-bare",
+                        "bare 'except:' also catches KeyboardInterrupt and "
+                        "SystemExit; catch named exceptions instead",
+                    )
+                    continue
+                if _caught_names(node) & _BROAD and _body_does_nothing(node.body):
+                    yield self.finding(
+                        module,
+                        node,
+                        "except-swallow",
+                        "this handler catches Exception and then drops the "
+                        "error (pass/continue only); handle it, narrow the "
+                        "clause, or justify an inline suppression",
+                    )

@@ -1,0 +1,137 @@
+"""Registered backend/scheduler names stay documented and CLI-discoverable.
+
+The backend and scheduler registries are the source of truth for what the
+system can do (``register_backend`` in ``repro.cluster.backends``,
+``register_scheduler`` in ``repro.core.scheduler``), and two surfaces
+promise to mirror them: the author guides ``docs/backends.md`` /
+``docs/schedulers.md`` and the ``repro-bench`` command line.  A PR that
+registers a name without touching either surface ships an undiscoverable
+feature; this checker makes that a lint failure:
+
+* every literal name passed to ``register_backend(...)`` must appear in
+  ``docs/backends.md``, and every ``register_scheduler(...)`` name in
+  ``docs/schedulers.md`` (``registry-doc-missing``);
+* the CLI module (``repro/cli.py``) must enumerate both registries by
+  reference -- ``list_backends`` for backends, ``SCHEDULERS`` or
+  ``list_schedulers`` for schedulers -- so its listings and validation can
+  never go stale name-by-name (``registry-cli-stale``).
+
+Names are matched in the docs as whole words, so prose, tables and code
+fences all count.  Projects that register nothing (fixtures) are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    Project,
+    register_checker,
+)
+
+__all__ = ["RegistryDocsChecker"]
+
+#: registration call -> (docs page, CLI enumerator names)
+REGISTRIES = {
+    "register_backend": ("docs/backends.md", ("list_backends",)),
+    "register_scheduler": ("docs/schedulers.md", ("SCHEDULERS", "list_schedulers")),
+}
+CLI_MODULE = "repro/cli.py"
+
+
+def _registrations(
+    module: ModuleInfo,
+) -> Iterator[tuple[str, str, ast.Call]]:
+    """(registry function, literal name, call node) found in ``module``."""
+    assert module.tree is not None
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name not in REGISTRIES:
+            continue
+        if node.args and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, str) and value:
+                yield name, value, node
+
+
+@register_checker("registry-docs")
+class RegistryDocsChecker(Checker):
+    """Docs pages and the CLI keep up with the backend/scheduler registries."""
+
+    name = "registry-docs"
+    description = (
+        "every registered backend/scheduler name appears in its docs page, "
+        "and the CLI enumerates the registries instead of hardcoding names"
+    )
+    rules = {
+        "registry-doc-missing": (
+            "a registered backend/scheduler name is absent from its docs "
+            "page (docs/backends.md or docs/schedulers.md)"
+        ),
+        "registry-cli-stale": (
+            "the CLI module does not enumerate a registry it should "
+            "surface (list_backends / SCHEDULERS)"
+        ),
+    }
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        registered: dict[str, list[tuple[str, ModuleInfo, ast.Call]]] = {
+            registry: [] for registry in REGISTRIES
+        }
+        for module in project.walk():
+            for registry, name, node in _registrations(module):
+                registered[registry].append((name, module, node))
+
+        pages: dict[str, str | None] = {}
+        for registry, entries in registered.items():
+            if not entries:
+                continue
+            page, _enumerators = REGISTRIES[registry]
+            if page not in pages:
+                pages[page] = project.read_text(page)
+            text = pages[page]
+            for name, module, node in entries:
+                if text is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "registry-doc-missing",
+                        f"{registry}({name!r}) has no docs page to appear "
+                        f"in: {page} does not exist",
+                    )
+                elif re.search(rf"\b{re.escape(name)}\b", text) is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "registry-doc-missing",
+                        f"{registry}({name!r}): the name {name!r} never "
+                        f"appears in {page}; document the new entry",
+                    )
+
+        cli = project.module_at(CLI_MODULE)
+        if cli is None or cli.tree is None:
+            return
+        cli_names = {
+            node.id for node in ast.walk(cli.tree) if isinstance(node, ast.Name)
+        }
+        for registry, entries in registered.items():
+            if not entries:
+                continue
+            _page, enumerators = REGISTRIES[registry]
+            if not any(enumerator in cli_names for enumerator in enumerators):
+                yield self.finding(
+                    cli,
+                    1,
+                    "registry-cli-stale",
+                    f"{CLI_MODULE} never references "
+                    f"{' or '.join(enumerators)}, so the CLI cannot "
+                    f"surface what {registry} registered",
+                )

@@ -1,0 +1,122 @@
+"""The ``repro-lint`` command line.
+
+Runs the registered checkers (see :mod:`repro.analysis.checkers`) over one
+or more paths and reports findings as text or JSON::
+
+    repro-lint src/                      # human-readable, exit 1 on findings
+    repro-lint --format json src/ tests/ # machine-readable (CI)
+    repro-lint --checkers lock-discipline,frame-protocol src/
+    repro-lint --list-rules              # the rule catalogue
+
+Exit status: 0 when clean, 1 when findings remain after suppressions,
+2 on usage or setup errors (bad paths, unknown checker names).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.core import (
+    ENGINE_RULES,
+    AnalysisError,
+    create_checkers,
+    lint_paths,
+    list_checkers,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checks for the repro codebase: lock "
+            "discipline, frame-protocol gating, frozen-config immutability, "
+            "determinism purity, registry/doc parity, exception hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--checkers",
+        default=None,
+        metavar="NAMES",
+        help=(
+            "comma-separated checker names to run "
+            f"(default: all -- {', '.join(list_checkers())})"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help=(
+            "project root findings are reported relative to, and docs pages "
+            "are resolved against (default: the current directory)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every checker and rule id, then exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    print("engine:")
+    for rule, description in sorted(ENGINE_RULES.items()):
+        print(f"  {rule}: {description}")
+    for checker in create_checkers():
+        print(f"{checker.name}: {checker.description}")
+        for rule, description in sorted(checker.rules.items()):
+            print(f"  {rule}: {description}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    names = None
+    if args.checkers is not None:
+        names = [part.strip() for part in args.checkers.split(",") if part.strip()]
+        if not names:
+            parser.error("--checkers needs at least one checker name")
+
+    try:
+        result = lint_paths(args.paths, root=args.root, checkers=names)
+    except AnalysisError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        tail = (
+            f"{len(result.findings)} finding(s), {result.suppressed} "
+            f"suppressed, {result.n_modules} module(s) checked"
+        )
+        print(tail if result.findings else f"clean: {tail}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

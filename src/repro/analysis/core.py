@@ -1,0 +1,525 @@
+"""The ``repro-lint`` engine: findings, suppressions, the checker registry.
+
+The codebase embodies a stack of invariants the paper's master/worker design
+depends on but nothing enforces mechanically: the frame protocol is
+version-gated by hand, the serving and cluster layers juggle locks across
+threads, the cache layer promises bit-identical digest-keyed determinism,
+and the simulated cluster must stay pure virtual-time.  This package turns
+those hand-kept contracts into CI-enforced checks built on nothing but the
+standard-library :mod:`ast`.
+
+The moving parts mirror the rest of the repository:
+
+* a :class:`Checker` is a plugin registered by name through
+  :func:`register_checker` -- the same decorator-factory shape as
+  ``register_backend`` and ``register_scheduler`` -- declaring the rule ids
+  it can emit;
+* :func:`lint_paths` builds a :class:`Project` (every ``*.py`` file under
+  the given paths, parsed once) and runs every selected checker over it;
+* each violation is a structured :class:`Finding` (path, line, column,
+  rule id, message), so the CLI can render text or JSON and tests can
+  assert exact rules and line numbers;
+* a finding can be waived inline with a *justified* suppression comment::
+
+      risky_call()  # repro-lint: disable=<rule-id> -- why this is safe
+
+  A suppression without the ``-- why`` justification is itself a finding
+  (``suppression-no-reason``), and so is one naming a rule that does not
+  exist (``suppression-unknown-rule``): the waiver surface cannot rot.
+
+The built-in checkers live in :mod:`repro.analysis.checkers`; the command
+line lives in :mod:`repro.analysis.cli` (the ``repro-lint`` console
+script).  ``docs/static_analysis.md`` is the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    ClassVar,
+    Iterable,
+    Iterator,
+    Mapping,
+    Sequence,
+    TypeVar,
+    overload,
+)
+
+from repro.errors import ReproError
+
+__all__ = [
+    "AnalysisError",
+    "Checker",
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Project",
+    "Suppression",
+    "all_rules",
+    "build_project",
+    "create_checkers",
+    "lint_paths",
+    "list_checkers",
+    "register_checker",
+    "ENGINE_RULES",
+]
+
+
+class AnalysisError(ReproError):
+    """A static-analysis run could not be set up (bad paths, bad names)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    checker: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "checker": self.checker,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# repro-lint: disable=...`` comment."""
+
+    path: str
+    line: int
+    #: ``"disable"`` (this line and, for a standalone comment, the next)
+    #: or ``"disable-file"`` (the whole module)
+    scope: str
+    rules: tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file of the project under analysis."""
+
+    path: Path
+    #: path relative to the project root, always with ``/`` separators --
+    #: checkers match on suffixes like ``serial/frames.py``
+    relpath: str
+    source: str
+    tree: ast.Module | None
+    error: SyntaxError | None = None
+    _lines: list[str] | None = field(default=None, repr=False)
+
+    @property
+    def lines(self) -> list[str]:
+        if self._lines is None:
+            self._lines = self.source.splitlines()
+        return self._lines
+
+    def matches(self, suffix: str) -> bool:
+        """Is this module the project file at ``suffix`` (posix path end)?"""
+        return self.relpath == suffix or self.relpath.endswith("/" + suffix)
+
+
+@dataclass
+class Project:
+    """Everything a checker may look at: parsed modules plus the repo root.
+
+    ``root`` also anchors non-Python lookups (the registry/doc-consistency
+    checker reads ``docs/*.md`` relative to it).
+    """
+
+    root: Path
+    modules: list[ModuleInfo]
+
+    def walk(self) -> Iterator[ModuleInfo]:
+        """Every module that parsed cleanly (syntax errors are engine findings)."""
+        for module in self.modules:
+            if module.tree is not None:
+                yield module
+
+    def module_at(self, suffix: str) -> ModuleInfo | None:
+        """The unique module whose relative path ends in ``suffix``, if any."""
+        for module in self.walk():
+            if module.matches(suffix):
+                return module
+        return None
+
+    def read_text(self, relpath: str) -> str | None:
+        """Contents of a non-Python project file (``docs/backends.md``), if present."""
+        candidate = self.root / relpath
+        try:
+            return candidate.read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+
+class Checker:
+    """Base class of every registered checker.
+
+    Subclasses set :attr:`name` (the registry key), :attr:`description`
+    (one line for ``repro-lint --list-rules``) and :attr:`rules` (rule id
+    -> one-line description; a checker may own several rule ids) and
+    implement :meth:`check`, yielding :class:`Finding` objects for the
+    whole project.  :meth:`finding` is a convenience constructor that
+    stamps the checker name and resolves an AST node to a location.
+    """
+
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+    rules: ClassVar[Mapping[str, str]] = {}
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        where: ast.AST | int,
+        rule: str,
+        message: str,
+    ) -> Finding:
+        if rule not in self.rules:
+            raise AnalysisError(
+                f"checker {self.name!r} emitted unknown rule {rule!r}"
+            )
+        if isinstance(where, int):
+            line, col = where, 0
+        else:
+            line = getattr(where, "lineno", 1)
+            col = getattr(where, "col_offset", 0)
+        return Finding(
+            path=module.relpath,
+            line=line,
+            col=col,
+            rule=rule,
+            message=message,
+            checker=self.name,
+        )
+
+
+#: registered checker factories, by name (the source of truth, like
+#: ``repro.cluster.backends`` and ``repro.core.scheduler.SCHEDULERS``)
+CHECKERS: dict[str, Callable[[], Checker]] = {}
+
+_CheckerFactory = TypeVar("_CheckerFactory", bound=Callable[[], Checker])
+
+
+@overload
+def register_checker(name: str) -> Callable[[_CheckerFactory], _CheckerFactory]: ...
+
+
+@overload
+def register_checker(name: str, factory: _CheckerFactory) -> _CheckerFactory: ...
+
+
+def register_checker(
+    name: str, factory: _CheckerFactory | None = None
+) -> _CheckerFactory | Callable[[_CheckerFactory], _CheckerFactory]:
+    """Register a checker factory (usually the class itself) under ``name``.
+
+    Either call directly (``register_checker("mine", MyChecker)``) or use as
+    a decorator factory::
+
+        @register_checker("mine")
+        class MyChecker(Checker):
+            name = "mine"
+            rules = {"my-rule": "what it catches"}
+            def check(self, project): ...
+
+    Registered names are accepted by :func:`lint_paths` and the
+    ``repro-lint --checkers`` flag; ``docs/static_analysis.md`` walks
+    through writing one.
+    """
+    if not name:
+        raise AnalysisError("checker names must be non-empty strings")
+
+    def _register(fn: _CheckerFactory) -> _CheckerFactory:
+        CHECKERS[name] = fn
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def list_checkers() -> list[str]:
+    """Registered checker names, sorted (built-ins register on import)."""
+    _load_builtin_checkers()
+    return sorted(CHECKERS)
+
+
+def create_checkers(names: Sequence[str] | None = None) -> list[Checker]:
+    """Instantiate the named checkers (default: every registered one)."""
+    _load_builtin_checkers()
+    if names is None:
+        names = sorted(CHECKERS)
+    unknown = [name for name in names if name not in CHECKERS]
+    if unknown:
+        raise AnalysisError(
+            f"unknown checker(s) {', '.join(sorted(unknown))}; "
+            f"registered: {', '.join(sorted(CHECKERS))}"
+        )
+    return [CHECKERS[name]() for name in names]
+
+
+#: rules emitted by the engine itself rather than any checker
+ENGINE_RULES: dict[str, str] = {
+    "syntax-error": "a file under analysis does not parse",
+    "suppression-no-reason": (
+        "an inline suppression carries no '-- why it is safe' justification"
+    ),
+    "suppression-unknown-rule": (
+        "an inline suppression names a rule id that does not exist"
+    ),
+}
+
+
+def all_rules(checkers: Iterable[Checker] | None = None) -> dict[str, str]:
+    """Every known rule id -> description (engine rules included)."""
+    if checkers is None:
+        checkers = create_checkers()
+    rules = dict(ENGINE_RULES)
+    for checker in checkers:
+        rules.update(checker.rules)
+    return rules
+
+
+def _load_builtin_checkers() -> None:
+    # deferred so ``import repro.analysis.core`` never cycles with the
+    # checker modules, which import Checker from here
+    from repro.analysis import checkers as _builtin  # noqa: F401
+
+
+# -- project construction ------------------------------------------------------------
+def _iter_source_files(paths: Sequence[Path | str]) -> list[Path]:
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise AnalysisError(f"no such file or directory: {path}")
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def build_project(
+    paths: Sequence[Path | str], *, root: Path | str | None = None
+) -> Project:
+    """Parse every ``*.py`` file under ``paths`` into a :class:`Project`.
+
+    ``root`` (default: the current directory) anchors the relative paths
+    findings are reported under and the suffix matching checkers use.
+    """
+    resolved_root = Path(root).resolve() if root is not None else Path.cwd()
+    modules: list[ModuleInfo] = []
+    for path in _iter_source_files(paths):
+        try:
+            relpath = path.resolve().relative_to(resolved_root).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {path}: {exc}") from exc
+        tree: ast.Module | None
+        error: SyntaxError | None
+        try:
+            tree = ast.parse(source, filename=str(path))
+            error = None
+        except SyntaxError as exc:
+            tree = None
+            error = exc
+        modules.append(
+            ModuleInfo(
+                path=path, relpath=relpath, source=source, tree=tree, error=error
+            )
+        )
+    return Project(root=resolved_root, modules=modules)
+
+
+# -- suppressions --------------------------------------------------------------------
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable-file|disable)="
+    r"(?P<rules>[A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+
+def find_suppressions(module: ModuleInfo) -> list[Suppression]:
+    """Every suppression comment in ``module``, in line order."""
+    found: list[Suppression] = []
+    for lineno, text in enumerate(module.lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        found.append(
+            Suppression(
+                path=module.relpath,
+                line=lineno,
+                scope=match.group("scope"),
+                rules=rules,
+                reason=(match.group("reason") or "").strip(),
+            )
+        )
+    return found
+
+
+def _suppression_tables(
+    module: ModuleInfo, suppressions: list[Suppression]
+) -> tuple[set[str], dict[int, set[str]]]:
+    """(whole-file rules, line -> rules) suppression lookup for one module."""
+    file_rules: set[str] = set()
+    line_rules: dict[int, set[str]] = {}
+    for suppression in suppressions:
+        if suppression.scope == "disable-file":
+            file_rules.update(suppression.rules)
+            continue
+        targets = [suppression.line]
+        text = module.lines[suppression.line - 1]
+        if text.split("#", 1)[0].strip() == "":
+            # a standalone comment line also covers the statement below it
+            targets.append(suppression.line + 1)
+        for target in targets:
+            line_rules.setdefault(target, set()).update(suppression.rules)
+    return file_rules, line_rules
+
+
+# -- the lint run --------------------------------------------------------------------
+@dataclass
+class LintResult:
+    """Outcome of one :func:`lint_paths` run."""
+
+    findings: list[Finding]
+    suppressed: int
+    n_modules: int
+    suppressions: list[Suppression]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "findings": [finding.as_dict() for finding in self.findings],
+            "suppressed": self.suppressed,
+            "modules": self.n_modules,
+            "suppressions": len(self.suppressions),
+        }
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    root: Path | str | None = None,
+    checkers: Sequence[str] | None = None,
+) -> LintResult:
+    """Run the selected checkers over every ``*.py`` file under ``paths``.
+
+    Returns a :class:`LintResult` whose ``findings`` are sorted by
+    location; inline suppressions have already been applied (their count is
+    in ``suppressed``).  This is the library form of ``repro-lint``.
+    """
+    project = build_project(paths, root=root)
+    selected = create_checkers(checkers)
+    known_rules = all_rules(selected)
+
+    raw: list[Finding] = []
+    all_suppressions: list[Suppression] = []
+    tables: dict[str, tuple[set[str], dict[int, set[str]]]] = {}
+    for module in project.modules:
+        if module.error is not None:
+            raw.append(
+                Finding(
+                    path=module.relpath,
+                    line=module.error.lineno or 1,
+                    col=(module.error.offset or 1) - 1,
+                    rule="syntax-error",
+                    message=f"file does not parse: {module.error.msg}",
+                    checker="engine",
+                )
+            )
+            continue
+        suppressions = find_suppressions(module)
+        all_suppressions.extend(suppressions)
+        tables[module.relpath] = _suppression_tables(module, suppressions)
+        for suppression in suppressions:
+            if not suppression.reason:
+                raw.append(
+                    Finding(
+                        path=module.relpath,
+                        line=suppression.line,
+                        col=0,
+                        rule="suppression-no-reason",
+                        message=(
+                            "suppression must justify itself: "
+                            "# repro-lint: disable="
+                            f"{','.join(suppression.rules)} -- why it is safe"
+                        ),
+                        checker="engine",
+                    )
+                )
+            for rule in suppression.rules:
+                if rule not in known_rules:
+                    raw.append(
+                        Finding(
+                            path=module.relpath,
+                            line=suppression.line,
+                            col=0,
+                            rule="suppression-unknown-rule",
+                            message=f"suppression names unknown rule {rule!r}",
+                            checker="engine",
+                        )
+                    )
+
+    for checker in selected:
+        raw.extend(checker.check(project))
+
+    findings: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        file_rules, line_rules = tables.get(finding.path, (set(), {}))
+        if finding.rule in file_rules or finding.rule in line_rules.get(
+            finding.line, ()
+        ):
+            suppressed += 1
+            continue
+        findings.append(finding)
+    findings.sort(key=lambda finding: finding.sort_key)
+    return LintResult(
+        findings=findings,
+        suppressed=suppressed,
+        n_modules=len(project.modules),
+        suppressions=all_suppressions,
+    )

@@ -139,7 +139,7 @@ class PricingFuture:
         label: str | None = None,
         method: str | None = None,
         starter: Callable[[], None] | None = None,
-    ):
+    ) -> None:
         self.job_id = job_id
         self.label = label
         self.method = method
@@ -299,13 +299,13 @@ class JobSet(Sequence):
     *same* future object at several positions.
     """
 
-    def __init__(self, futures: Sequence[PricingFuture]):
+    def __init__(self, futures: Sequence[PricingFuture]) -> None:
         self._futures = list(futures)
 
     def __len__(self) -> int:
         return len(self._futures)
 
-    def __getitem__(self, index):  # type: ignore[override]
+    def __getitem__(self, index: int | slice) -> PricingFuture | JobSet:  # type: ignore[override]
         if isinstance(index, slice):
             return JobSet(self._futures[index])
         return self._futures[index]
@@ -426,7 +426,7 @@ class _StreamCore:
         progress: Callable[[StreamProgress], None] | None = None,
         cancel: CancelToken | None = None,
         finalize_cb: Callable[..., "RunResult"] | None = None,
-    ):
+    ) -> None:
         self._stream = stream
         self._futures = dict(futures)
         self._batch_members = dict(batch_members or {})
@@ -595,7 +595,7 @@ class StreamingRun:
     simply drains the rest synchronously.
     """
 
-    def __init__(self, core: _StreamCore, jobs: JobSet):
+    def __init__(self, core: _StreamCore, jobs: JobSet) -> None:
         self._core = core
         self._jobs = jobs
 

@@ -171,7 +171,7 @@ class ValuationSession:
         comm_factory: Callable[[], CommunicationModel] | None = None,
         backend_options: Mapping[str, Any] | None = None,
         cache: ResultCache | str | Path | bool | None = None,
-    ):
+    ) -> None:
         coerced = BackendSpec.coerce(backend, n_workers=n_workers, options=backend_options)
         if isinstance(coerced, WorkerBackend):
             self._backend_spec: BackendSpec | None = None
@@ -682,6 +682,7 @@ class ValuationSession:
                             settled[job_id] = (future._result, future._error)
                     try:
                         cur_plan.backend.finalize()
+                    # repro-lint: disable=except-swallow -- best-effort teardown of a pool that WorkerLostError already proved dead; any error here is noise on the retry path
                     except Exception:
                         pass  # the pool is already gone; nothing to release
                 else:

@@ -4,7 +4,8 @@
 subcommand is a thin veneer over the unified
 :class:`~repro.api.session.ValuationSession` facade:
 
-* ``repro-bench list`` -- registered models, options, methods and backends;
+* ``repro-bench list`` -- registered models, options, methods, backends
+  and schedulers;
 * ``repro-bench price`` -- price one option from the command line;
 * ``repro-bench table1|table2|table3`` -- regenerate the paper's tables on
   the simulated cluster;
@@ -99,7 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered models, options, methods and backends")
+    sub.add_parser(
+        "list",
+        help="list registered models, options, methods, backends and schedulers",
+    )
 
     price = sub.add_parser("price", help="price a single option")
     price.add_argument("--model", default="BlackScholes1D")
@@ -226,6 +230,7 @@ def _build_cli_portfolio(args: argparse.Namespace):
 
 def _cmd_list() -> int:
     from repro.cluster.backends import list_backends
+    from repro.core.scheduler import SCHEDULERS
     from repro.pricing import list_methods, list_models, list_products
 
     print("Models:")
@@ -239,6 +244,9 @@ def _cmd_list() -> int:
         print(f"  {name}")
     print("Backends:")
     for name in list_backends():
+        print(f"  {name}")
+    print("Schedulers:")
+    for name in sorted(SCHEDULERS):
         print(f"  {name}")
     return 0
 

@@ -151,6 +151,7 @@ class _ComputeLane:
                 continue  # keep draining, but the master is gone
             try:
                 with self._send_lock:
+                    # repro-lint: disable=lock-blocking-call -- _send_lock exists to serialize frame writes on the shared socket; sending outside it would interleave result and pong frames
                     self._conn.sendall(_result_frame(job_id, result, elapsed, error))
             except OSError:
                 self._dead = True
@@ -239,6 +240,7 @@ def _handle_connection(
                 # -- answered here, off the compute lane, so a master's
                 # liveness probe is not stuck behind a long job
                 with send_lock:
+                    # repro-lint: disable=lock-blocking-call -- the pong must not interleave with a result frame the compute lane is writing; the lock is the write serializer
                     conn.sendall(encode_frame(FRAME_PONG, payload))
                 continue
             if kind == FRAME_CHALLENGE:

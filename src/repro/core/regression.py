@@ -174,6 +174,7 @@ def generate_regression_problems(
             # multi-asset products only make sense on the multi-asset model
             try:
                 probe.set_option(product_name, **product_params)
+            # repro-lint: disable=except-swallow -- defensive skip of product specs the registry cannot build; the regression grid drops the spec rather than aborting the whole sweep
             except Exception:  # pragma: no cover - registry always succeeds
                 continue
             product = probe.product

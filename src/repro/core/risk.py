@@ -227,6 +227,7 @@ def scenario_jobs(
         for bump in bumps:
             try:
                 clone = _bumped_problem(position.problem, param, bump, relative)
+            # repro-lint: disable=except-swallow -- a position whose model lacks the bumped parameter is skipped by design; the sensitivity grid stays dense for the rest
             except Exception:
                 continue
             clone.label = f"{position.label}|{param}{bump:+g}"

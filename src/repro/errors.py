@@ -63,7 +63,7 @@ class WorkerLostError(ClusterError):
     the session layer does automatically under
     ``RunConfig(retry=RetryPolicy(...))``."""
 
-    def __init__(self, message: str, job_ids: tuple[int, ...] = ()):
+    def __init__(self, message: str, job_ids: tuple[int, ...] = ()) -> None:
         super().__init__(message)
         #: jobs that were dispatched but never answered
         self.job_ids = tuple(job_ids)

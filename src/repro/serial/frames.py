@@ -215,7 +215,7 @@ class FrameAssembler:
     [4, 4]
     """
 
-    def __init__(self, *, max_bytes: int = MAX_FRAME_BYTES):
+    def __init__(self, *, max_bytes: int = MAX_FRAME_BYTES) -> None:
         self._buffer = bytearray()
         self._frames: deque[tuple[int, bytes]] = deque()
         self._max_bytes = max_bytes

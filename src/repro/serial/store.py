@@ -81,7 +81,7 @@ class ProblemStore:
 
     suffix = ".pb"
 
-    def __init__(self, directory: str | os.PathLike, prefix: str = "problem_"):
+    def __init__(self, directory: str | os.PathLike, prefix: str = "problem_") -> None:
         self.directory = Path(directory)
         self.prefix = prefix
         self.directory.mkdir(parents=True, exist_ok=True)

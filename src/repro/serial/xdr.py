@@ -170,7 +170,7 @@ class _Reader:
 
     __slots__ = ("data", "pos")
 
-    def __init__(self, data: bytes):
+    def __init__(self, data: bytes) -> None:
         self.data = data
         self.pos = 0
 

@@ -1,0 +1,27 @@
+"""Wall clock and entropy in a cache module -- determinism fixture."""
+
+import random
+import time
+import uuid
+from datetime import datetime
+from time import time as now
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def stamp_imported() -> float:
+    return now()
+
+
+def when() -> str:
+    return datetime.now().isoformat()
+
+
+def token() -> str:
+    return uuid.uuid4().hex
+
+
+def jitter() -> float:
+    return random.random()

@@ -1,0 +1,15 @@
+"""Injected clock and seeded rng -- determinism fixture."""
+
+import random
+
+
+def stamp(clock_now: float) -> float:
+    return clock_now
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random()
+
+
+def fresh_rng(seed: int) -> random.Random:
+    return random.Random(seed)

@@ -1,0 +1,29 @@
+"""Swallowed exceptions -- exception-hygiene fixture."""
+
+
+def risky() -> int:
+    return 1
+
+
+def swallow_everything() -> int:
+    try:
+        return risky()
+    except:
+        return 0
+
+
+def swallow_silently() -> None:
+    try:
+        risky()
+    except Exception:
+        pass
+
+
+def swallow_in_loop() -> int:
+    done = 0
+    for _ in range(3):
+        try:
+            done += risky()
+        except (ValueError, Exception):
+            continue
+    return done

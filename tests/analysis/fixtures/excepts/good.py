@@ -1,0 +1,23 @@
+"""Broad-but-handled exceptions -- exception-hygiene fixture."""
+
+
+def risky() -> int:
+    return 1
+
+
+def fallback() -> int:
+    try:
+        return risky()
+    except Exception as exc:
+        print(f"pricing failed: {exc}")
+        return 0
+
+
+def narrow_skip() -> int:
+    done = 0
+    for _ in range(3):
+        try:
+            done += risky()
+        except ValueError:
+            continue
+    return done

@@ -1,0 +1,11 @@
+"""Master-side consumer: no arm for FRAME_PING or FRAME_TRACE."""
+
+
+def handle(kind):
+    if kind == FRAME_HELLO:
+        return "hello"
+    if kind == FRAME_JOB:
+        return "job"
+    if kind == FRAME_RESULT:
+        return "result"
+    return FRAME_STOP

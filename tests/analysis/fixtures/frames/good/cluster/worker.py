@@ -1,0 +1,13 @@
+"""Worker-side consumer: an arm for every kind."""
+
+
+def handle(kind):
+    if kind == FRAME_HELLO:
+        return "hello"
+    if kind == FRAME_JOB:
+        return "job"
+    if kind == FRAME_RESULT:
+        return "result"
+    if kind == FRAME_PING:
+        return "pong"
+    return FRAME_STOP

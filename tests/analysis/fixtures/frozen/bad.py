@@ -1,0 +1,22 @@
+"""Mutations of frozen dataclasses -- frozen-config fixture."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    n_workers: int = 2
+
+    def __post_init__(self) -> None:
+        self.name = self.name.strip()
+
+    def rename(self, name: str) -> None:
+        self.name = name
+
+
+def retarget() -> Spec:
+    spec = Spec("remote")
+    spec.n_workers = 8
+    setattr(spec, "name", "local")
+    return spec

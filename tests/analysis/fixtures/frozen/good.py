@@ -1,0 +1,17 @@
+"""Frozen dataclasses handled correctly -- frozen-config fixture."""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    n_workers: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.strip())
+
+
+def retarget() -> Spec:
+    spec = Spec("remote")
+    return replace(spec, n_workers=8)

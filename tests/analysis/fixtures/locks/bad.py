@@ -1,0 +1,29 @@
+"""Deliberately broken lock discipline -- lock-discipline fixture."""
+
+import socket
+import threading
+import time
+
+
+class BrokenService:
+    """Starts a worker thread, then breaks every lock rule."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._sock = socket.socket()
+        self._jobs_done = 0
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        with self._lock:
+            self._jobs_done += 1
+            time.sleep(0.5)
+            self._sock.sendall(b"ping")
+
+    def wait_done(self) -> None:
+        with self._cond:
+            self._cond.wait()
+
+    def reset(self) -> None:
+        self._jobs_done = 0

@@ -1,0 +1,30 @@
+"""Lock discipline done right -- lock-discipline fixture."""
+
+import socket
+import threading
+import time
+
+
+class CarefulService:
+    """Starts a worker thread and keeps every rule."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._sock = socket.socket()
+        self._jobs_done = 0
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        with self._lock:
+            self._jobs_done += 1
+        time.sleep(0.5)
+        self._sock.sendall(b"ping")
+
+    def wait_done(self) -> None:
+        with self._cond:
+            self._cond.wait(timeout=1.0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._jobs_done = 0

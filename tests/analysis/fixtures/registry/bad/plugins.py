@@ -1,0 +1,14 @@
+"""Registrations without docs or CLI support -- registry-docs fixture."""
+
+
+def register_backend(name, factory=None):
+    return factory
+
+
+def register_scheduler(name, factory=None):
+    return factory
+
+
+register_backend("local", object)
+register_backend("mqtt", object)
+register_scheduler("robin_hood", object)

@@ -1,0 +1,5 @@
+"""A stale CLI: hardcodes names instead of enumerating the registries."""
+
+
+def cmd_list() -> None:
+    print("backends: local")

@@ -1,0 +1,13 @@
+"""Registrations mirrored in docs and the CLI -- registry-docs fixture."""
+
+
+def register_backend(name, factory=None):
+    return factory
+
+
+def register_scheduler(name, factory=None):
+    return factory
+
+
+register_backend("local", object)
+register_scheduler("robin_hood", object)

@@ -1,0 +1,10 @@
+"""A live CLI: enumerates both registries."""
+
+from plugins import SCHEDULERS, list_backends
+
+
+def cmd_list() -> None:
+    for name in list_backends():
+        print(name)
+    for name in sorted(SCHEDULERS):
+        print(name)

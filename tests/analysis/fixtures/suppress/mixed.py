@@ -1,0 +1,23 @@
+"""Suppression surface -- engine fixture."""
+
+
+def swallow() -> None:
+    try:
+        pass
+    # repro-lint: disable=except-swallow -- fixture: a justified waiver
+    except Exception:
+        pass
+
+
+def swallow_unjustified() -> None:
+    try:
+        pass
+    except Exception:  # repro-lint: disable=except-swallow
+        pass
+
+
+def swallow_unknown() -> None:
+    try:
+        pass
+    except Exception:  # repro-lint: disable=not-a-rule -- no such rule
+        pass

@@ -1,0 +1,194 @@
+"""The repro-lint engine: project building, suppressions, the registry."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    Checker,
+    Finding,
+    build_project,
+    create_checkers,
+    find_suppressions,
+    lint_paths,
+    list_checkers,
+    register_checker,
+)
+from repro.analysis.core import CHECKERS
+
+EXPECTED_CHECKERS = {
+    "determinism",
+    "exception-hygiene",
+    "frame-protocol",
+    "frozen-config",
+    "lock-discipline",
+    "registry-docs",
+}
+
+
+def test_builtin_checkers_registered():
+    assert EXPECTED_CHECKERS <= set(list_checkers())
+
+
+def test_create_checkers_unknown_name_raises():
+    with pytest.raises(AnalysisError, match="unknown checker"):
+        create_checkers(["no-such-checker"])
+
+
+def test_register_checker_decorator_roundtrip():
+    @register_checker("test-dummy")
+    class DummyChecker(Checker):
+        name = "test-dummy"
+        description = "test checker"
+        rules = {"dummy-rule": "always fires on module line 1"}
+
+        def check(self, project):
+            for module in project.walk():
+                yield self.finding(module, 1, "dummy-rule", "dummy")
+
+    try:
+        assert "test-dummy" in list_checkers()
+        (checker,) = create_checkers(["test-dummy"])
+        assert isinstance(checker, DummyChecker)
+    finally:
+        del CHECKERS["test-dummy"]
+
+
+def test_finding_with_unknown_rule_raises(tmp_path):
+    (tmp_path / "mod.py").write_text("x = 1\n")
+    project = build_project([tmp_path], root=tmp_path)
+
+    class RogueChecker(Checker):
+        name = "rogue"
+        rules = {"known-rule": "fine"}
+
+        def check(self, inner):
+            for module in inner.walk():
+                yield self.finding(module, 1, "not-declared", "boom")
+
+    with pytest.raises(AnalysisError, match="unknown rule"):
+        list(RogueChecker().check(project))
+
+
+def test_finding_render_and_sort_key():
+    finding = Finding(path="a.py", line=3, col=7, rule="r", message="m")
+    assert finding.render() == "a.py:3:7: r: m"
+    assert finding.sort_key == ("a.py", 3, 7, "r")
+    assert finding.as_dict()["rule"] == "r"
+
+
+def test_build_project_relpaths_and_pycache_skip(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    cache = tmp_path / "pkg" / "__pycache__"
+    cache.mkdir()
+    (cache / "mod.cpython-310.py").write_text("x = 1\n")
+    project = build_project([tmp_path], root=tmp_path)
+    assert [m.relpath for m in project.modules] == ["pkg/mod.py"]
+    assert project.module_at("pkg/mod.py") is not None
+    assert project.module_at("nowhere.py") is None
+
+
+def test_build_project_missing_path_raises(tmp_path):
+    with pytest.raises(AnalysisError, match="no such file"):
+        build_project([tmp_path / "missing"], root=tmp_path)
+
+
+def test_syntax_error_is_a_finding(tmp_path):
+    (tmp_path / "broken.py").write_text("def oops(:\n")
+    result = lint_paths([tmp_path], root=tmp_path)
+    assert [f.rule for f in result.findings] == ["syntax-error"]
+    assert result.findings[0].path == "broken.py"
+
+
+def test_find_suppressions_parses_rules_and_reason(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "x = 1  # repro-lint: disable=rule-a,rule-b -- because reasons\n"
+    )
+    project = build_project([tmp_path], root=tmp_path)
+    (suppression,) = find_suppressions(project.modules[0])
+    assert suppression.scope == "disable"
+    assert suppression.rules == ("rule-a", "rule-b")
+    assert suppression.reason == "because reasons"
+    assert suppression.line == 1
+
+
+def test_disable_file_scope_suppresses_whole_module(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "# repro-lint: disable-file=except-swallow -- fixture module\n"
+        "def f():\n"
+        "    try:\n"
+        "        pass\n"
+        "    except Exception:\n"
+        "        pass\n"
+        "\n"
+        "def g():\n"
+        "    try:\n"
+        "        pass\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+    result = lint_paths([tmp_path], root=tmp_path)
+    assert result.ok
+    assert result.suppressed == 2
+
+
+def test_standalone_suppression_covers_next_line(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "def f():\n"
+        "    try:\n"
+        "        pass\n"
+        "    # repro-lint: disable=except-swallow -- covered below\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+    result = lint_paths([tmp_path], root=tmp_path)
+    assert result.ok
+    assert result.suppressed == 1
+
+
+def test_suppression_does_not_cover_other_lines(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "# repro-lint: disable=except-swallow -- far from the handler\n"
+        "def f():\n"
+        "    try:\n"
+        "        pass\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+    result = lint_paths([tmp_path], root=tmp_path)
+    assert [f.rule for f in result.findings] == ["except-swallow"]
+
+
+def test_checker_selection_limits_rules(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "def f():\n"
+        "    try:\n"
+        "        pass\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+    clean = lint_paths([tmp_path], root=tmp_path, checkers=["lock-discipline"])
+    assert clean.ok
+    dirty = lint_paths([tmp_path], root=tmp_path, checkers=["exception-hygiene"])
+    assert [f.rule for f in dirty.findings] == ["except-swallow"]
+
+
+def test_every_rule_id_is_unique_across_checkers():
+    seen = {}
+    for checker in create_checkers():
+        for rule in checker.rules:
+            assert rule not in seen, f"{rule} owned by both {seen[rule]} and {checker.name}"
+            seen[rule] = checker.name
+
+
+def test_checkers_skip_unparseable_modules(tmp_path):
+    (tmp_path / "broken.py").write_text("def oops(:\n")
+    (tmp_path / "fine.py").write_text(
+        "def f():\n"
+        "    try:\n"
+        "        pass\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+    result = lint_paths([tmp_path], root=tmp_path)
+    assert sorted(f.rule for f in result.findings) == ["except-swallow", "syntax-error"]

@@ -104,7 +104,11 @@ def test_docs_python_snippets_execute(page: Path, _pristine_registries):
     assert blocks, f"{page.name} has no runnable python snippet"
     namespace: dict = {"__name__": f"docs_snippet_{page.stem}"}
     for index, block in enumerate(blocks):
-        code = compile(block, f"{page.name}[python block {index + 1}]", "exec")
+        # dont_inherit: snippets must behave like standalone modules, not
+        # inherit this file's `from __future__ import annotations`
+        code = compile(
+            block, f"{page.name}[python block {index + 1}]", "exec", dont_inherit=True
+        )
         exec(code, namespace)  # noqa: S102 - executing our own documentation
 
 
