@@ -1,23 +1,31 @@
-"""Benchmark B1 -- shared-path batch pricing and the result cache.
+"""Benchmark B1 -- shared-path batch pricing, the stacked kernel and the cache.
 
-The realistic portfolio's Monte-Carlo slices are families of near-identical
-problems (same model, generator and time grid; only strikes/payoffs differ).
-This benchmark builds one such family -- ``N`` put options on the same
-10-dimensional basket, each nominally requiring its own 10^5-path simulation
--- and values it three ways on the in-process backend:
+The portfolio is a risk-management scenario grid priced with common random
+numbers: ``N_FAMILIES`` volatility scenarios on one 10-dimensional basket,
+each scenario valued at ``N_STRIKES`` strikes with the *same* quasi-random
+(Sobol) stream -- the textbook setup for scenario sensitivities, and the
+worst case for naive pricing because every position nominally re-draws and
+re-inverts the identical 10^5-point Sobol sample.  It is valued five ways:
 
 * **unbatched**: every position simulates its own path set (the pre-batch
   behaviour);
-* **batched** (``batch=True``): the planner groups the family by simulation
-  signature and prices all members against one shared path set;
+* **batched** (``batch=True``): the planner groups positions by simulation
+  signature and prices each scenario family against one shared path set;
+* **kernel=loop / kernel=stacked**: the plan-level kernel comparison
+  (``price_problems``) -- the loop baseline prices the plan one group at a
+  time, the stacked kernel runs *all* groups as one stacked-array
+  computation in which every family consumes one shared draw cohort;
 * **cached**: a second batched run against a warm digest-keyed result cache.
 
-The prices must be *bit-identical* across all three runs (the shared paths
-are exactly the paths each member would simulate alone), the batched run must
-be at least ~5x faster, and the cached run must answer every position from
-the cache.  Results land in ``benchmarks/results/BENCH_batch_pricing.json``.
+Prices must be *bit-identical* across all five runs (the stacked kernel
+replays the loop kernel's IEEE operation sequence; the differential suite
+under ``tests/differential/`` is the enforcement harness).  The batched run
+must beat unbatched by ``MIN_BATCH_SPEEDUP``, the stacked kernel must beat
+the batched loop baseline by ``MIN_STACKED_SPEEDUP``, and the cached run
+must answer every position from the cache.  Results land in
+``benchmarks/results/BENCH_batch_pricing.json``.
 
-Run standalone for the CI smoke check::
+Run standalone for the CI smoke check (tiny sizes, 0-ULP kernel check)::
 
     PYTHONPATH=src python benchmarks/bench_batch_pricing.py --smoke
 """
@@ -36,49 +44,66 @@ for entry in (str(_ROOT), str(_ROOT / "src")):
 from benchmarks.conftest import write_bench_json  # noqa: E402
 from repro.api import ValuationSession  # noqa: E402
 from repro.core.portfolio import Portfolio, Position  # noqa: E402
-from repro.pricing import PricingProblem, flat_correlation, plan_batches  # noqa: E402
+from repro.pricing import (  # noqa: E402
+    PricingProblem,
+    flat_correlation,
+    plan_batches,
+    price_problems,
+)
 
-#: full-profile family size and path count (the acceptance configuration)
-FULL_POSITIONS = 210
+#: full-profile grid (the acceptance configuration): 30 scenarios x 7 strikes
+FULL_FAMILIES = 30
+FULL_STRIKES = 7
 FULL_PATHS = 100_000
 #: smoke-profile sizes for the CI check (seconds, not minutes)
-SMOKE_POSITIONS = 24
-SMOKE_PATHS = 4_000
+SMOKE_FAMILIES = 10
+SMOKE_STRIKES = 3
+SMOKE_PATHS = 4_096
 
 DIMENSION = 10
-MIN_SPEEDUP = 5.0
+MIN_BATCH_SPEEDUP = 5.0
+MIN_STACKED_SPEEDUP = 3.0
 
 
-def build_basket_family(n_positions: int, n_paths: int) -> Portfolio:
-    """``n_positions`` basket puts on one 10-d model: a single shared family."""
-    vols = [0.15 + 0.01 * (i % 10) for i in range(DIMENSION)]
+def build_scenario_grid(n_families: int, n_strikes: int, n_paths: int) -> Portfolio:
+    """``n_families`` vol scenarios x ``n_strikes`` basket puts, one Sobol seed.
+
+    Every position uses the same quasi-random stream (common random numbers,
+    seed 7), so each scenario family forms one shared-simulation group and
+    all groups form a single draw cohort for the stacked kernel.
+    """
     corr = flat_correlation(DIMENSION, 0.3).tolist()
     weights = [1.0 / DIMENSION] * DIMENSION
-    portfolio = Portfolio(name="batch_family")
-    for index in range(n_positions):
-        strike = 80.0 + 40.0 * index / max(n_positions - 1, 1)
-        problem = PricingProblem(label=f"basket_put_K{strike:.2f}")
-        problem.set_asset("equity")
-        problem.set_model(
-            "BlackScholesND",
-            spot=[100.0] * DIMENSION,
-            rate=0.045,
-            volatilities=vols,
-            correlation=corr,
-            dividends=0.0,
-        )
-        problem.set_option("BasketPutEuro", strike=strike, maturity=1.0, weights=weights)
-        problem.set_method(
-            "MC_European", n_paths=n_paths, n_steps=1, antithetic=True,
-            control_variate=True, seed=7,
-        )
-        portfolio.add(Position(problem=problem, category="basket_mc", label=problem.label))
+    portfolio = Portfolio(name="scenario_grid")
+    for fam in range(n_families):
+        vols = [0.12 + 0.004 * fam + 0.01 * (i % 10) for i in range(DIMENSION)]
+        for j in range(n_strikes):
+            strike = 80.0 + 40.0 * j / max(n_strikes - 1, 1)
+            problem = PricingProblem(label=f"scen{fam:02d}_K{strike:.2f}")
+            problem.set_asset("equity")
+            problem.set_model(
+                "BlackScholesND",
+                spot=[100.0] * DIMENSION,
+                rate=0.045,
+                volatilities=vols,
+                correlation=corr,
+                dividends=0.0,
+            )
+            problem.set_option("BasketPutEuro", strike=strike, maturity=1.0,
+                               weights=weights)
+            problem.set_method(
+                "MC_European", n_paths=n_paths, n_steps=1, antithetic=False,
+                control_variate=False, seed=7, rng_kind="sobol",
+            )
+            portfolio.add(Position(problem=problem, category="scenario_mc",
+                                   label=problem.label))
     return portfolio
 
 
-def run_batch_benchmark(n_positions: int, n_paths: int) -> dict:
-    """Time unbatched vs batched vs cached valuation of one family."""
-    portfolio = build_basket_family(n_positions, n_paths)
+def run_batch_benchmark(n_families: int, n_strikes: int, n_paths: int) -> dict:
+    """Time unbatched vs batched vs kernels vs cached on one scenario grid."""
+    portfolio = build_scenario_grid(n_families, n_strikes, n_paths)
+    n_positions = n_families * n_strikes
     plan = plan_batches([position.problem for position in portfolio])
 
     start = time.perf_counter()
@@ -88,6 +113,19 @@ def run_batch_benchmark(n_positions: int, n_paths: int) -> dict:
     start = time.perf_counter()
     batched = ValuationSession(backend="local").run(portfolio, batch=True)
     batched_s = time.perf_counter() - start
+
+    # plan-level kernel comparison: fresh problems per run so no result is
+    # reused, same grouping, only the evaluation strategy differs
+    loop_grid = build_scenario_grid(n_families, n_strikes, n_paths)
+    start = time.perf_counter()
+    loop_results = price_problems([p.problem for p in loop_grid], kernel="loop")
+    kernel_loop_s = time.perf_counter() - start
+
+    stacked_grid = build_scenario_grid(n_families, n_strikes, n_paths)
+    start = time.perf_counter()
+    stacked_results = price_problems([p.problem for p in stacked_grid],
+                                     kernel="stacked")
+    kernel_stacked_s = time.perf_counter() - start
 
     cached_session = ValuationSession(backend="local", cache=True)
     cached_session.run(portfolio, batch=True)  # warm the cache
@@ -101,44 +139,60 @@ def run_batch_benchmark(n_positions: int, n_paths: int) -> dict:
     )
 
     prices = unbatched.prices()
+    ordered = [prices[job_id] for job_id in sorted(prices)]
+    kernels_bit_identical = (
+        [r.price for r in loop_results]
+        == [r.price for r in stacked_results]
+        == ordered
+    )
     return {
         "n_positions": n_positions,
+        "n_families": n_families,
         "n_paths": n_paths,
         "dimension": DIMENSION,
+        "rng_kind": "sobol",
         "n_groups": len(plan.groups),
         "n_simulations_saved": plan.n_simulations_saved,
         "unbatched_wall_s": round(unbatched_s, 4),
         "batched_wall_s": round(batched_s, 4),
+        "kernel_loop_wall_s": round(kernel_loop_s, 4),
+        "kernel_stacked_wall_s": round(kernel_stacked_s, 4),
         "cached_wall_s": round(cached_s, 4),
         "speedup_batched": round(unbatched_s / batched_s, 2),
+        "speedup_stacked": round(kernel_loop_s / kernel_stacked_s, 2),
         "speedup_cached": round(unbatched_s / cached_s, 2),
         "bit_identical": prices == batched.prices() == cached.prices(),
+        "kernels_bit_identical": kernels_bit_identical,
         "cache_hit_rate_warm": warm_hits / warm_lookups,
         "portfolio_value": round(sum(prices.values()), 6),
     }
 
 
 def test_batch_pricing_speedup(benchmark):
-    """>=200-position family: >=5x from shared paths, bit-identical prices."""
+    """Full grid: >=5x from shared paths, >=3x stacked-over-loop, bit-equal."""
     payload = benchmark.pedantic(
-        run_batch_benchmark, args=(FULL_POSITIONS, FULL_PATHS), rounds=1, iterations=1
+        run_batch_benchmark, args=(FULL_FAMILIES, FULL_STRIKES, FULL_PATHS),
+        rounds=1, iterations=1,
     )
     write_bench_json("batch_pricing", payload)
 
     assert payload["bit_identical"], "batched prices must match unbatched bit-for-bit"
-    assert payload["n_groups"] == 1, "one family must form one shared-simulation group"
-    assert payload["n_simulations_saved"] == FULL_POSITIONS - 1
-    assert payload["speedup_batched"] >= MIN_SPEEDUP
+    assert payload["kernels_bit_identical"], "stacked kernel must be bit-equal to loop"
+    assert payload["n_groups"] == FULL_FAMILIES, "one group per scenario family"
+    assert payload["n_simulations_saved"] == FULL_FAMILIES * (FULL_STRIKES - 1)
+    assert payload["speedup_batched"] >= MIN_BATCH_SPEEDUP
+    assert payload["speedup_stacked"] >= MIN_STACKED_SPEEDUP
     assert payload["cache_hit_rate_warm"] == 1.0
     assert payload["speedup_cached"] >= payload["speedup_batched"]
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Standalone entry point (CI smoke: tiny sizes, relaxed speedup bound)."""
+    """Standalone entry point (CI smoke: tiny sizes, relaxed speedup bounds)."""
     smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
-    n_positions = SMOKE_POSITIONS if smoke else FULL_POSITIONS
+    n_families = SMOKE_FAMILIES if smoke else FULL_FAMILIES
+    n_strikes = SMOKE_STRIKES if smoke else FULL_STRIKES
     n_paths = SMOKE_PATHS if smoke else FULL_PATHS
-    payload = run_batch_benchmark(n_positions, n_paths)
+    payload = run_batch_benchmark(n_families, n_strikes, n_paths)
     name = "batch_pricing_smoke" if smoke else "batch_pricing"
     path = write_bench_json(name, payload)
     print(f"wrote {path}")
@@ -147,12 +201,21 @@ def main(argv: list[str] | None = None) -> int:
     if not payload["bit_identical"]:
         print("FAIL: batched prices differ from unbatched prices", file=sys.stderr)
         return 1
+    if not payload["kernels_bit_identical"]:
+        print("FAIL: stacked kernel prices differ from loop kernel (ULP != 0)",
+              file=sys.stderr)
+        return 1
     if payload["cache_hit_rate_warm"] != 1.0:
         print("FAIL: warm cache run did not hit on every position", file=sys.stderr)
         return 1
-    floor = 1.2 if smoke else MIN_SPEEDUP
-    if payload["speedup_batched"] < floor:
-        print(f"FAIL: batched speedup {payload['speedup_batched']} < {floor}",
+    batch_floor = 1.2 if smoke else MIN_BATCH_SPEEDUP
+    if payload["speedup_batched"] < batch_floor:
+        print(f"FAIL: batched speedup {payload['speedup_batched']} < {batch_floor}",
+              file=sys.stderr)
+        return 1
+    stacked_floor = 1.0 if smoke else MIN_STACKED_SPEEDUP
+    if payload["speedup_stacked"] < stacked_floor:
+        print(f"FAIL: stacked speedup {payload['speedup_stacked']} < {stacked_floor}",
               file=sys.stderr)
         return 1
     return 0

@@ -8,6 +8,9 @@ Three subsystems promise determinism by construction:
 * ``pricing/batch`` -- shared-path batch pricing is bit-identical to solo
   pricing *because* every random number comes from the injected, seeded
   rng (:mod:`repro.pricing.rng`);
+* ``pricing/kernel`` -- the stacked Monte-Carlo kernel promises
+  bit-exactness with the loop kernel; a wall-clock or entropy read would
+  break the differential harness and the pinned draw digests;
 * ``cluster/simcluster`` -- the discrete-event cluster runs in pure
   virtual time; a single wall-clock read would make the paper-table
   reproductions flaky.
@@ -19,7 +22,7 @@ functions) is ``determinism-entropy``.  ``random.Random(seed)`` -- an
 explicitly seeded instance handed in by the caller -- stays allowed; the
 global ``random`` functions do not, because their state is shared and
 unseeded.  Imports are resolved per module (``from time import time`` is
-caught too); modules outside the three scoped path fragments are ignored.
+caught too); modules outside the scoped path fragments are ignored.
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ from repro.analysis.core import (
 __all__ = ["DeterminismChecker"]
 
 #: path fragments selecting the modules under the determinism contract
-SCOPES = ("pricing/cache", "pricing/batch", "cluster/simcluster")
+SCOPES = ("pricing/cache", "pricing/batch", "pricing/kernel", "cluster/simcluster")
 
 _WALL_CLOCK = frozenset(
     {
@@ -115,8 +118,9 @@ class DeterminismChecker(Checker):
 
     name = "determinism"
     description = (
-        "pricing/cache, pricing/batch and cluster/simcluster never read a "
-        "wall clock or an entropy source; randomness is injected and seeded"
+        "pricing/cache, pricing/batch, pricing/kernel and cluster/simcluster "
+        "never read a wall clock or an entropy source; randomness is "
+        "injected and seeded"
     )
     rules = {
         "determinism-wall-clock": (

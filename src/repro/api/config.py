@@ -192,6 +192,11 @@ class RunConfig:
     cost_model: Any | None = field(default=None, compare=False)
     batch: bool = False
     batch_group_size: int | None = None
+    #: Monte-Carlo evaluation strategy for shared-path batch jobs: "loop"
+    #: (per-group, per-member arithmetic) or "stacked" (all groups of a plan
+    #: as one stacked-array computation).  Bit-identical prices either way;
+    #: the kernel never enters simulation signatures or cache digests.
+    kernel: str = "loop"
     cache: bool | None = None
     progress: Callable[..., None] | None = field(default=None, compare=False)
     cancel: Any | None = field(default=None, compare=False)
@@ -200,6 +205,12 @@ class RunConfig:
     def __post_init__(self) -> None:
         if self.batch_group_size is not None and self.batch_group_size < 2:
             raise ValuationError("RunConfig.batch_group_size must be >= 2 when given")
+        from repro.pricing.kernel import KERNELS
+
+        if self.kernel not in KERNELS:
+            raise ValuationError(
+                f"unknown kernel {self.kernel!r}; known: {list(KERNELS)}"
+            )
         if self.retry is not None and not isinstance(self.retry, RetryPolicy):
             raise ValuationError(
                 "RunConfig.retry must be a RetryPolicy (or None), got "

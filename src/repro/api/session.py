@@ -389,6 +389,7 @@ class ValuationSession:
         backend: WorkerBackend,
         portfolio: Portfolio | None,
         cost_model: CostModel | None = None,
+        kernel: str = "loop",
     ) -> _RunPlan:
         """Apply the cache pass and batch coalescing to a prepared job list."""
         if not jobs:
@@ -433,7 +434,7 @@ class ValuationSession:
         if batch:
             plan.jobs, plan.batch_members = self._coalesce_jobs(
                 plan.jobs, problem_by_id, batch_group_size,
-                cost_model or self.cost_model,
+                cost_model or self.cost_model, kernel=kernel,
             )
         return plan
 
@@ -530,6 +531,7 @@ class ValuationSession:
         store: Any,
         attach_problems: bool | None,
         cost_model: CostModel | None,
+        kernel: str = "loop",
     ) -> _RunPlan:
         """Build the campaign plan for a portfolio or prepared job list."""
         backend = self._acquire_backend(strategy_name, cache=run_cache)
@@ -557,6 +559,7 @@ class ValuationSession:
             backend=backend,
             portfolio=portfolio,
             cost_model=cost_model,
+            kernel=kernel,
         )
 
     # -- portfolio runs ----------------------------------------------------------
@@ -571,6 +574,7 @@ class ValuationSession:
         config: RunConfig | None = None,
         batch: bool | None = None,
         batch_group_size: int | None = None,
+        kernel: str | None = None,
         cache: bool | None = None,
         progress: Callable[[StreamProgress], None] | None = None,
         cancel: CancelToken | None = None,
@@ -603,6 +607,8 @@ class ValuationSession:
                 batch = config.batch
             if batch_group_size is None:
                 batch_group_size = config.batch_group_size
+            if kernel is None:
+                kernel = config.kernel
             if cache is None:
                 cache = config.cache
             if progress is None:
@@ -629,6 +635,7 @@ class ValuationSession:
             store=store,
             attach_problems=attach_problems,
             cost_model=cost_model,
+            kernel=kernel or "loop",
         )
         core, jobs = self._make_core(plan, make_runner(), strategy, progress, cancel)
         if (
@@ -789,6 +796,7 @@ class ValuationSession:
         config: RunConfig | None = None,
         batch: bool | None = None,
         batch_group_size: int | None = None,
+        kernel: str | None = None,
         cache: bool | None = None,
         progress: Callable[[StreamProgress], None] | None = None,
         cancel: CancelToken | None = None,
@@ -812,6 +820,8 @@ class ValuationSession:
                 batch = config.batch
             if batch_group_size is None:
                 batch_group_size = config.batch_group_size
+            if kernel is None:
+                kernel = config.kernel
             if cache is None:
                 cache = config.cache
             if progress is None:
@@ -828,6 +838,7 @@ class ValuationSession:
             store=store,
             attach_problems=attach_problems,
             cost_model=config.cost_model if config is not None else None,
+            kernel=kernel or "loop",
         )
         core, jobs = self._make_core(plan, runner, strategy, progress, cancel)
         return StreamingRun(core, jobs)
@@ -849,6 +860,7 @@ class ValuationSession:
         problem_by_id: Mapping[int, PricingProblem],
         batch_group_size: int | None,
         cost_model: CostModel | None = None,
+        kernel: str = "loop",
     ) -> tuple[list[Job], dict[int, tuple[int, ...]]]:
         """Merge shared-simulation jobs into :class:`ProblemBatch` super-jobs."""
         model = cost_model or self.cost_model
@@ -865,7 +877,9 @@ class ValuationSession:
             if group is not None:
                 member_jobs = [jobs[i] for i in group.indices]
                 problems = [problem_by_id[j.job_id] for j in member_jobs]
-                bundle = ProblemBatch(problems, keys=[j.job_id for j in member_jobs])
+                bundle = ProblemBatch(
+                    problems, keys=[j.job_id for j in member_jobs], kernel=kernel
+                )
                 super_job = Job(
                     job_id=job.job_id,
                     path=f"/virtual/batch/{batch_digest(bundle)[:16]}.pb",

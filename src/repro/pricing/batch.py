@@ -41,8 +41,9 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.errors import PricingError
 from repro.pricing.cache import problem_digest, stable_digest
 from repro.pricing.engine import PricingProblem
+from repro.pricing.kernel import resolve_kernel
 from repro.pricing.methods.base import PricingResult
-from repro.pricing.methods.montecarlo import MonteCarloEuropean
+from repro.pricing.methods.montecarlo import MonteCarloEuropean, price_groups_stacked
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pricing.cache import ResultCache
@@ -189,7 +190,12 @@ class ProblemBatch:
     serializes problems can carry batches unchanged.
     """
 
-    def __init__(self, problems: Sequence[PricingProblem], keys: Sequence[int] | None = None):
+    def __init__(
+        self,
+        problems: Sequence[PricingProblem],
+        keys: Sequence[int] | None = None,
+        kernel: str = "loop",
+    ):
         problems = list(problems)
         if len(problems) < 1:
             raise PricingError("a ProblemBatch needs at least one problem")
@@ -212,6 +218,9 @@ class ProblemBatch:
         self.problems = problems
         self.keys = keys
         self.signature = reference
+        #: evaluation strategy for the shared pass -- never part of the
+        #: simulation signature or any digest (both kernels are bit-equal)
+        self.kernel = resolve_kernel(kernel)
 
     def __len__(self) -> int:
         return len(self.problems)
@@ -252,7 +261,9 @@ class ProblemBatch:
         method = pending[0][1].method
         model = pending[0][1].model
         try:
-            results = method.price_many(model, [p.product for _, p in pending])
+            results = method.price_many(
+                model, [p.product for _, p in pending], kernel=self.kernel
+            )
         except Exception:  # noqa: BLE001 - isolate the failing member below
             results = None
         if results is not None:
@@ -280,12 +291,13 @@ class ProblemBatch:
         return {
             "problems": [problem.to_dict() for problem in self.problems],
             "keys": list(self.keys),
+            "kernel": self.kernel,
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ProblemBatch":
         problems = [PricingProblem.from_dict(entry) for entry in data["problems"]]
-        return cls(problems, keys=data.get("keys"))
+        return cls(problems, keys=data.get("keys"), kernel=data.get("kernel", "loop"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"ProblemBatch(n={len(self.problems)}, signature={self.signature.mode!r})"
@@ -301,6 +313,7 @@ def price_problems(
     min_group_size: int = 2,
     max_group_size: int | None = None,
     cache: "ResultCache | None" = None,
+    kernel: str = "loop",
 ) -> list[PricingResult]:
     """Price ``problems`` with shared-path grouping, in input order.
 
@@ -308,22 +321,54 @@ def price_problems(
     to ``problem.compute()``.  Every result is also stored on its problem
     (``problem.get_method_results()`` works afterwards), and prices are
     bit-identical to per-problem pricing for any grouping.
+
+    ``kernel="stacked"`` evaluates **all** groups of the plan as one
+    stacked-array computation (:func:`~repro.pricing.methods.montecarlo.
+    price_groups_stacked`): groups with identical simulation signatures up
+    to model parameters share one normal-draw cohort instead of each
+    re-drawing the same stream.  Prices stay bit-identical to the loop
+    kernel; with a ``cache`` (per-member hit accounting) the stacked path
+    degrades to per-group evaluation.
     """
+    kernel = resolve_kernel(kernel)
     problems = list(problems)
     plan = plan_batches(problems, min_group_size=min_group_size,
                         max_group_size=max_group_size)
     results: dict[int, PricingResult] = {}
-    for group in plan.groups:
-        batch = ProblemBatch([problems[i] for i in group.indices], keys=list(group.indices))
-        for key, entry in batch.compute(cache=cache).items():
-            if "error" in entry:
-                # match unbatched semantics: computing this problem raises
-                raise PricingError(
-                    f"problem {problems[key].label or key!r} failed in a "
-                    f"shared-path batch: {entry['error']}"
-                )
-            # compute() stored the full PricingResult on each member problem
-            results[key] = problems[key].get_method_results()
+    batches = [
+        ProblemBatch([problems[i] for i in group.indices],
+                     keys=list(group.indices), kernel=kernel)
+        for group in plan.groups
+    ]
+    stacked_done = False
+    if kernel == "stacked" and cache is None and batches:
+        try:
+            per_group = price_groups_stacked(
+                [
+                    (batch.problems[0].method, batch.problems[0].model,
+                     [problem.product for problem in batch.problems])
+                    for batch in batches
+                ]
+            )
+        except Exception:  # noqa: BLE001 - degrade to per-group evaluation
+            per_group = None
+        if per_group is not None:
+            for batch, group_results in zip(batches, per_group):
+                for key, problem, result in zip(batch.keys, batch.problems, group_results):
+                    problem._result = result
+                    results[key] = result
+            stacked_done = True
+    if not stacked_done:
+        for batch in batches:
+            for key, entry in batch.compute(cache=cache).items():
+                if "error" in entry:
+                    # match unbatched semantics: computing this problem raises
+                    raise PricingError(
+                        f"problem {problems[key].label or key!r} failed in a "
+                        f"shared-path batch: {entry['error']}"
+                    )
+                # compute() stored the full PricingResult on each member problem
+                results[key] = problems[key].get_method_results()
     for index in plan.singles:
         problem = problems[index]
         cached = cache.get(problem_digest(problem)) if cache is not None else None

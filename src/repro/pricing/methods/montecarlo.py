@@ -33,7 +33,51 @@ from repro.pricing.products.base import ExerciseStyle, Product
 from repro.pricing.products.basket import BasketOption
 from repro.pricing.rng import AntitheticGenerator, create_generator
 
-__all__ = ["MonteCarloEuropean"]
+__all__ = ["MonteCarloEuropean", "price_groups_stacked"]
+
+
+def _stamp_and_validate(
+    method: "MonteCarloEuropean",
+    model: Model,
+    products: list[Product],
+    results: list[PricingResult],
+    elapsed: float,
+) -> None:
+    """Share the wall-clock time across members and reject non-finite prices."""
+    share = elapsed / len(results)
+    for product, result in zip(products, results):
+        result.elapsed = share
+        result.method_name = method.method_name
+        if not np.isfinite(result.price):
+            raise IncompatibleMethodError(
+                f"method {method.method_name!r} produced a non-finite price for "
+                f"{product.option_name!r} under {model.model_name!r}"
+            )
+
+
+def price_groups_stacked(
+    groups: Sequence[tuple["MonteCarloEuropean", Model, Sequence[Product]]],
+) -> list[list[PricingResult]]:
+    """Price several shared-simulation groups through the stacked kernel.
+
+    The plan-level entry point used by batch pricing with
+    ``kernel="stacked"``: all groups go to
+    :func:`repro.pricing.kernel.run_groups` together, so groups whose
+    methods draw identical random streams share one stacked simulation
+    (cross-group draw cohorts).  Results are bit-identical to calling
+    ``method.price_many(model, products)`` per group; elapsed time is
+    measured here (the kernel module is wall-clock-free by contract) and
+    shared across each group's members.
+    """
+    from repro.pricing.kernel import run_groups
+
+    start = time.perf_counter()
+    all_results = run_groups(groups)
+    elapsed = time.perf_counter() - start
+    n_members = sum(len(results) for results in all_results) or 1
+    for (method, model, products), results in zip(groups, all_results):
+        _stamp_and_validate(method, model, list(products), results, elapsed * len(results) / n_members)
+    return all_results
 
 
 @dataclass
@@ -214,7 +258,14 @@ class MonteCarloEuropean(PricingMethod):
         n_steps = self._effective_steps(model, a)
         return (a.path_dependent or n_steps > 1) == (b.path_dependent or n_steps > 1)
 
-    def price_many(self, model: Model, products: Sequence[Product]) -> list[PricingResult]:
+    def price_many(
+        self,
+        model: Model,
+        products: Sequence[Product],
+        *,
+        kernel: str = "loop",
+        sample_sink: Any = None,
+    ) -> list[PricingResult]:
         """Price several products against **one** shared simulated path set.
 
         All products must be supported under ``model`` and share the same
@@ -224,6 +275,17 @@ class MonteCarloEuropean(PricingMethod):
         bit-identical to what :meth:`price` would return for that product
         alone -- the paths are a deterministic function of (model, rng kind,
         seed, batching), which every member reproduces independently.
+
+        ``kernel`` selects the evaluation engine: ``"loop"`` (the per-member
+        python loop above) or ``"stacked"`` (the vectorized engine of
+        :mod:`repro.pricing.kernel`, bit-identical by construction and
+        enforced so by the differential test suite).  ``kernel`` is an
+        evaluation strategy, **not** a method parameter: it never enters
+        :meth:`to_params`, so digests, signatures and cache keys are
+        unchanged by the choice.  ``sample_sink``, when given, receives
+        ``(member_index, payoff_batch)`` for every simulated batch (payoffs
+        pair-averaged when antithetic) -- the differential harness uses it
+        to compare per-path samples across kernels.
         """
         products = list(products)
         if not products:
@@ -231,20 +293,21 @@ class MonteCarloEuropean(PricingMethod):
         for product in products:
             self.check_supports(model, product)
         start = time.perf_counter()
-        results = self._price_shared(model, products)
+        if kernel == "loop":
+            results = self._price_shared(model, products, sample_sink=sample_sink)
+        elif kernel == "stacked":
+            from repro.pricing.kernel import price_many_stacked
+
+            results = price_many_stacked(self, model, products, sample_sink=sample_sink)
+        else:
+            raise PricingError(f"unknown kernel {kernel!r}; expected 'loop' or 'stacked'")
         elapsed = time.perf_counter() - start
-        share = elapsed / len(results)
-        for product, result in zip(products, results):
-            result.elapsed = share
-            result.method_name = self.method_name
-            if not np.isfinite(result.price):
-                raise IncompatibleMethodError(
-                    f"method {self.method_name!r} produced a non-finite price for "
-                    f"{product.option_name!r} under {model.model_name!r}"
-                )
+        _stamp_and_validate(self, model, products, results, elapsed)
         return results
 
-    def _price_shared(self, model: Model, products: list[Product]) -> list[PricingResult]:
+    def _price_shared(
+        self, model: Model, products: list[Product], sample_sink: Any = None
+    ) -> list[PricingResult]:
         n_steps = self._effective_steps(model, products[0])
         maturity = products[0].maturity
         mode_paths = products[0].path_dependent or n_steps > 1
@@ -289,7 +352,7 @@ class MonteCarloEuropean(PricingMethod):
                 paths = None
                 terminal = model.sample_terminal(rng, batch, maturity)
             half = batch // 2
-            for member in members:
+            for index, member in enumerate(members):
                 if mode_paths:
                     payoffs = member.product_adj.path_payoff(paths, times)
                 else:
@@ -311,6 +374,8 @@ class MonteCarloEuropean(PricingMethod):
                     member.sum_control += control.sum()
                     member.sum_control2 += (control**2).sum()
                     member.sum_cross += (payoffs * control).sum()
+                if sample_sink is not None:
+                    sample_sink(index, payoffs)
             n_done += batch
             n_samples += half if self.antithetic else batch
 

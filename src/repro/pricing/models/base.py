@@ -202,6 +202,76 @@ class DiffusionModel1D(Model):
             s *= np.exp((drift - 0.5 * sigma**2) * dt + sigma * sqrt_dt * z)
         return s
 
+    # -- stacked sampling (shared-draw kernel) ------------------------------
+    @staticmethod
+    def stacked_simulate_paths(
+        models: "list[DiffusionModel1D]",
+        rng: RandomGenerator,
+        n_paths: int,
+        times: np.ndarray,
+    ) -> np.ndarray:
+        """Log-Euler paths for several models from **one** shared normal draw.
+
+        Returns a ``(len(models), n_paths, len(times))`` array whose row ``g``
+        is bit-identical to ``models[g].simulate_paths(rng_g, n_paths, times)``
+        with a fresh generator ``rng_g`` in the same state: the single
+        ``(n_paths, n_steps)`` draw below is exactly what each solo call would
+        draw, and every arithmetic step applies the same scalar/row operations
+        in the same order (only broadcast over the leading group axis).
+        """
+        times = np.asarray(times, dtype=float)
+        if times[0] != 0.0:
+            raise PricingError("time grid must start at 0")
+        n_steps = len(times) - 1
+        n_groups = len(models)
+        paths = np.empty((n_groups, n_paths, n_steps + 1), dtype=float)
+        for g, model in enumerate(models):
+            paths[g, :, 0] = model.spot
+        if n_steps == 0:
+            return paths
+        normals = rng.normals((n_paths, n_steps))
+        drifts = np.array([model.rate - model.dividend for model in models])
+        dts = np.diff(times)
+        sqrt_dts = np.sqrt(dts)
+        for k in range(n_steps):
+            s = paths[:, :, k]
+            sigma = np.stack(
+                [model.local_volatility(times[k], s[g]) for g, model in enumerate(models)]
+            )
+            paths[:, :, k + 1] = s * np.exp(
+                (drifts[:, None] - 0.5 * sigma**2) * dts[k]
+                + sigma * sqrt_dts[k] * normals[None, :, k]
+            )
+        return paths
+
+    @staticmethod
+    def stacked_sample_terminal(
+        models: "list[DiffusionModel1D]",
+        rng: RandomGenerator,
+        n_paths: int,
+        maturity: float,
+    ) -> np.ndarray:
+        """Streamed-Euler terminal values for several models, shared draws.
+
+        Returns ``(len(models), n_paths)``; row ``g`` is bit-identical to the
+        solo :meth:`sample_terminal` of ``models[g]`` (same per-step draw
+        sequence, same update expression broadcast over the group axis).
+        """
+        n_steps = max(16, int(np.ceil(100 * maturity)))
+        dt = maturity / n_steps
+        sqrt_dt = float(np.sqrt(dt))
+        drifts = np.array([model.rate - model.dividend for model in models])
+        s = np.empty((len(models), n_paths), dtype=float)
+        for g, model in enumerate(models):
+            s[g, :] = float(model.spot)
+        for k in range(n_steps):
+            z = rng.normals((n_paths,))
+            sigma = np.stack(
+                [model.local_volatility(k * dt, s[g]) for g, model in enumerate(models)]
+            )
+            s *= np.exp((drifts[:, None] - 0.5 * sigma**2) * dt + sigma * sqrt_dt * z[None, :])
+        return s
+
 
 class MultiAssetModel(Model):
     """Base class for models driving several correlated assets."""

@@ -86,6 +86,70 @@ class BlackScholesModel(DiffusionModel1D):
         )
         return self.spot * np.exp(log_paths)
 
+    # -- stacked sampling (shared-draw kernel) ------------------------------
+    @staticmethod
+    def stacked_sample_terminal(
+        models: "list[BlackScholesModel]",
+        rng: RandomGenerator,
+        n_paths: int,
+        maturity: float,
+    ) -> np.ndarray:
+        """Exact terminal sampling for several models from one shared draw.
+
+        Returns ``(len(models), n_paths)``; row ``g`` is bit-identical to
+        ``models[g].sample_terminal`` with a fresh generator in the same
+        state -- the expression below is the solo expression with the scalar
+        drift/volatility broadcast down the group axis.
+        """
+        z = rng.normals((n_paths,))
+        spots = np.array([model.spot for model in models])
+        vols = np.array([model.volatility for model in models])
+        drifts = np.array(
+            [
+                (model.rate - model.dividend - 0.5 * model.volatility**2) * maturity
+                for model in models
+            ]
+        )
+        return spots[:, None] * np.exp(
+            drifts[:, None] + (vols * np.sqrt(maturity))[:, None] * z[None, :]
+        )
+
+    @staticmethod
+    def stacked_simulate_paths(
+        models: "list[BlackScholesModel]",
+        rng: RandomGenerator,
+        n_paths: int,
+        times: np.ndarray,
+    ) -> np.ndarray:
+        """Exact path simulation for several models from one shared draw.
+
+        Returns ``(len(models), n_paths, len(times))``; row ``g`` mirrors the
+        solo :meth:`simulate_paths` operation for operation (same cumulative
+        sum along the step axis, same exp/scale), so it is bit-identical to
+        what ``models[g]`` would simulate alone.
+        """
+        times = np.asarray(times, dtype=float)
+        if times[0] != 0.0:
+            raise PricingError("time grid must start at 0")
+        dts = np.diff(times)
+        if np.any(dts <= 0):
+            raise PricingError("time grid must be strictly increasing")
+        n_steps = len(dts)
+        n_groups = len(models)
+        z = rng.normals((n_paths, n_steps))
+        spots = np.array([model.spot for model in models])
+        vols = np.array([model.volatility for model in models])
+        coefs = np.array(
+            [model.rate - model.dividend - 0.5 * model.volatility**2 for model in models]
+        )
+        drift = coefs[:, None] * dts[None, :]  # (G, n_steps)
+        diffusion = (vols[:, None] * np.sqrt(dts)[None, :])[:, None, :] * z[None, :, :]
+        log_increments = drift[:, None, :] + diffusion
+        log_paths = np.concatenate(
+            [np.zeros((n_groups, n_paths, 1)), np.cumsum(log_increments, axis=2)], axis=2
+        )
+        return spots[:, None, None] * np.exp(log_paths)
+
     # -- serialization -------------------------------------------------------
     def to_params(self) -> dict[str, Any]:
         return {

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import PricingError
 from repro.pricing.models.base import MultiAssetModel
-from repro.pricing.rng import RandomGenerator
+from repro.pricing.rng import AntitheticGenerator, RandomGenerator, cholesky_factor
 
 __all__ = ["MultiAssetBlackScholesModel", "flat_correlation"]
 
@@ -114,6 +114,117 @@ class MultiAssetBlackScholesModel(MultiAssetModel):
             z = rng.correlated_normals(n_paths, self.correlation)
             log_s = log_s + (drift_rate * dt)[None, :] + self.volatilities * sqrt_dts[k] * z
             paths[:, k + 1, :] = np.exp(log_s)
+        return paths
+
+    # -- stacked sampling (shared-draw kernel) ------------------------------
+    @staticmethod
+    def _stacked_correlated(
+        models: "list[MultiAssetBlackScholesModel]", rng: RandomGenerator, n_paths: int
+    ) -> "list[np.ndarray]":
+        """One raw normal draw, correlated per model via its Cholesky factor.
+
+        Mirrors :meth:`RandomGenerator.correlated_normals` (and its
+        antithetic wrapper) exactly: the raw ``(n, d)`` draw is shared, and
+        each model's correlation is induced by the same ``z @ chol.T``
+        product (same :func:`~repro.pricing.rng.cholesky_factor`, including
+        the jitter fallback) that a solo simulation would compute.
+        """
+        chols = [cholesky_factor(model.correlation) for model in models]
+        d = models[0].dimension
+        # models with bit-equal correlation matrices get bit-equal factors,
+        # so the (expensive) product is computed once per distinct factor
+        # and the result shared -- downstream code only reads the draws
+        products: dict[bytes, np.ndarray] = {}
+
+        def correlate(raw: np.ndarray, chol: np.ndarray) -> np.ndarray:
+            key = chol.tobytes()
+            z = products.get(key)
+            if z is None:
+                z = raw @ chol.T
+                products[key] = z
+            return z
+
+        if isinstance(rng, AntitheticGenerator):
+            AntitheticGenerator._check_even(n_paths)
+            raw = rng.base.normals((n_paths // 2, d))
+            mirrored: dict[bytes, np.ndarray] = {}
+            out = []
+            for chol in chols:
+                key = chol.tobytes()
+                full = mirrored.get(key)
+                if full is None:
+                    half = correlate(raw, chol)
+                    full = np.concatenate([half, -half], axis=0)
+                    mirrored[key] = full
+                out.append(full)
+            return out
+        raw = rng.normals((n_paths, d))
+        return [correlate(raw, chol) for chol in chols]
+
+    @staticmethod
+    def stacked_sample_terminal(
+        models: "list[MultiAssetBlackScholesModel]",
+        rng: RandomGenerator,
+        n_paths: int,
+        maturity: float,
+    ) -> "list[np.ndarray]":
+        """Exact terminal sampling for several models from one raw draw.
+
+        Returns one ``(n_paths, d)`` array per model, each bit-identical to
+        the solo :meth:`sample_terminal` with a fresh generator in the same
+        state; only the underlying standard-normal draw is shared, the
+        per-model correlation/drift/diffusion arithmetic is the solo code.
+        """
+        zs = MultiAssetBlackScholesModel._stacked_correlated(models, rng, n_paths)
+        out = []
+        for model, z in zip(models, zs):
+            drift = (
+                model.rate - model.dividend_vector - 0.5 * model.volatilities**2
+            ) * maturity
+            diffusion = model.volatilities * np.sqrt(maturity) * z
+            out.append(np.asarray(model.spot)[None, :] * np.exp(drift[None, :] + diffusion))
+        return out
+
+    @staticmethod
+    def stacked_simulate_paths(
+        models: "list[MultiAssetBlackScholesModel]",
+        rng: RandomGenerator,
+        n_paths: int,
+        times: np.ndarray,
+    ) -> "list[np.ndarray]":
+        """Exact path simulation for several models from shared raw draws.
+
+        Returns one ``(n_paths, n_times, d)`` array per model; the per-step
+        raw draw is shared, everything else is the solo update expression.
+        """
+        times = np.asarray(times, dtype=float)
+        if times[0] != 0.0:
+            raise PricingError("time grid must start at 0")
+        dts = np.diff(times)
+        if np.any(dts <= 0):
+            raise PricingError("time grid must be strictly increasing")
+        n_steps = len(dts)
+        d = models[0].dimension
+        paths = []
+        log_s = []
+        for model in models:
+            arr = np.empty((n_paths, n_steps + 1, d))
+            arr[:, 0, :] = np.asarray(model.spot)[None, :]
+            paths.append(arr)
+            log_s.append(
+                np.log(np.asarray(model.spot, dtype=float))[None, :].repeat(n_paths, axis=0)
+            )
+        sqrt_dts = np.sqrt(dts)
+        for k, dt in enumerate(dts):
+            zs = MultiAssetBlackScholesModel._stacked_correlated(models, rng, n_paths)
+            for g, model in enumerate(models):
+                drift_rate = (
+                    model.rate - model.dividend_vector - 0.5 * model.volatilities**2
+                )
+                log_s[g] = (
+                    log_s[g] + (drift_rate * dt)[None, :] + model.volatilities * sqrt_dts[k] * zs[g]
+                )
+                paths[g][:, k + 1, :] = np.exp(log_s[g])
         return paths
 
     # -- analytic helpers ------------------------------------------------------

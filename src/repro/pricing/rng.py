@@ -31,8 +31,31 @@ __all__ = [
     "PseudoRandomGenerator",
     "SobolGenerator",
     "AntitheticGenerator",
+    "cholesky_factor",
     "create_generator",
 ]
+
+
+def cholesky_factor(correlation: np.ndarray) -> np.ndarray:
+    """Lower Cholesky factor of a correlation matrix, with jitter fallback.
+
+    The matrix must be symmetric positive semi-definite; semi-definite
+    matrices (e.g. perfectly correlated assets) get a tiny diagonal jitter
+    before factorisation.  Both :meth:`RandomGenerator.correlated_normals`
+    and the stacked kernel's multi-asset sampler go through this one
+    function, so the factor (including the fallback branch) is bit-identical
+    wherever correlated draws are produced.
+    """
+    correlation = np.asarray(correlation, dtype=float)
+    d = correlation.shape[0]
+    if correlation.shape != (d, d):
+        raise ValueError("correlation matrix must be square")
+    try:
+        return np.linalg.cholesky(correlation)
+    except np.linalg.LinAlgError:
+        # semi-definite fallback: jitter the diagonal very slightly
+        jitter = 1e-12 * np.eye(d)
+        return np.linalg.cholesky(correlation + jitter)
 
 
 class RandomGenerator(abc.ABC):
@@ -64,17 +87,8 @@ class RandomGenerator(abc.ABC):
         Cholesky factorisation (with a tiny jitter fallback for semi-definite
         matrices) is used to induce the correlation.
         """
-        correlation = np.asarray(correlation, dtype=float)
-        d = correlation.shape[0]
-        if correlation.shape != (d, d):
-            raise ValueError("correlation matrix must be square")
-        try:
-            chol = np.linalg.cholesky(correlation)
-        except np.linalg.LinAlgError:
-            # semi-definite fallback: jitter the diagonal very slightly
-            jitter = 1e-12 * np.eye(d)
-            chol = np.linalg.cholesky(correlation + jitter)
-        z = self.normals((n_samples, d))
+        chol = cholesky_factor(correlation)
+        z = self.normals((n_samples, chol.shape[0]))
         return z @ chol.T
 
 
