@@ -1,6 +1,6 @@
 """No wall clock or entropy in the bit-identical subsystems.
 
-Three subsystems promise determinism by construction:
+Five subsystems promise determinism by construction:
 
 * ``pricing/cache`` -- SHA-256 problem digests key the result cache; two
   runs of the same problem must digest identically on any machine, or the
@@ -11,6 +11,10 @@ Three subsystems promise determinism by construction:
 * ``pricing/kernel`` -- the stacked Monte-Carlo kernel promises
   bit-exactness with the loop kernel; a wall-clock or entropy read would
   break the differential harness and the pinned draw digests;
+* ``pricing/scenarios`` -- the scenario-grid engine promises batched CRN
+  Greeks bit-identical to the serial bump-and-revalue oracle; scenario
+  expansion and Greek assembly must stay pure arithmetic over the seeded
+  methods they price;
 * ``cluster/simcluster`` -- the discrete-event cluster runs in pure
   virtual time; a single wall-clock read would make the paper-table
   reproductions flaky.
@@ -41,7 +45,8 @@ from repro.analysis.core import (
 __all__ = ["DeterminismChecker"]
 
 #: path fragments selecting the modules under the determinism contract
-SCOPES = ("pricing/cache", "pricing/batch", "pricing/kernel", "cluster/simcluster")
+SCOPES = ("pricing/cache", "pricing/batch", "pricing/kernel",
+          "pricing/scenarios", "cluster/simcluster")
 
 _WALL_CLOCK = frozenset(
     {
@@ -118,9 +123,9 @@ class DeterminismChecker(Checker):
 
     name = "determinism"
     description = (
-        "pricing/cache, pricing/batch, pricing/kernel and cluster/simcluster "
-        "never read a wall clock or an entropy source; randomness is "
-        "injected and seeded"
+        "pricing/cache, pricing/batch, pricing/kernel, pricing/scenarios "
+        "and cluster/simcluster never read a wall clock or an entropy "
+        "source; randomness is injected and seeded"
     )
     rules = {
         "determinism-wall-clock": (

@@ -390,6 +390,7 @@ class ValuationSession:
         portfolio: Portfolio | None,
         cost_model: CostModel | None = None,
         kernel: str = "loop",
+        min_group_size: int | None = None,
     ) -> _RunPlan:
         """Apply the cache pass and batch coalescing to a prepared job list."""
         if not jobs:
@@ -435,6 +436,7 @@ class ValuationSession:
             plan.jobs, plan.batch_members = self._coalesce_jobs(
                 plan.jobs, problem_by_id, batch_group_size,
                 cost_model or self.cost_model, kernel=kernel,
+                min_group_size=min_group_size,
             )
         return plan
 
@@ -532,6 +534,7 @@ class ValuationSession:
         attach_problems: bool | None,
         cost_model: CostModel | None,
         kernel: str = "loop",
+        min_group_size: int | None = None,
     ) -> _RunPlan:
         """Build the campaign plan for a portfolio or prepared job list."""
         backend = self._acquire_backend(strategy_name, cache=run_cache)
@@ -560,6 +563,7 @@ class ValuationSession:
             portfolio=portfolio,
             cost_model=cost_model,
             kernel=kernel,
+            min_group_size=min_group_size,
         )
 
     # -- portfolio runs ----------------------------------------------------------
@@ -575,6 +579,7 @@ class ValuationSession:
         batch: bool | None = None,
         batch_group_size: int | None = None,
         kernel: str | None = None,
+        min_group_size: int | None = None,
         cache: bool | None = None,
         progress: Callable[[StreamProgress], None] | None = None,
         cancel: CancelToken | None = None,
@@ -609,6 +614,8 @@ class ValuationSession:
                 batch_group_size = config.batch_group_size
             if kernel is None:
                 kernel = config.kernel
+            if min_group_size is None:
+                min_group_size = config.min_group_size
             if cache is None:
                 cache = config.cache
             if progress is None:
@@ -636,6 +643,7 @@ class ValuationSession:
             attach_problems=attach_problems,
             cost_model=cost_model,
             kernel=kernel or "loop",
+            min_group_size=min_group_size,
         )
         core, jobs = self._make_core(plan, make_runner(), strategy, progress, cancel)
         if (
@@ -797,6 +805,7 @@ class ValuationSession:
         batch: bool | None = None,
         batch_group_size: int | None = None,
         kernel: str | None = None,
+        min_group_size: int | None = None,
         cache: bool | None = None,
         progress: Callable[[StreamProgress], None] | None = None,
         cancel: CancelToken | None = None,
@@ -822,6 +831,8 @@ class ValuationSession:
                 batch_group_size = config.batch_group_size
             if kernel is None:
                 kernel = config.kernel
+            if min_group_size is None:
+                min_group_size = config.min_group_size
             if cache is None:
                 cache = config.cache
             if progress is None:
@@ -839,9 +850,191 @@ class ValuationSession:
             attach_problems=attach_problems,
             cost_model=config.cost_model if config is not None else None,
             kernel=kernel or "loop",
+            min_group_size=min_group_size,
         )
         core, jobs = self._make_core(plan, runner, strategy, progress, cancel)
         return StreamingRun(core, jobs)
+
+    # -- risk campaigns ----------------------------------------------------------
+    def _run_scenario_grid(
+        self,
+        name: str,
+        problems: Sequence[PricingProblem],
+        scenarios: Sequence[Any],
+        *,
+        on_missing: str,
+        kernel: str,
+        config: RunConfig | None,
+    ) -> list[dict[str, float]]:
+        """Price (problems x scenarios) as one batched campaign on the backend.
+
+        The expanded cells are wrapped into a synthetic portfolio and run with
+        ``batch=True, min_group_size=1``: cells sharing a simulation signature
+        coalesce into :class:`~repro.pricing.batch.ProblemBatch` super-jobs
+        (which ride the shm transport on local backends and the wire protocol
+        on remote ones), and the stacked kernel prices each super-job's
+        members against one shared path set.  Returns one ``{scenario name:
+        price}`` mapping per input problem, exactly like
+        :func:`repro.pricing.scenarios.price_scenarios`.
+        """
+        from repro.core.portfolio import Position
+        from repro.pricing.scenarios import collect_cell_prices, expand_scenarios
+
+        expanded, cells = expand_scenarios(problems, scenarios, on_missing=on_missing)
+        grid_positions = [
+            Position(
+                problem=problem,
+                quantity=1.0,
+                category="scenario",
+                label=problem.label or f"cell{index:06d}",
+            )
+            for index, problem in enumerate(expanded)
+        ]
+        grid = Portfolio(name=f"{name}_scenarios", positions=grid_positions)
+        result = self.run(
+            grid, config=config, batch=True,
+            kernel=kernel, min_group_size=1,
+        )
+        prices = result.prices()
+        missing = [index for index in range(len(expanded)) if index not in prices]
+        if missing:
+            details = {i: result.report.errors.get(i) for i in missing[:5]}
+            raise ValuationError(
+                f"{len(missing)} scenario cells failed to price: {details}"
+            )
+        flat = [prices[index] for index in range(len(expanded))]
+        return collect_cell_prices(flat, cells, scenarios, len(problems))
+
+    def greeks(
+        self,
+        portfolio: Portfolio,
+        *,
+        spot_bump: float = 0.01,
+        vol_bump: float = 0.01,
+        rate_bump: float = 0.0001,
+        theta_bump: float = 1.0 / 365.0,
+        kernel: str = "stacked",
+        config: RunConfig | None = None,
+    ) -> "Any":
+        """Full finite-difference Greek ladder of a portfolio, batched.
+
+        Expands every position against one
+        :func:`~repro.pricing.scenarios.greek_ladder`, runs the cells as a
+        single scenario campaign on the session backend and assembles a
+        :class:`~repro.core.risk.PortfolioRiskReport`.  Numbers are
+        bit-identical to :func:`repro.core.risk.portfolio_greeks` on the
+        same book; the campaign parallelises over workers like any other
+        batched run.
+        """
+        from repro.core.risk import _aggregate_greeks
+        from repro.pricing.scenarios import (
+            VOL_PARAM,
+            greek_ladder,
+            greeks_from_prices,
+        )
+
+        positions = portfolio.positions
+        if not positions:
+            raise ValuationError("cannot compute Greeks of an empty portfolio")
+        ladder = greek_ladder(
+            spot_bump=spot_bump, vol_bump=vol_bump, rate_bump=rate_bump,
+            theta_bump=theta_bump, vol_param=VOL_PARAM,
+        )
+        grids = self._run_scenario_grid(
+            portfolio.name, [position.problem for position in positions], ladder,
+            on_missing="skip", kernel=kernel, config=config,
+        )
+        pairs = [
+            (
+                position,
+                greeks_from_prices(
+                    position.problem.model, position.problem.product, grid,
+                    spot_bump=spot_bump, vol_bump=vol_bump,
+                    rate_bump=rate_bump, theta_bump=theta_bump,
+                ),
+            )
+            for position, grid in zip(positions, grids)
+        ]
+        return _aggregate_greeks(pairs)
+
+    def risk(
+        self,
+        portfolio: Portfolio,
+        *,
+        spot_returns: Sequence[float] | None = None,
+        param: str | None = None,
+        bumps: Sequence[float] | None = None,
+        relative: bool = True,
+        confidence: float = 0.99,
+        kernel: str = "stacked",
+        config: RunConfig | None = None,
+    ) -> dict[Any, Any]:
+        """Run a risk campaign (historical VaR or a sensitivity sweep), batched.
+
+        ``spot_returns`` runs a historical VaR campaign (same summary dict as
+        :func:`repro.core.risk.historical_var`); ``param`` + ``bumps`` runs a
+        sensitivity sweep (same ``{bump: value}`` mapping as
+        :func:`repro.core.risk.sensitivity_sweep`).  Either way the whole
+        (positions x scenarios) grid prices as one batched campaign on the
+        session backend, with positions lacking the bumped parameter valued
+        unbumped in every scenario.
+        """
+        positions = portfolio.positions
+        if not positions:
+            raise ValuationError("cannot run a risk campaign on an empty portfolio")
+        if (spot_returns is None) == (param is None or bumps is None):
+            raise ValuationError(
+                "risk() needs either spot_returns=... (historical VaR) or "
+                "param=... and bumps=... (sensitivity sweep)"
+            )
+        problems = [position.problem for position in positions]
+
+        if spot_returns is not None:
+            from repro.core.risk import _var_summary
+            from repro.pricing.scenarios import historical_scenarios
+
+            if not 0.5 < confidence < 1.0:
+                raise ValuationError("confidence must lie in (0.5, 1)")
+            returns = [float(r) for r in spot_returns]
+            if not returns:
+                raise ValuationError("need at least one historical return")
+            scenarios = historical_scenarios(returns)
+            grids = self._run_scenario_grid(
+                portfolio.name, problems, scenarios,
+                on_missing="base", kernel=kernel, config=config,
+            )
+            base_value = sum(
+                position.quantity * grid["base"]
+                for position, grid in zip(positions, grids)
+            )
+            import numpy as np
+
+            scenario_values = np.asarray([
+                sum(
+                    position.quantity * grid[scenario.name]
+                    for position, grid in zip(positions, grids)
+                )
+                for scenario in scenarios[1:]
+            ])
+            return _var_summary(float(base_value), scenario_values, confidence)
+
+        from repro.pricing.scenarios import shock_scenarios
+
+        assert param is not None and bumps is not None
+        scenarios = shock_scenarios(bumps, param=param, relative=relative)
+        if not scenarios:
+            return {}
+        grids = self._run_scenario_grid(
+            portfolio.name, problems, scenarios,
+            on_missing="base", kernel=kernel, config=config,
+        )
+        return {
+            float(bump): sum(
+                position.quantity * grid[scenario.name]
+                for position, grid in zip(positions, grids)
+            )
+            for scenario, bump in zip(scenarios, bumps)
+        }
 
     # -- batch & cache helpers ---------------------------------------------------
     def _resolve_run_cache(self, cache: bool | None) -> ResultCache | None:
@@ -861,11 +1054,13 @@ class ValuationSession:
         batch_group_size: int | None,
         cost_model: CostModel | None = None,
         kernel: str = "loop",
+        min_group_size: int | None = None,
     ) -> tuple[list[Job], dict[int, tuple[int, ...]]]:
         """Merge shared-simulation jobs into :class:`ProblemBatch` super-jobs."""
         model = cost_model or self.cost_model
         plan = plan_batches(
             [problem_by_id.get(job.job_id) for job in jobs],
+            min_group_size=min_group_size if min_group_size is not None else 2,
             max_group_size=batch_group_size,
         )
         group_by_first: dict[int, Any] = {g.indices[0]: g for g in plan.groups}

@@ -13,6 +13,10 @@ subcommand is a thin veneer over the unified
   local multiprocessing workers or on remote TCP workers
   (``--backend remote --hosts host:port ...``; see the ``repro-worker``
   console script in :mod:`repro.cluster.worker`);
+* ``repro-bench risk`` -- portfolio Greeks and a historical-VaR campaign on
+  the CRN scenario-grid engine (:mod:`repro.pricing.scenarios`);
+  ``--smoke`` cross-checks the batched grid against the serial
+  bump-and-revalue oracle and fails loudly on any bit difference;
 * ``repro-bench sweep`` -- simulate one portfolio over a list of CPU counts
   and print the speedup table.
 """
@@ -198,6 +202,41 @@ def build_parser() -> argparse.ArgumentParser:
         "running mean std-error), built on session.stream",
     )
     _add_scheduler_args(run)
+
+    risk = sub.add_parser(
+        "risk",
+        help="portfolio Greeks and a historical-VaR campaign on the CRN "
+        "scenario-grid engine",
+    )
+    risk.add_argument(
+        "--positions", type=int, default=8, help="Monte-Carlo call ladder size"
+    )
+    risk.add_argument(
+        "--paths", type=int, default=16_000, help="Monte-Carlo paths per simulation"
+    )
+    risk.add_argument(
+        "--var-scenarios",
+        type=int,
+        default=100,
+        help="historical spot-return scenarios in the VaR campaign",
+    )
+    risk.add_argument("--confidence", type=float, default=0.99)
+    risk.add_argument(
+        "--seed", type=int, default=0, help="seed for the synthetic return history"
+    )
+    risk.add_argument(
+        "--kernel",
+        choices=("loop", "stacked"),
+        default="stacked",
+        help="Monte-Carlo kernel behind the batched scenario grid",
+    )
+    risk.add_argument(
+        "--smoke",
+        action="store_true",
+        help="differential check: also run the serial bump-and-revalue oracle "
+        "and verify the batched engine matches it bit-for-bit (exit 1 on "
+        "mismatch)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="simulate one portfolio over a list of CPU counts"
@@ -430,6 +469,109 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_risk_portfolio(n_positions: int, n_paths: int):
+    """A single-model Monte-Carlo call ladder: the CRN engine's best case.
+
+    Every position shares one Black-Scholes model and one seeded method
+    configuration, so the whole bumped scenario grid collapses into a
+    handful of shared-draw stacked simulations.
+    """
+    from repro.core import Portfolio, Position
+    from repro.pricing import PricingProblem
+
+    portfolio = Portfolio(name="risk_ladder")
+    for index in range(n_positions):
+        strike = 80.0 + 40.0 * index / max(n_positions - 1, 1)
+        problem = PricingProblem(label=f"call_K{strike:.2f}")
+        problem.set_asset("equity")
+        problem.set_model("BlackScholes1D", spot=100.0, rate=0.045, volatility=0.22)
+        problem.set_option("CallEuro", strike=strike, maturity=1.0)
+        problem.set_method("MC_European", n_paths=n_paths, seed=0)
+        portfolio.add(
+            Position(problem=problem, category="vanilla_mc", label=problem.label)
+        )
+    return portfolio
+
+
+def _cmd_risk(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.core.risk import historical_var, portfolio_greeks
+
+    portfolio = _build_risk_portfolio(args.positions, args.paths)
+    returns = np.random.default_rng(args.seed).normal(0.0, 0.01, args.var_scenarios)
+
+    start = time.perf_counter()
+    batched = portfolio_greeks(portfolio, engine="batched", kernel=args.kernel)
+    greeks_elapsed = time.perf_counter() - start
+    print(f"portfolio Greeks (batched CRN engine, {args.positions} positions):")
+    print(
+        f"  value = {batched.total_value:.4f}  delta = {batched.total_delta:.4f}  "
+        f"gamma = {batched.total_gamma:.6f}"
+    )
+    print(
+        f"  vega  = {batched.total_vega:.4f}  rho   = {batched.total_rho:.4f}  "
+        f"theta = {batched.total_theta:.4f}"
+    )
+    print(f"  elapsed {greeks_elapsed:.3f}s")
+
+    start = time.perf_counter()
+    var = historical_var(
+        portfolio, returns.tolist(), confidence=args.confidence,
+        engine="batched", kernel=args.kernel,
+    )
+    var_elapsed = time.perf_counter() - start
+    print(
+        f"historical VaR ({args.var_scenarios} scenarios, "
+        f"{args.confidence:.0%} confidence):"
+    )
+    print(
+        f"  base value = {var['base_value']:.4f}  VaR = {var['var']:.4f}  "
+        f"ES = {var['expected_shortfall']:.4f}  worst = {var['worst_loss']:.4f}"
+    )
+    print(f"  elapsed {var_elapsed:.3f}s")
+
+    if not args.smoke:
+        return 0
+
+    # differential smoke: the serial bump-and-revalue oracle must agree
+    # bit-for-bit (the CRN grid replays the very same seeded draws)
+    start = time.perf_counter()
+    serial = portfolio_greeks(portfolio, engine="serial")
+    serial_var = historical_var(
+        portfolio, returns.tolist(), confidence=args.confidence, engine="serial"
+    )
+    serial_elapsed = time.perf_counter() - start
+    failures = []
+    for field in ("total_value", "total_delta", "total_gamma", "total_vega",
+                  "total_rho", "total_theta"):
+        got, want = getattr(batched, field), getattr(serial, field)
+        if got != want:
+            failures.append(f"{field}: batched {got!r} != serial {want!r}")
+    for pair in zip(batched.positions, serial.positions):
+        if pair[0].price != pair[1].price:
+            failures.append(
+                f"position {pair[0].label!r}: base price {pair[0].price!r} "
+                f"!= {pair[1].price!r}"
+            )
+    for key in ("base_value", "var", "expected_shortfall", "worst_loss"):
+        if var[key] != serial_var[key]:
+            failures.append(f"VaR {key}: batched {var[key]!r} != serial {serial_var[key]!r}")
+    print(
+        f"smoke: serial oracle elapsed {serial_elapsed:.3f}s "
+        f"(speedup {serial_elapsed / max(greeks_elapsed + var_elapsed, 1e-9):.1f}x)"
+    )
+    if failures:
+        for line in failures:
+            print(f"  MISMATCH {line}", file=sys.stderr)
+        print("smoke: FAIL", file=sys.stderr)
+        return 1
+    print("smoke: PASS (batched CRN risk == serial bump-and-revalue)")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.api import ValuationSession
 
@@ -465,6 +607,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_table(args.command, args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "risk":
+        return _cmd_risk(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

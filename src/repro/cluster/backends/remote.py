@@ -75,6 +75,7 @@ from repro.serial.frames import (
     FRAME_PING,
     FRAME_PONG,
     FRAME_RESULT,
+    FRAME_RESULT_BATCH,
     FRAME_STOP,
     PROTOCOL_VERSION,
     FrameAssembler,
@@ -479,11 +480,13 @@ class RemoteBackend(WorkerBackend):
     ) -> None:
         """Ship a whole chunk as **one** TCP frame (chunked scheduling).
 
-        The worker answers with one result frame per member, so collection
-        stays incremental.  For death recovery each member is tracked with
-        its own single-job entry: if the connection dies mid-chunk, the
-        unanswered members are redispatched individually to the survivors
-        (an answered member is never re-sent).
+        A protocol-v5 worker answers the chunk with one coalesced
+        :data:`~repro.serial.frames.FRAME_RESULT_BATCH` message; older
+        workers send one result frame per member.  Either way, for death
+        recovery each member is tracked with its own single-job entry: if
+        the connection dies mid-chunk, the unanswered members are
+        redispatched individually to the survivors (an answered member is
+        never re-sent).
         """
         if not 0 <= worker_id < self._n_workers:
             raise ClusterError(f"invalid worker id {worker_id}")
@@ -790,9 +793,9 @@ class RemoteBackend(WorkerBackend):
                 self._on_conn_dead(index)
                 continue
             for kind, payload in conn.assembler:
-                if kind == FRAME_RESULT:
+                if kind in (FRAME_RESULT, FRAME_RESULT_BATCH):
                     try:
-                        self._absorb_result(payload)
+                        self._absorb_result(payload, batch=kind == FRAME_RESULT_BATCH)
                     except (SerializationError, KeyError, TypeError, ValueError):
                         # well-framed but undecodable answer: the peer is
                         # confused, not the run -- bury it, requeue its jobs
@@ -802,8 +805,16 @@ class RemoteBackend(WorkerBackend):
                     self._pongs[index] = payload
                 # hello frames (reconnect chatter) and anything else: ignore
 
-    def _absorb_result(self, payload: bytes) -> None:
-        answer = xdr.decode(payload)
+    def _absorb_result(self, payload: bytes, batch: bool = False) -> None:
+        decoded = xdr.decode(payload)
+        # a v5 worker coalesces one FRAME_JOB_BATCH's answers into a single
+        # FRAME_RESULT_BATCH message; its members absorb exactly like the
+        # per-member result frames an older worker would have sent
+        answers = decoded["results"] if batch else [decoded]
+        for answer in answers:
+            self._absorb_answer(answer)
+
+    def _absorb_answer(self, answer: dict) -> None:
         job_id = int(answer["job_id"])
         entry = self._inflight.pop(job_id, None)
         if entry is None:

@@ -49,11 +49,13 @@ from repro.serial.frames import (
     FRAME_PING,
     FRAME_PONG,
     FRAME_RESULT,
+    FRAME_RESULT_BATCH,
     FRAME_STOP,
     PROTOCOL_VERSION,
     auth_proof,
     encode_frame,
     read_frame,
+    read_frame_versioned,
     verify_proof,
 )
 
@@ -79,7 +81,8 @@ def _hello_payload(nonce: bytes, secret: str | None) -> bytes:
 
 
 def _result_frame(
-    job_id: int, result: Any, elapsed: float, error: str | None
+    job_id: int, result: Any, elapsed: float, error: str | None,
+    version: int = PROTOCOL_VERSION,
 ) -> bytes:
     try:
         return encode_frame(
@@ -87,6 +90,7 @@ def _result_frame(
             xdr.encode(
                 {"job_id": job_id, "result": result, "elapsed": elapsed, "error": error}
             ),
+            version=version,
         )
     except SerializationError as exc:
         # a result the codec cannot ship must degrade to an error answer,
@@ -102,6 +106,7 @@ def _result_frame(
                     "error": f"result not transmissible: {exc}",
                 }
             ),
+            version=version,
         )
 
 
@@ -115,6 +120,12 @@ class _ComputeLane:
     receive loop keeps draining the socket (answering pings instantly).
     Results are sent under a lock shared with the receive loop so frames
     never interleave on the wire.
+
+    Since protocol v5 the members of one dispatched :data:`FRAME_JOB_BATCH`
+    stay together through the lane: their results coalesce into a single
+    :data:`FRAME_RESULT_BATCH` answer when the master's negotiated version
+    allows it, and degrade to the classic per-member :data:`FRAME_RESULT`
+    frames otherwise (old master, or a batch the codec cannot ship whole).
     """
 
     def __init__(self, conn: socket.socket, cache: Any, send_lock: threading.Lock):
@@ -128,13 +139,30 @@ class _ComputeLane:
         )
         self._thread.start()
 
-    def submit(self, job_id: int, payload_kind: str, payload: Any) -> None:
-        self._jobs.put((job_id, payload_kind, payload))
+    def submit(self, job_id: int, payload_kind: str, payload: Any,
+               version: int = PROTOCOL_VERSION) -> None:
+        """Queue one singly-dispatched job; answered with one result frame."""
+        self._jobs.put(("single", [(job_id, payload_kind, payload)], version))
+
+    def submit_batch(self, entries: list[tuple[int, str, Any]],
+                     version: int = PROTOCOL_VERSION) -> None:
+        """Queue the members of one job-batch frame as a coalescing unit."""
+        self._jobs.put(("batch", entries, version))
 
     def finish(self) -> None:
         """Price everything queued, send the results, then stop the lane."""
         self._jobs.put(None)
         self._thread.join()
+
+    def _send(self, frame: bytes) -> None:
+        if self._dead:
+            return  # keep draining, but the master is gone
+        try:
+            with self._send_lock:
+                # repro-lint: disable=lock-blocking-call -- _send_lock exists to serialize frame writes on the shared socket; sending outside it would interleave result and pong frames
+                self._conn.sendall(frame)
+        except OSError:
+            self._dead = True
 
     def _run(self) -> None:
         from repro.cluster.backends.execution import execute_payload
@@ -143,18 +171,38 @@ class _ComputeLane:
             item = self._jobs.get()
             if item is None:
                 return
-            job_id, payload_kind, payload = item
-            result, elapsed, error = execute_payload(
-                payload_kind, payload, cache=self._cache
-            )
-            if self._dead:
-                continue  # keep draining, but the master is gone
-            try:
-                with self._send_lock:
-                    # repro-lint: disable=lock-blocking-call -- _send_lock exists to serialize frame writes on the shared socket; sending outside it would interleave result and pong frames
-                    self._conn.sendall(_result_frame(job_id, result, elapsed, error))
-            except OSError:
-                self._dead = True
+            mode, entries, version = item
+            answers = []
+            for job_id, payload_kind, payload in entries:
+                result, elapsed, error = execute_payload(
+                    payload_kind, payload, cache=self._cache
+                )
+                answers.append(
+                    {"job_id": job_id, "result": result,
+                     "elapsed": elapsed, "error": error}
+                )
+            if mode == "batch" and version >= 5:
+                try:
+                    self._send(
+                        encode_frame(
+                            FRAME_RESULT_BATCH,
+                            xdr.encode({"results": answers}),
+                            version=version,
+                        )
+                    )
+                    continue
+                except SerializationError:
+                    # one untransmissible member poisons the whole coalesced
+                    # message: fall back to per-member frames, where
+                    # _result_frame degrades only the poisoned result
+                    pass
+            for answer in answers:
+                self._send(
+                    _result_frame(
+                        answer["job_id"], answer["result"],
+                        answer["elapsed"], answer["error"], version=version,
+                    )
+                )
 
 
 def _authenticate_master(
@@ -170,15 +218,16 @@ def _authenticate_master(
     """
     while True:
         try:
-            frame = read_frame(conn.recv)
+            frame = read_frame_versioned(conn.recv)
         except SerializationError as exc:
             log(f"dropping connection during handshake: {exc}")
             return False
         if frame is None:
             return False
-        kind, payload = frame
+        kind, payload, header_version = frame
+        version = min(header_version, PROTOCOL_VERSION)
         if kind == FRAME_PING:
-            conn.sendall(encode_frame(FRAME_PONG, payload))
+            conn.sendall(encode_frame(FRAME_PONG, payload, version=version))
             continue
         if kind == FRAME_STOP:
             return False  # clean goodbye; nothing was authenticated
@@ -202,7 +251,9 @@ def _authenticate_master(
             return False
         conn.sendall(
             encode_frame(
-                FRAME_AUTH, xdr.encode({"proof": auth_proof(secret, master_nonce)})
+                FRAME_AUTH,
+                xdr.encode({"proof": auth_proof(secret, master_nonce)}),
+                version=version,
             )
         )
         return True
@@ -226,13 +277,18 @@ def _handle_connection(
     try:
         while True:
             try:
-                frame = read_frame(conn.recv)
+                frame = read_frame_versioned(conn.recv)
             except SerializationError as exc:
                 log(f"dropping connection: {exc}")
                 return False
             if frame is None:  # master closed the socket without a stop frame
                 return False
-            kind, payload = frame
+            kind, payload, header_version = frame
+            # the master stamps its frames at the connection's negotiated
+            # version (capped by our hello), so replying at the same version
+            # keeps an older master's strict header check satisfied -- and
+            # gates whether it can digest coalesced result batches
+            version = min(header_version, PROTOCOL_VERSION)
             if kind == FRAME_STOP:
                 return True
             if kind == FRAME_PING:
@@ -241,7 +297,7 @@ def _handle_connection(
                 # liveness probe is not stuck behind a long job
                 with send_lock:
                     # repro-lint: disable=lock-blocking-call -- the pong must not interleave with a result frame the compute lane is writing; the lock is the write serializer
-                    conn.sendall(encode_frame(FRAME_PONG, payload))
+                    conn.sendall(encode_frame(FRAME_PONG, payload, version=version))
                 continue
             if kind == FRAME_CHALLENGE:
                 # the master wants an authenticated pool but this worker has
@@ -257,9 +313,10 @@ def _handle_connection(
                 continue
             try:
                 decoded = xdr.decode(payload)
-                # a batch frame is one message carrying a whole chunk; answers
-                # still go back one result frame per member so the master's
-                # collection loop stays incremental
+                # a batch frame is one message carrying a whole chunk; since
+                # protocol v5 the chunk also answers as one coalesced
+                # FRAME_RESULT_BATCH message (older masters still get one
+                # result frame per member)
                 entries = decoded["jobs"] if kind == FRAME_JOB_BATCH else [decoded]
                 parsed = [
                     (int(entry["job_id"]), entry["kind"], entry["payload"])
@@ -268,8 +325,11 @@ def _handle_connection(
             except (SerializationError, KeyError, TypeError, ValueError) as exc:
                 log(f"dropping connection on undecodable job frame: {exc}")
                 return False
-            for job_id, payload_kind, job_payload in parsed:
-                lane.submit(job_id, payload_kind, job_payload)
+            if kind == FRAME_JOB_BATCH:
+                lane.submit_batch(parsed, version)
+            else:
+                for job_id, payload_kind, job_payload in parsed:
+                    lane.submit(job_id, payload_kind, job_payload, version)
     finally:
         # on a clean stop the queue is already priced (the master collects
         # every result before stopping workers), so this join is instant;

@@ -9,7 +9,7 @@ turns the per-position prices produced by the benchmark runs into
 portfolio-level risk numbers:
 
 * :func:`portfolio_value` -- present value of the portfolio;
-* :func:`portfolio_greeks` -- aggregated delta / gamma / vega / rho;
+* :func:`portfolio_greeks` -- aggregated delta / gamma / vega / rho / theta;
 * :func:`sensitivity_sweep` -- revalue the portfolio on a grid of bumped
   model parameters (the "various values of these model parameters");
 * :func:`scenario_jobs` -- expand a portfolio x scenarios into the flat job
@@ -17,6 +17,15 @@ portfolio-level risk numbers:
   claims into ~10^6 atomic computations);
 * :func:`historical_var` -- one-day value-at-risk from historical spot
   returns, revaluing the portfolio under each historical shock.
+
+Each measure has two engines.  ``engine="batched"`` (default) expands the
+(portfolio x scenarios) grid through :mod:`repro.pricing.scenarios` and
+prices it as one stacked-kernel campaign: every bumped cell of a position
+joins its base's draw cohort, so a Greek ladder or a thousand-scenario VaR
+campaign costs a couple of simulations instead of one per cell, with common
+random numbers by construction.  ``engine="serial"`` is the original
+position-by-position bump-and-revalue loop, kept as the differential oracle
+(base prices agree with ``==``).
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ class PositionRisk:
     gamma: float | None = None
     vega: float | None = None
     rho: float | None = None
+    theta: float | None = None
 
     @property
     def value(self) -> float:
@@ -69,6 +79,7 @@ class PortfolioRiskReport:
     total_gamma: float
     total_vega: float
     total_rho: float
+    total_theta: float = 0.0
     positions: list[PositionRisk] = field(default_factory=list)
     by_category: dict[str, float] = field(default_factory=dict)
 
@@ -99,33 +110,22 @@ def portfolio_value(
     return total
 
 
-def portfolio_greeks(
-    portfolio: Portfolio,
-    spot_bump: float = 0.01,
-    vol_bump: float = 0.01,
-    max_positions: int | None = None,
-) -> PortfolioRiskReport:
-    """Bump-and-revalue Greeks aggregated over the portfolio.
-
-    ``max_positions`` truncates the portfolio (useful for smoke tests on the
-    realistic portfolio, where full Greeks would require ~5x the pricing
-    work of a plain valuation).
-    """
+def _truncated(portfolio: Portfolio, max_positions: int | None) -> list[Position]:
     positions = portfolio.positions
     if max_positions is not None:
         positions = positions[:max_positions]
-    if not positions:
-        raise PortfolioError("cannot compute Greeks of an empty portfolio")
+    return positions
 
+
+def _aggregate_greeks(
+    pairs: Sequence[tuple[Position, GreekReport]],
+) -> PortfolioRiskReport:
+    """Fold per-position Greek reports into one portfolio report."""
     rows: list[PositionRisk] = []
     by_category: dict[str, float] = {}
-    totals = {"value": 0.0, "delta": 0.0, "gamma": 0.0, "vega": 0.0, "rho": 0.0}
-    for position in positions:
-        problem = position.problem
-        report: GreekReport = compute_greeks(
-            problem.model, problem.product, problem.method,
-            spot_bump=spot_bump, vol_bump=vol_bump,
-        )
+    totals = {"value": 0.0, "delta": 0.0, "gamma": 0.0, "vega": 0.0,
+              "rho": 0.0, "theta": 0.0}
+    for position, report in pairs:
         row = PositionRisk(
             label=position.label,
             category=position.category,
@@ -135,6 +135,7 @@ def portfolio_greeks(
             gamma=report.gamma,
             vega=report.vega,
             rho=report.rho,
+            theta=report.theta,
         )
         rows.append(row)
         totals["value"] += row.value
@@ -142,17 +143,88 @@ def portfolio_greeks(
         totals["gamma"] += position.quantity * (report.gamma or 0.0)
         totals["vega"] += position.quantity * (report.vega or 0.0)
         totals["rho"] += position.quantity * (report.rho or 0.0)
+        totals["theta"] += position.quantity * (report.theta or 0.0)
         by_category[position.category] = by_category.get(position.category, 0.0) + row.value
-
     return PortfolioRiskReport(
         total_value=totals["value"],
         total_delta=totals["delta"],
         total_gamma=totals["gamma"],
         total_vega=totals["vega"],
         total_rho=totals["rho"],
+        total_theta=totals["theta"],
         positions=rows,
         by_category=by_category,
     )
+
+
+def portfolio_greeks(
+    portfolio: Portfolio,
+    spot_bump: float = 0.01,
+    vol_bump: float = 0.01,
+    max_positions: int | None = None,
+    *,
+    rate_bump: float = 0.0001,
+    theta_bump: float = 1.0 / 365.0,
+    engine: str = "batched",
+    kernel: str = "stacked",
+) -> PortfolioRiskReport:
+    """Bump-and-revalue Greeks aggregated over the portfolio.
+
+    ``engine="batched"`` expands the whole book against one
+    :func:`~repro.pricing.scenarios.greek_ladder` and prices it as a single
+    scenario campaign: all bumped cells of the stackable positions share
+    their base's draw cohort, so a 50-position single-model ladder costs two
+    simulations instead of ~500 serial repricings.  Positions whose model
+    has no volatility-like parameter simply report ``vega=None`` (their
+    cells are skipped), matching the serial behaviour.
+
+    ``max_positions`` truncates the portfolio (useful for smoke tests on the
+    realistic portfolio, where full Greeks would require ~10x the pricing
+    work of a plain valuation).
+    """
+    positions = _truncated(portfolio, max_positions)
+    if not positions:
+        raise PortfolioError("cannot compute Greeks of an empty portfolio")
+
+    if engine == "batched":
+        from repro.pricing.scenarios import (
+            VOL_PARAM,
+            greek_ladder,
+            greeks_from_prices,
+            price_scenarios,
+        )
+
+        ladder = greek_ladder(
+            spot_bump=spot_bump, vol_bump=vol_bump, rate_bump=rate_bump,
+            theta_bump=theta_bump, vol_param=VOL_PARAM,
+        )
+        problems = [position.problem for position in positions]
+        grids = price_scenarios(
+            problems, ladder, kernel=kernel, on_missing="skip"
+        )
+        pairs = [
+            (
+                position,
+                greeks_from_prices(
+                    position.problem.model, position.problem.product, prices,
+                    spot_bump=spot_bump, vol_bump=vol_bump,
+                    rate_bump=rate_bump, theta_bump=theta_bump,
+                ),
+            )
+            for position, prices in zip(positions, grids)
+        ]
+        return _aggregate_greeks(pairs)
+
+    pairs = []
+    for position in positions:
+        problem = position.problem
+        report: GreekReport = compute_greeks(
+            problem.model, problem.product, problem.method,
+            spot_bump=spot_bump, vol_bump=vol_bump, rate_bump=rate_bump,
+            theta_bump=theta_bump, engine="serial",
+        )
+        pairs.append((position, report))
+    return _aggregate_greeks(pairs)
 
 
 def _bumped_problem(problem: PricingProblem, param: str, bump: float, relative: bool) -> PricingProblem:
@@ -173,18 +245,41 @@ def sensitivity_sweep(
     relative: bool = True,
     max_positions: int | None = None,
     value_function: Callable[[Portfolio], float] | None = None,
+    *,
+    engine: str = "batched",
+    kernel: str = "stacked",
 ) -> dict[float, float]:
     """Portfolio value as a function of a bumped model parameter.
 
     Positions whose model does not expose ``param`` are kept unbumped (their
     value still enters the total), so the sweep is well defined on mixed
-    portfolios.
+    portfolios.  The batched engine prices the whole (positions x bumps)
+    grid as one stacked campaign; passing ``value_function`` forces the
+    serial per-scenario loop, since an arbitrary valuer cannot be expressed
+    as batched cell prices.
     """
-    positions = portfolio.positions
-    if max_positions is not None:
-        positions = positions[:max_positions]
+    positions = _truncated(portfolio, max_positions)
+
+    if engine == "batched" and value_function is None and positions:
+        from repro.pricing.scenarios import price_scenarios, shock_scenarios
+
+        scenarios = shock_scenarios(bumps, param=param, relative=relative)
+        if not scenarios:
+            return {}
+        problems = [position.problem for position in positions]
+        grids = price_scenarios(
+            problems, scenarios, kernel=kernel, on_missing="base"
+        )
+        out: dict[float, float] = {}
+        for scenario, bump in zip(scenarios, bumps):
+            out[float(bump)] = sum(
+                position.quantity * grid[scenario.name]
+                for position, grid in zip(positions, grids)
+            )
+        return out
+
     valuer = value_function or portfolio_value
-    out: dict[float, float] = {}
+    out = {}
     for bump in bumps:
         bumped_positions = []
         for position in positions:
@@ -219,9 +314,7 @@ def scenario_jobs(
     returned problems can be wrapped into a :class:`Portfolio` and fed to the
     cluster runner like any other workload.
     """
-    positions = portfolio.positions
-    if max_positions is not None:
-        positions = positions[:max_positions]
+    positions = _truncated(portfolio, max_positions)
     problems: list[PricingProblem] = []
     for position in positions:
         for bump in bumps:
@@ -240,6 +333,9 @@ def historical_var(
     spot_returns: Sequence[float],
     confidence: float = 0.99,
     max_positions: int | None = None,
+    *,
+    engine: str = "batched",
+    kernel: str = "stacked",
 ) -> dict[str, Any]:
     """One-day historical value-at-risk of the portfolio.
 
@@ -247,34 +343,66 @@ def historical_var(
     spot is shocked by ``(1 + r)``; the portfolio is revalued under each
     scenario and the VaR is the ``confidence``-quantile of the loss
     distribution relative to the base value.
+
+    The batched engine prices base and all shocked states as **one**
+    scenario campaign: spot shocks leave the time grid and method untouched,
+    so a thousand historical scenarios of a stackable book share a single
+    draw cohort instead of a thousand portfolio revaluations.
     """
     if not 0.5 < confidence < 1.0:
         raise PortfolioError("confidence must lie in (0.5, 1)")
     returns = np.asarray(list(spot_returns), dtype=float)
     if returns.size == 0:
         raise PortfolioError("need at least one historical return")
-    positions = portfolio.positions
-    if max_positions is not None:
-        positions = positions[:max_positions]
-    base_portfolio = Portfolio(name=f"{portfolio.name}_base", positions=positions)
-    base_value = portfolio_value(base_portfolio)
+    positions = _truncated(portfolio, max_positions)
 
-    scenario_values = []
-    for shock in returns:
-        shocked_positions = []
-        for position in positions:
-            try:
-                bumped = _bumped_problem(position.problem, "spot", float(shock), relative=True)
-            except Exception:
-                bumped = position.problem
-            shocked_positions.append(
-                Position(problem=bumped, quantity=position.quantity,
-                         category=position.category, label=position.label)
-            )
-        scenario_values.append(
-            portfolio_value(Portfolio(name="scenario", positions=shocked_positions))
+    if engine == "batched" and positions:
+        from repro.pricing.scenarios import historical_scenarios, price_scenarios
+
+        scenarios = historical_scenarios(returns.tolist())
+        problems = [position.problem for position in positions]
+        grids = price_scenarios(
+            problems, scenarios, kernel=kernel, on_missing="base"
         )
-    scenario_values = np.asarray(scenario_values)
+        base_value = sum(
+            position.quantity * grid["base"]
+            for position, grid in zip(positions, grids)
+        )
+        scenario_values = np.asarray([
+            sum(
+                position.quantity * grid[scenario.name]
+                for position, grid in zip(positions, grids)
+            )
+            for scenario in scenarios[1:]
+        ])
+    else:
+        base_portfolio = Portfolio(name=f"{portfolio.name}_base", positions=positions)
+        base_value = portfolio_value(base_portfolio)
+
+        values = []
+        for shock in returns:
+            shocked_positions = []
+            for position in positions:
+                try:
+                    bumped = _bumped_problem(position.problem, "spot", float(shock), relative=True)
+                except Exception:
+                    bumped = position.problem
+                shocked_positions.append(
+                    Position(problem=bumped, quantity=position.quantity,
+                             category=position.category, label=position.label)
+                )
+            values.append(
+                portfolio_value(Portfolio(name="scenario", positions=shocked_positions))
+            )
+        scenario_values = np.asarray(values)
+
+    return _var_summary(float(base_value), scenario_values, confidence)
+
+
+def _var_summary(
+    base_value: float, scenario_values: np.ndarray, confidence: float
+) -> dict[str, Any]:
+    """Loss-distribution summary shared by the engines (and the session API)."""
     losses = base_value - scenario_values
     var = float(np.quantile(losses, confidence))
     expected_shortfall = float(losses[losses >= var].mean()) if np.any(losses >= var) else var
@@ -283,7 +411,7 @@ def historical_var(
         "var": var,
         "expected_shortfall": expected_shortfall,
         "confidence": confidence,
-        "n_scenarios": int(returns.size),
+        "n_scenarios": int(scenario_values.size),
         "worst_loss": float(losses.max()),
         "scenario_values": scenario_values.tolist(),
     }

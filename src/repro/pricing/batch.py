@@ -149,9 +149,16 @@ def plan_batches(
     backend can spread them over workers -- splitting never changes any price
     because members are statistically independent read-only consumers of the
     shared paths.
+
+    ``min_group_size=1`` keeps size-1 families as real groups.  That is the
+    scenario-grid configuration (:mod:`repro.pricing.scenarios`): bumped
+    model variants have *distinct* signatures (the bump changes the model
+    digest) but stackable schemes share one draw cohort across groups, so
+    even one-member groups belong in the stacked plan rather than the
+    per-problem fallback.
     """
-    if min_group_size < 2:
-        raise PricingError("min_group_size must be >= 2")
+    if min_group_size < 1:
+        raise PricingError("min_group_size must be >= 1")
     if max_group_size is not None and max_group_size < min_group_size:
         raise PricingError("max_group_size must be >= min_group_size")
     by_signature: dict[SimulationSignature, list[int]] = {}

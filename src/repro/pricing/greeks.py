@@ -7,6 +7,17 @@ model parameters.  The same mechanism powers the parameter sensitivity sweeps
 of :mod:`repro.core.risk` ("it is necessary to price the contingent claims
 for various values of these model parameters to measure their sensibilities
 to the parameters").
+
+Two engines evaluate the same ladder:
+
+* ``engine="batched"`` (default) expands the bumps through
+  :mod:`repro.pricing.scenarios` and prices them as one
+  ``kernel="stacked"`` campaign -- Monte-Carlo bumps share **one** draw
+  cohort with the base (common random numbers by construction), so a full
+  ladder costs two simulations instead of ten;
+* ``engine="serial"`` is the pre-batch bump-and-revalue loop, kept verbatim
+  as the differential oracle (``tests/differential`` compares the two with
+  ``==`` on base prices).
 """
 
 from __future__ import annotations
@@ -20,11 +31,14 @@ from repro.pricing.methods.base import PricingMethod
 from repro.pricing.models.base import Model
 from repro.pricing.products.base import Product
 
-__all__ = ["GreekReport", "bump_model", "compute_greeks"]
+__all__ = ["GreekReport", "bump_model", "maturity_step", "compute_greeks"]
 
 #: model parameters recognised as "volatility-like" for vega bumps, in the
 #: order they are looked up
 _VOL_PARAMS = ("volatility", "base_volatility", "volatilities", "v0")
+
+#: the ladder evaluation engines (serial is the differential oracle)
+_ENGINES = ("batched", "serial")
 
 
 @dataclass
@@ -71,6 +85,11 @@ def bump_model(model: Model, param: str, bump: float, relative: bool = False) ->
     return type(model).from_params(params)
 
 
+def maturity_step(maturity: float, theta_bump: float) -> float:
+    """Calendar step of the theta scenario, clamped to keep maturity positive."""
+    return min(float(theta_bump), float(maturity) / 2.0)
+
+
 def _vol_param(model: Model) -> str | None:
     params = model.to_params()
     for name in _VOL_PARAMS:
@@ -88,6 +107,11 @@ def compute_greeks(
     rate_bump: float = 0.0001,
     compute_vega: bool = True,
     compute_rho: bool = True,
+    *,
+    theta_bump: float = 1.0 / 365.0,
+    compute_theta: bool = True,
+    engine: str = "batched",
+    kernel: str = "stacked",
 ) -> GreekReport:
     """Bump-and-revalue Greeks.
 
@@ -99,14 +123,39 @@ def compute_greeks(
         Absolute bump of the volatility-like parameter (default 1 vol point).
     rate_bump:
         Absolute bump of the interest rate (default 1 basis point).
+    theta_bump:
+        Calendar step of the theta scenario (default one day), clamped to
+        half the maturity so the rolled-down product stays alive.  Theta is
+        the one-sided difference ``(price(T - dt) - price(T)) / dt`` --
+        negative for plain long options, as time decay should be.
+    engine:
+        ``"batched"`` prices the whole ladder as one stacked-kernel scenario
+        campaign; ``"serial"`` reprices bump by bump (the oracle path).
+    kernel:
+        Plan-level kernel of the batched engine (``"stacked"`` or ``"loop"``).
 
     Notes
     -----
-    For Monte-Carlo methods the same seed is used on every revaluation so
-    that the bumped estimates share the random numbers (common random
-    numbers), which keeps the finite-difference Greeks usable despite the
-    statistical noise.
+    For Monte-Carlo methods the bumped estimates share random numbers with
+    the base (common random numbers), which keeps the finite-difference
+    Greeks usable despite the statistical noise.  Under the batched engine
+    this is structural, not conventional: all bump scenarios of a stackable
+    model join the base problem's **draw cohort** in the stacked kernel
+    (:func:`repro.pricing.kernel.run_groups`), so every estimate consumes
+    the *same* normal stream object with per-scenario drift/vol broadcast.
+    The serial path achieves the same stream only because each revaluation
+    re-draws from an identically-seeded generator; the prices agree bit for
+    bit either way, which is exactly what the differential suite enforces.
     """
+    if engine not in _ENGINES:
+        raise PricingError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if engine == "batched":
+        return _compute_greeks_batched(
+            model, product, method, spot_bump=spot_bump, vol_bump=vol_bump,
+            rate_bump=rate_bump, theta_bump=theta_bump, compute_vega=compute_vega,
+            compute_rho=compute_rho, compute_theta=compute_theta, kernel=kernel,
+        )
+
     base = method.price(model, product).price
 
     up = bump_model(model, "spot", spot_bump, relative=True)
@@ -135,6 +184,51 @@ def compute_greeks(
             method.price(rate_up, product).price - method.price(rate_down, product).price
         ) / (2.0 * rate_bump)
 
+    theta = None
+    if compute_theta:
+        step = maturity_step(product.maturity, theta_bump)
+        params = product.to_params()
+        params["maturity"] = product.maturity - step
+        shorter = type(product).from_params(params)
+        theta = (method.price(model, shorter).price - base) / step
+
     return GreekReport(price=base, delta=float(delta), gamma=float(gamma),
                        vega=None if vega is None else float(vega),
-                       rho=None if rho is None else float(rho))
+                       rho=None if rho is None else float(rho),
+                       theta=None if theta is None else float(theta))
+
+
+def _compute_greeks_batched(
+    model: Model,
+    product: Product,
+    method: PricingMethod,
+    *,
+    spot_bump: float,
+    vol_bump: float,
+    rate_bump: float,
+    theta_bump: float,
+    compute_vega: bool,
+    compute_rho: bool,
+    compute_theta: bool,
+    kernel: str,
+) -> GreekReport:
+    """One-position ladder through the scenario-grid engine."""
+    # imported lazily: scenarios builds on this module (no import cycle)
+    from repro.pricing.engine import PricingProblem
+    from repro.pricing.scenarios import (
+        greek_ladder,
+        greeks_from_prices,
+        price_scenarios,
+    )
+
+    problem = PricingProblem.from_instances(model, product, method)
+    scenarios = greek_ladder(
+        spot_bump=spot_bump, vol_bump=vol_bump, rate_bump=rate_bump,
+        theta_bump=theta_bump, compute_vega=compute_vega, compute_rho=compute_rho,
+        compute_theta=compute_theta, vol_param=_vol_param(model),
+    )
+    prices = price_scenarios([problem], scenarios, kernel=kernel)[0]
+    return greeks_from_prices(
+        model, product, prices, spot_bump=spot_bump, vol_bump=vol_bump,
+        rate_bump=rate_bump, theta_bump=theta_bump,
+    )

@@ -52,6 +52,7 @@ __all__ = [
     "FRAME_PONG",
     "FRAME_CHALLENGE",
     "FRAME_AUTH",
+    "FRAME_RESULT_BATCH",
     "FRAME_MAGIC",
     "FRAME_HEADER_BYTES",
     "MAX_FRAME_BYTES",
@@ -59,6 +60,7 @@ __all__ = [
     "decode_header",
     "FrameAssembler",
     "read_frame",
+    "read_frame_versioned",
     "auth_proof",
     "verify_proof",
 ]
@@ -79,7 +81,12 @@ _MAGIC = FRAME_MAGIC
 #: v4 added the optional HMAC-SHA256 handshake (:data:`FRAME_CHALLENGE` /
 #: :data:`FRAME_AUTH`) plus a ``nonce`` in the worker hello; it is the first
 #: *backwards-compatible* bump -- see :data:`MIN_PROTOCOL_VERSION`.
-PROTOCOL_VERSION = 4
+#: v5 added :data:`FRAME_RESULT_BATCH` (chunked collection: a worker answers
+#: one :data:`FRAME_JOB_BATCH` with one coalesced result message instead of
+#: one frame per member -- the collection-side mirror of the paper's "send a
+#: single large message" advice).  Backwards compatible: a worker replying
+#: to a v3/v4 master keeps sending per-member :data:`FRAME_RESULT` frames.
+PROTOCOL_VERSION = 5
 
 #: oldest peer version this end still decodes.  A v4 master speaks v3 on a
 #: connection whose worker greeted at v3 (no handshake frames, same job and
@@ -115,10 +122,15 @@ FRAME_CHALLENGE = 8
 #: worker -> master (v4): handshake answer.  Payload:
 #: ``{"proof": HMAC-SHA256(secret, master_nonce)}``
 FRAME_AUTH = 9
+#: worker -> master (v5): a whole chunk of priced jobs in one message
+#: (payload: ``{"results": [result dictionary, ...]}``) -- the worker's
+#: answer to one :data:`FRAME_JOB_BATCH`, coalesced so 1600 cheap jobs do
+#: not cost 1600 small result messages
+FRAME_RESULT_BATCH = 10
 
 _KNOWN_KINDS = frozenset(
     (FRAME_HELLO, FRAME_JOB, FRAME_RESULT, FRAME_STOP, FRAME_JOB_BATCH,
-     FRAME_PING, FRAME_PONG, FRAME_CHALLENGE, FRAME_AUTH)
+     FRAME_PING, FRAME_PONG, FRAME_CHALLENGE, FRAME_AUTH, FRAME_RESULT_BATCH)
 )
 
 _HEADER = struct.Struct(">4sHHI")
@@ -134,7 +146,7 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 #: frame kinds that only exist from a given protocol version on; encoding
 #: one for an older peer is a programming error, caught before the send
 _KIND_SINCE = {FRAME_JOB_BATCH: 2, FRAME_PING: 3, FRAME_PONG: 3,
-               FRAME_CHALLENGE: 4, FRAME_AUTH: 4}
+               FRAME_CHALLENGE: 4, FRAME_AUTH: 4, FRAME_RESULT_BATCH: 5}
 
 
 def encode_frame(
@@ -178,6 +190,20 @@ def decode_header(header: bytes, *, max_bytes: int = MAX_FRAME_BYTES) -> tuple[i
     protocol-version mismatch, unknown frame kind or oversized payload --
     before a single payload byte is consumed.
     """
+    _, kind, length = _decode_header_versioned(header, max_bytes=max_bytes)
+    return kind, length
+
+
+def _decode_header_versioned(
+    header: bytes, *, max_bytes: int = MAX_FRAME_BYTES
+) -> tuple[int, int, int]:
+    """:func:`decode_header`, but also returning the header's stamped version.
+
+    The version is how a *worker* learns what its master speaks: the master
+    caps outgoing frames at the version the worker's hello announced, so the
+    stamp on any received frame is the connection's negotiated version and
+    gates whether coalesced :data:`FRAME_RESULT_BATCH` replies are allowed.
+    """
     if len(header) < FRAME_HEADER_BYTES:
         raise SerializationError(
             f"truncated frame header: got {len(header)} of {FRAME_HEADER_BYTES} bytes"
@@ -197,7 +223,7 @@ def decode_header(header: bytes, *, max_bytes: int = MAX_FRAME_BYTES) -> tuple[i
             f"frame announces a {length}-byte payload, above the "
             f"{max_bytes}-byte limit"
         )
-    return kind, length
+    return version, kind, length
 
 
 class FrameAssembler:
@@ -260,6 +286,23 @@ def read_frame(
     first header byte returns ``None``; an end of stream mid-frame raises
     :class:`SerializationError` (the peer died mid-message).
     """
+    frame = read_frame_versioned(read, max_bytes=max_bytes)
+    if frame is None:
+        return None
+    kind, payload, _ = frame
+    return kind, payload
+
+
+def read_frame_versioned(
+    read: Callable[[int], bytes], *, max_bytes: int = MAX_FRAME_BYTES
+) -> tuple[int, bytes, int] | None:
+    """:func:`read_frame` returning ``(kind, payload, header_version)``.
+
+    The extra version element is what the worker's receive loop uses to cap
+    its replies (and to decide whether the master understands coalesced
+    :data:`FRAME_RESULT_BATCH` answers): the master stamps every outgoing
+    frame at the connection's negotiated version.
+    """
 
     def _read_exactly(n: int, *, at_message_boundary: bool) -> bytes | None:
         chunks = bytearray()
@@ -277,12 +320,12 @@ def read_frame(
     header = _read_exactly(FRAME_HEADER_BYTES, at_message_boundary=True)
     if header is None:
         return None
-    kind, length = decode_header(header, max_bytes=max_bytes)
+    version, kind, length = _decode_header_versioned(header, max_bytes=max_bytes)
     if length == 0:
-        return kind, b""
+        return kind, b"", version
     payload = _read_exactly(length, at_message_boundary=False)
     assert payload is not None
-    return kind, payload
+    return kind, payload, version
 
 
 def auth_proof(secret: str | bytes, nonce: bytes) -> bytes:

@@ -11,6 +11,7 @@ library's exception taxonomy onto HTTP status codes.  Endpoints:
 ``GET  /healthz``                     liveness/degradation probe (no auth)
 ``GET  /v1/stats``                    counters + cache + workers (no auth)
 ``POST /v1/price``                    one problem, cache-first, synchronous
+``POST /v1/greeks``                   full Greek ladder (CRN scenario grid)
 ``POST /v1/run``                      enqueue a portfolio run (``wait`` opt)
 ``GET  /v1/jobs/{id}``                job snapshot with result
 ``POST /v1/jobs/{id}/cancel``         withdraw / cancel a run
@@ -175,11 +176,13 @@ class _Handler(BaseHTTPRequestHandler):
         self.service.count("requests")
         if not self._authorized(path):
             return
-        if path in ("/v1/price", "/v1/run") and self._rate_limited():
+        if path in ("/v1/price", "/v1/greeks", "/v1/run") and self._rate_limited():
             return
         try:
             if path == "/v1/price":
                 self._send_json(200, self.service.price_single(self._read_body()))
+            elif path == "/v1/greeks":
+                self._send_json(200, self.service.greeks_single(self._read_body()))
             elif path == "/v1/run":
                 self._submit_run()
             elif path.startswith("/v1/jobs/") and path.endswith("/cancel"):

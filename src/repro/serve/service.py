@@ -35,6 +35,7 @@ from repro.api.session import ValuationSession
 from repro.core.scheduler import PriorityScheduler, Scheduler
 from repro.errors import ReproError, ServeError
 from repro.pricing.cache import ResultCache, problem_digest
+from repro.pricing.greeks import compute_greeks
 from repro.serve.config import ServerConfig
 from repro.serve.jobs import JobRecord, JobTable
 from repro.serve.parse import portfolio_from_request, problem_from_request
@@ -69,6 +70,7 @@ class PricingService:
             "auth_failures": 0,
             "rate_limited": 0,
             "priced_singles": 0,
+            "greek_ladders": 0,
             "runs_submitted": 0,
             "runs_completed": 0,
             "runs_failed": 0,
@@ -139,6 +141,39 @@ class PricingService:
             "method": problem.method_name,
             "digest": digest,
             "cache_hit": cache_hit,
+            "elapsed_s": time.perf_counter() - started,
+        }
+
+    # -- greek ladders (POST /v1/greeks) ----------------------------------------------
+    def greeks_single(self, body: Mapping[str, Any]) -> dict[str, Any]:
+        """Full finite-difference Greek ladder for one problem, CRN-batched.
+
+        The default ``engine="batched"`` expands the problem into a common-
+        random-number scenario grid (:mod:`repro.pricing.scenarios`) and
+        prices the whole ladder through the stacked kernel; ``engine=
+        "serial"`` runs the bump-and-revalue oracle instead.  Both return
+        the same numbers bit-for-bit.
+        """
+        problem = problem_from_request(body)
+        engine = str(body.get("engine", "batched"))
+        started = time.perf_counter()
+        report = compute_greeks(
+            problem.model,
+            problem.product,
+            problem.method,
+            spot_bump=float(body.get("spot_bump", 0.01)),
+            vol_bump=float(body.get("vol_bump", 0.01)),
+            rate_bump=float(body.get("rate_bump", 0.0001)),
+            theta_bump=float(body.get("theta_bump", 1.0 / 365.0)),
+            engine=engine,
+            kernel=str(body.get("kernel", "stacked")),
+        )
+        self.count("greek_ladders")
+        return {
+            **report.as_dict(),
+            "label": problem.label,
+            "method": problem.method_name,
+            "engine": engine,
             "elapsed_s": time.perf_counter() - started,
         }
 

@@ -127,9 +127,19 @@ class TestPlanBatches:
 
     def test_validation(self):
         with pytest.raises(PricingError):
-            plan_batches([], min_group_size=1)
+            plan_batches([], min_group_size=0)
         with pytest.raises(PricingError):
             plan_batches([], min_group_size=3, max_group_size=2)
+
+    def test_min_group_size_one_keeps_singletons_as_groups(self):
+        # the scenario-grid configuration: every problem a distinct signature,
+        # yet all of them belong in the plan (the stacked kernel still merges
+        # their draw cohorts)
+        problems = [_mc_problem(100.0, n_paths=4096), _mc_problem(100.0, n_paths=8192)]
+        plan = plan_batches(problems, min_group_size=1)
+        assert len(plan.groups) == 2
+        assert all(len(group.indices) == 1 for group in plan.groups)
+        assert plan.singles == ()
 
 
 class TestSharedPathPricing:

@@ -202,6 +202,46 @@ class TestPriceEndpoint:
         assert response["price"] == problem_from_request(body).compute().price
 
 
+class TestGreeksEndpoint:
+    def test_full_ladder_with_theta(self, server):
+        body = _position_body(100.0)
+        body["method"] = "MC_European"
+        body["method_params"] = {"n_paths": 20_000, "seed": 7}
+        status, report = _request(server.url + "/v1/greeks", body)
+        assert status == 200
+        assert report["engine"] == "batched"
+        assert 0.0 < report["delta"] < 1.0
+        assert report["gamma"] > 0.0
+        assert report["vega"] > 0.0
+        assert report["theta"] < 0.0  # long vanilla call decays
+
+    def test_batched_matches_serial_engine_bit_for_bit(self, server):
+        body = _position_body(104.0)
+        body["method"] = "MC_European"
+        body["method_params"] = {"n_paths": 20_000, "seed": 3}
+        _, batched = _request(server.url + "/v1/greeks", body)
+        _, serial = _request(server.url + "/v1/greeks", {**body, "engine": "serial"})
+        for key in ("price", "delta", "gamma", "vega", "rho", "theta"):
+            assert batched[key] == serial[key]
+
+    def test_bad_engine_400(self, server):
+        status, response = _request(
+            server.url + "/v1/greeks", _position_body(100.0, engine="nope")
+        )
+        assert status == 400
+        assert "engine" in response["error"]
+
+    def test_requires_auth(self, server):
+        status, _ = _request(
+            server.url + "/v1/greeks", _position_body(100.0), token=None
+        )
+        assert status == 401
+
+    def test_counter_visible_in_stats(self, server):
+        _, stats = _request(server.url + "/v1/stats", token=None)
+        assert stats["requests"]["greek_ladders"] >= 2
+
+
 class TestRunLifecycle:
     def test_acceptance_path(self, server):
         """run -> SSE progress -> bit-identical prices -> cached re-run."""
